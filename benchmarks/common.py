@@ -1,0 +1,9 @@
+"""Shared constants for the benchmark harness."""
+
+#: Workloads used by the RL-centric benchmarks (training is expensive).
+RL_BENCH_WORKLOADS = ["450.soplex", "471.omnetpp", "403.gcc"]
+
+#: Policy lineup of Figures 10-13 (LRU is always the baseline).
+FIGURE_POLICIES = (
+    "drrip", "kpc_r", "ship", "rlr", "rlr_unopt", "rlr_tuned", "hawkeye", "ship++"
+)

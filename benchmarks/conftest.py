@@ -1,0 +1,35 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+Each benchmark regenerates one paper artifact (see DESIGN.md §4) and prints
+it in the paper's format; run with ``pytest benchmarks/ --benchmark-only -s``
+to see the tables.  A session-scoped EvalConfig caches trace generation and
+the pass-1 LLC streams across benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import EvalConfig
+from repro.rl.trainer import TrainerConfig
+
+#: Workloads used by the RL-centric benchmarks (training is expensive).
+RL_BENCH_WORKLOADS = ["450.soplex", "471.omnetpp", "403.gcc"]
+
+
+@pytest.fixture(scope="session")
+def eval_config():
+    """Single-core evaluation configuration shared by all benchmarks."""
+    return EvalConfig(scale=16, trace_length=20_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def eval_config_4core():
+    """Shorter traces for the 4-core benchmarks (4x the simulation work)."""
+    return EvalConfig(scale=16, trace_length=8_000, seed=7, num_cores=4)
+
+
+@pytest.fixture(scope="session")
+def rl_trainer_config():
+    """Downscaled agent for benchmark runtime (paper: 175 hidden, 1+ epochs)."""
+    return TrainerConfig(hidden_size=48, epochs=1, seed=1)

@@ -1,0 +1,38 @@
+"""§IV-C ablation: age-counter width sweep (2-8 bits per line).
+
+The paper swept 2-8 bits and chose 5 for the unoptimized policy as the
+best performance/overhead point.
+"""
+
+import pytest
+
+from repro.eval.experiments import ablation_age_bits
+from repro.eval.reporting import format_table
+from repro.eval.workloads import RL_TRAINING_BENCHMARKS
+
+BIT_WIDTHS = (2, 3, 5, 8)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_age_counter_width_sweep(benchmark, eval_config):
+    results = benchmark.pedantic(
+        ablation_age_bits,
+        args=(eval_config, RL_TRAINING_BENCHMARKS[:4], BIT_WIDTHS),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {"age bits": bits, "overall speedup %": round(value, 2)}
+        for bits, value in results.items()
+    ]
+    print()
+    print(format_table(
+        rows,
+        headers=["age bits", "overall speedup %"],
+        title="RLR(unopt) age-counter width sweep",
+    ))
+
+    assert set(results) == set(BIT_WIDTHS)
+    # Wider counters never catastrophically degrade (the curve is flat-ish
+    # past the paper's 5-bit choice).
+    assert results[8] > results[2] - 2.0

@@ -1,0 +1,50 @@
+"""Decision quality: how often each policy picks the Belady-optimal victim.
+
+Applies the paper's reward grading (+1 optimal / -1 harmful / 0 neutral) to
+every eviction each policy makes.  Belady itself must grade 100% optimal;
+RLR should make fewer harmful choices than LRU on Belady-gap workloads.
+"""
+
+import pytest
+
+from repro.eval.agreement import compare_agreement
+from repro.eval.reporting import format_table
+
+WORKLOADS = ["450.soplex", "471.omnetpp"]
+POLICIES = ["lru", "drrip", "ship++", "rlr", "rlr_unopt"]
+
+
+@pytest.mark.benchmark(group="agreement")
+def test_belady_agreement_rates(benchmark, eval_config):
+    def run():
+        return {
+            workload: compare_agreement(eval_config, workload, POLICIES)
+            for workload in WORKLOADS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for workload, profiles in results.items():
+        rows = [
+            {
+                "policy": name,
+                "decisions": profile.decisions,
+                "optimal%": round(100 * profile.optimal_rate, 1),
+                "harmful%": round(100 * profile.harmful_rate, 1),
+            }
+            for name, profile in profiles.items()
+        ]
+        print(format_table(
+            rows,
+            headers=["policy", "decisions", "optimal%", "harmful%"],
+            title=f"Belady agreement — {workload}",
+        ))
+        print()
+
+    for workload, profiles in results.items():
+        for name, profile in profiles.items():
+            assert profile.decisions > 0, (workload, name)
+            assert 0.0 <= profile.optimal_rate <= 1.0
+        # The decision-grading itself must separate policies.
+        rates = [p.optimal_rate for p in profiles.values()]
+        assert max(rates) > min(rates)

@@ -1,0 +1,45 @@
+"""§III-A: the paper found epsilon = 0.1 performed best.
+
+Trains small agents at several exploration rates on one training workload
+and compares their greedy hit rates.  With a short training budget the
+curve is noisy; the assertions check the sweep runs and produces a sane
+spread rather than the paper's exact optimum.
+"""
+
+import pytest
+
+from repro.eval.runner import _prepared
+from repro.eval.reporting import format_table
+from repro.rl.trainer import TrainerConfig, evaluate_on_stream, train_on_stream
+
+EPSILONS = (0.0, 0.1, 0.3)
+WORKLOAD = "450.soplex"
+
+
+@pytest.mark.benchmark(group="rl-sweep")
+def test_epsilon_sweep(benchmark, eval_config):
+    trace = eval_config.trace(WORKLOAD)
+    prepared = _prepared(eval_config, trace, 1, None)
+    records = prepared.llc_records[:12_000]
+
+    def run():
+        results = {}
+        for epsilon in EPSILONS:
+            config = TrainerConfig(hidden_size=32, epochs=1, seed=1,
+                                   epsilon=epsilon)
+            trained = train_on_stream(prepared.llc_config, records, config)
+            stats = evaluate_on_stream(trained, prepared.llc_config, records)
+            results[epsilon] = stats.hit_rate
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"epsilon": epsilon, "greedy hit rate": round(rate, 4)}
+        for epsilon, rate in results.items()
+    ]
+    print()
+    print(format_table(rows, headers=["epsilon", "greedy hit rate"],
+                       title=f"epsilon sweep — {WORKLOAD} (paper: 0.1 best)"))
+
+    assert set(results) == set(EPSILONS)
+    assert all(0.0 <= rate <= 1.0 for rate in results.values())

@@ -1,0 +1,39 @@
+"""Figure 10: single-core IPC speedup over LRU, full SPEC-2006-like suite."""
+
+import pytest
+
+from repro.eval.experiments import single_core_speedups
+from repro.eval.metrics import geomean
+from repro.eval.reporting import format_speedup_series
+
+from common import FIGURE_POLICIES
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_spec2006_speedups(benchmark, eval_config):
+    results = benchmark.pedantic(
+        single_core_speedups,
+        args=(eval_config, "spec2006", FIGURE_POLICIES),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_speedup_series(
+        results, FIGURE_POLICIES,
+        title="Figure 10 — IPC speedup over LRU (SPEC 2006 models)",
+    ))
+    overall = {
+        policy: (geomean(row[policy] for row in results.values()) - 1) * 100
+        for policy in FIGURE_POLICIES
+    }
+    print("\noverall geomean %:", {k: round(v, 2) for k, v in overall.items()})
+
+    assert len(results) == 29
+    # Paper shape assertions: every policy improves on LRU overall, and the
+    # advanced PC-based policy (SHiP++) leads.
+    for policy, value in overall.items():
+        assert value > 0, policy
+    assert overall["ship++"] == max(overall.values())
+    # RLR is competitive with the other PC-free policies (paper: RLR beats
+    # DRRIP by ~1.75% overall).
+    assert overall["rlr"] > overall["drrip"] - 1.0

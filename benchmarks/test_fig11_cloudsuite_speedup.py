@@ -1,0 +1,37 @@
+"""Figure 11: single-core IPC speedup over LRU, CloudSuite-like models."""
+
+import pytest
+
+from repro.eval.experiments import single_core_speedups
+from repro.eval.metrics import geomean
+from repro.eval.reporting import format_speedup_series
+
+from common import FIGURE_POLICIES
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_cloudsuite_speedups(benchmark, eval_config):
+    results = benchmark.pedantic(
+        single_core_speedups,
+        args=(eval_config, "cloudsuite", FIGURE_POLICIES),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_speedup_series(
+        results, FIGURE_POLICIES,
+        title="Figure 11 — IPC speedup over LRU (CloudSuite models)",
+    ))
+
+    assert set(results) == {
+        "cassandra", "classification", "cloud9", "nutch", "streaming"
+    }
+    overall = {
+        policy: geomean(row[policy] for row in results.values())
+        for policy in FIGURE_POLICIES
+    }
+    # Every evaluated policy improves on LRU overall on the server suite.
+    for policy, value in overall.items():
+        assert value > 1.0, policy
+    # RLR's gains are positive (paper: +3.48% overall on CloudSuite).
+    assert overall["rlr"] > 1.0

@@ -1,0 +1,38 @@
+"""Figure 12: demand MPKI per policy for workloads with LRU MPKI > 3."""
+
+import pytest
+
+from repro.eval.experiments import mpki_comparison
+from repro.eval.reporting import format_table
+
+from common import FIGURE_POLICIES
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_demand_mpki(benchmark, eval_config):
+    results = benchmark.pedantic(
+        mpki_comparison,
+        kwargs=dict(eval_config=eval_config, policies=FIGURE_POLICIES),
+        rounds=1,
+        iterations=1,
+    )
+    policies = ["lru"] + list(FIGURE_POLICIES)
+    rows = [
+        {"workload": workload, **{p: round(row[p], 1) for p in policies}}
+        for workload, row in results.items()
+    ]
+    print()
+    print(format_table(
+        rows,
+        headers=["workload"] + policies,
+        title="Figure 12 — demand MPKI (workloads with LRU MPKI > 3)",
+    ))
+
+    assert results, "no workload crossed the MPKI threshold"
+    for workload, row in results.items():
+        assert row["lru"] > 3.0
+        # RLR reduces MPKI relative to LRU on most plotted workloads; never
+        # catastrophically worse anywhere.
+        assert row["rlr"] < row["lru"] * 1.10, workload
+    reduced = sum(1 for row in results.values() if row["rlr"] < row["lru"])
+    assert reduced >= len(results) // 2

@@ -1,0 +1,67 @@
+"""Figure 13: 4-core IPC speedup over LRU on random SPEC mixes.
+
+The paper runs 100 random 4-benchmark mixes; the benchmark default runs a
+handful for runtime (the harness supports the full count via
+``multicore_speedups(..., num_mixes=100)``).
+"""
+
+import pytest
+
+from repro.eval.experiments import multicore_speedups
+from repro.eval.metrics import geomean
+from repro.eval.reporting import format_speedup_series
+
+from common import FIGURE_POLICIES
+
+NUM_MIXES = 4
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_multicore_spec_mixes(benchmark, eval_config_4core):
+    results = benchmark.pedantic(
+        multicore_speedups,
+        kwargs=dict(
+            eval_config=eval_config_4core,
+            num_mixes=NUM_MIXES,
+            policies=FIGURE_POLICIES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_speedup_series(
+        results, FIGURE_POLICIES,
+        title=f"Figure 13 — 4-core mix speedup over LRU ({NUM_MIXES} mixes)",
+    ))
+    overall = {
+        policy: (geomean(row[policy] for row in results.values()) - 1) * 100
+        for policy in FIGURE_POLICIES
+    }
+    print("overall geomean %:", {k: round(v, 2) for k, v in overall.items()})
+
+    assert len(results) == NUM_MIXES
+    # Paper shape: multicore gains exist for the adaptive policies, and the
+    # multicore-aware RLR stays within a few percent of the PC-based group.
+    assert overall["rlr"] > -1.0
+    assert max(overall.values()) > 0.5
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_cloudsuite_4core(benchmark, eval_config_4core):
+    results = benchmark.pedantic(
+        multicore_speedups,
+        kwargs=dict(
+            eval_config=eval_config_4core,
+            num_mixes=1,
+            policies=("drrip", "rlr"),
+            suite="cloudsuite",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_speedup_series(
+        results, ("drrip", "rlr"),
+        title="Figure 13 — 4-core CloudSuite mix",
+    ))
+    assert results

@@ -1,0 +1,43 @@
+"""Figure 3: heat map of trained-network feature weights per benchmark.
+
+Trains one agent per benchmark (as in §III-B) and prints the normalized
+|weight| heat map over the Table II features.  Asserts the paper's headline
+finding: the preuse/hits/recency family of features carries high weight.
+"""
+
+import pytest
+
+from repro.eval.experiments import fig3_heatmap
+from repro.rl.analysis import render_heatmap
+
+from common import RL_BENCH_WORKLOADS
+
+#: The five features the paper's analysis singles out (§III-B).
+PAPER_TOP_FEATURES = {
+    "access_preuse",
+    "line_preuse",
+    "line_last_access_type",
+    "line_hits",
+    "line_recency",
+}
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_weight_heatmap(benchmark, eval_config, rl_trainer_config):
+    features, benchmarks, matrix = benchmark.pedantic(
+        fig3_heatmap,
+        args=(eval_config, RL_BENCH_WORKLOADS, rl_trainer_config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 3 — feature-weight heat map (darker = heavier):")
+    print(render_heatmap(features, benchmarks, matrix))
+
+    assert matrix.shape == (len(features), len(RL_BENCH_WORKLOADS))
+    # Mean importance ranking: at least two of the paper's five selected
+    # features should land in the top half of all 18 features.
+    mean_importance = matrix.mean(axis=1)
+    ranked = [f for _, f in sorted(zip(mean_importance, features), reverse=True)]
+    top_half = set(ranked[: len(ranked) // 2])
+    assert len(PAPER_TOP_FEATURES & top_half) >= 2, ranked

@@ -1,0 +1,43 @@
+"""Figure 6: hits-since-insertion distribution of the RL agent's victims.
+
+Paper: in all benchmarks more than 50% of victims have zero hits, and more
+than 80% have at most one — the agent evicts lines with few hits.
+"""
+
+import pytest
+
+from repro.eval.experiments import agent_victim_statistics
+from repro.eval.reporting import format_table
+
+from common import RL_BENCH_WORKLOADS
+
+
+@pytest.mark.benchmark(group="fig5-7")
+def test_fig6_victim_hits_histogram(benchmark, eval_config, rl_trainer_config):
+    results = benchmark.pedantic(
+        agent_victim_statistics,
+        args=(eval_config, RL_BENCH_WORKLOADS[:2], rl_trainer_config),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "workload": workload,
+            "0 hits": f"{100 * stats['hits_histogram']['0']:.0f}%",
+            "1 hit": f"{100 * stats['hits_histogram']['1']:.0f}%",
+            ">1 hit": f"{100 * stats['hits_histogram']['>1']:.0f}%",
+        }
+        for workload, stats in results.items()
+    ]
+    print()
+    print(format_table(
+        rows,
+        headers=["workload", "0 hits", "1 hit", ">1 hit"],
+        title="Figure 6 — victim hits since insertion",
+    ))
+
+    for workload, stats in results.items():
+        histogram = stats["hits_histogram"]
+        # Paper: >50% of victims were never hit; >=80% had at most one hit.
+        assert histogram["0"] > 0.5, workload
+        assert histogram["0"] + histogram["1"] > 0.8, workload

@@ -1,0 +1,37 @@
+"""Figure 7: recency distribution of the RL agent's victims.
+
+Paper: most evictions target lines with HIGH recency values — the agent
+prefers to evict recently-used lines so older lines can reach their reuse.
+"""
+
+import pytest
+
+from repro.eval.experiments import agent_victim_statistics
+
+from common import RL_BENCH_WORKLOADS
+
+
+@pytest.mark.benchmark(group="fig5-7")
+def test_fig7_victim_recency_distribution(benchmark, eval_config, rl_trainer_config):
+    results = benchmark.pedantic(
+        agent_victim_statistics,
+        args=(eval_config, RL_BENCH_WORKLOADS[:2], rl_trainer_config),
+        rounds=1,
+        iterations=1,
+    )
+    ways = eval_config.hierarchy(num_cores=1).llc.ways
+    print()
+    print("Figure 7 — victim recency distribution (0 = LRU .. 15 = MRU):")
+    for workload, stats in results.items():
+        histogram = stats["recency_histogram"]
+        series = " ".join(
+            f"{100 * histogram.get(r, 0.0):4.1f}" for r in range(ways)
+        )
+        print(f"  {workload:16s} {series}")
+
+    for workload, stats in results.items():
+        histogram = stats["recency_histogram"]
+        upper_half = sum(v for r, v in histogram.items() if r >= ways // 2)
+        # Paper shape: the upper (more recent) half of the recency range
+        # receives the majority of evictions.
+        assert upper_half > 0.5, (workload, histogram)

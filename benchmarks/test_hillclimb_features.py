@@ -1,0 +1,50 @@
+"""§III-B: hill-climbing feature selection (automated, as in the paper).
+
+Runs the greedy-forward search over a candidate subset of Table II features
+on one training workload's LLC stream, printing each round's winner.
+"""
+
+import pytest
+
+from repro.eval.workloads import EvalConfig
+from repro.rl.hill_climbing import hill_climb
+from repro.rl.trainer import TrainerConfig, llc_stream_records
+
+CANDIDATES = (
+    "access_preuse",
+    "line_preuse",
+    "line_last_access_type",
+    "line_hits",
+    "line_recency",
+    "line_dirty",
+    "set_number",
+    "line_age_last_access",
+)
+
+
+@pytest.mark.benchmark(group="hillclimb")
+def test_hill_climbing_feature_selection(benchmark, eval_config):
+    llc_config = eval_config.hierarchy(num_cores=1).llc
+    stream = llc_stream_records(eval_config, "450.soplex")[:6000]
+    config = TrainerConfig(hidden_size=16, epochs=1, max_records=4000, seed=2)
+
+    result = benchmark.pedantic(
+        hill_climb,
+        kwargs=dict(
+            llc_config=llc_config,
+            streams=[stream],
+            candidates=CANDIDATES,
+            config=config,
+            max_features=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nHill-climbing rounds:")
+    for step in result.steps:
+        print(f"  + {step.added_feature:24s} -> hit rate {step.score:.3f}")
+    print(f"selected: {result.selected}")
+
+    assert 1 <= len(result.selected) <= 4
+    scores = [step.score for step in result.steps]
+    assert scores == sorted(scores)  # greedy additions never reduce score

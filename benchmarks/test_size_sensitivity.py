@@ -1,0 +1,55 @@
+"""LLC-size sensitivity: RLR's gains across cache scales.
+
+The paper evaluates 2MB (1-core) and 8MB (4-core) LLCs; this sweep varies
+the evaluation scale (cache size and working sets move together, so the
+interesting axis is the policy's robustness to absolute set counts and the
+RD estimator's behaviour at different scales).
+"""
+
+import pytest
+
+from repro.eval.metrics import geomean
+from repro.eval.reporting import format_table
+from repro.eval.runner import compare_policies
+from repro.eval.workloads import EvalConfig
+
+SCALES = (32, 16, 8)
+WORKLOADS = ["471.omnetpp", "450.soplex", "470.lbm"]
+POLICIES = ["drrip", "rlr", "ship++"]
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_scale_sensitivity(benchmark, eval_config):
+    def run():
+        table = {}
+        for scale in SCALES:
+            config = EvalConfig(scale=scale, trace_length=12_000, seed=7)
+            speedups = {policy: [] for policy in POLICIES}
+            for workload in WORKLOADS:
+                trace = config.trace(workload)
+                results = compare_policies(config, trace, ["lru"] + POLICIES)
+                baseline = results["lru"].single_ipc
+                for policy in POLICIES:
+                    speedups[policy].append(
+                        results[policy].single_ipc / baseline
+                    )
+            table[scale] = {
+                policy: (geomean(values) - 1) * 100
+                for policy, values in speedups.items()
+            }
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"scale (TableIII/n)": scale, **{p: round(v, 2) for p, v in row.items()}}
+        for scale, row in table.items()
+    ]
+    print()
+    print(format_table(
+        rows, headers=["scale (TableIII/n)"] + POLICIES,
+        title="geomean % speedup over LRU vs evaluation scale",
+    ))
+
+    # RLR's gains persist across scales (never collapses to a loss).
+    for scale, row in table.items():
+        assert row["rlr"] > -1.0, scale

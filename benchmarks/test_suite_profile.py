@@ -1,0 +1,45 @@
+"""Workload-suite characterization: the properties the models are built on.
+
+Profiles every SPEC/CloudSuite model (footprint, memory intensity, writes,
+spatial locality, reuse-distance mix) and asserts the documented contrasts:
+streaming models have large cold footprints, loop models small hot ones,
+write-heavy models actually write.
+"""
+
+import pytest
+
+from repro.eval.workloads import suite_names
+from repro.traces.profiling import compare_profiles, profile_trace
+from repro.traces.spec_models import ALL_WORKLOADS
+
+
+@pytest.mark.benchmark(group="suite-profile")
+def test_suite_characterization(benchmark, eval_config):
+    def run():
+        profiles = {}
+        for name in suite_names("spec2006") + suite_names("cloudsuite"):
+            trace = eval_config.trace(name)
+            profiles[name] = profile_trace(trace, num_sets=128)
+        return profiles
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(compare_profiles(profiles.values()))
+
+    assert len(profiles) == 34
+    # Documented contrasts (DESIGN.md §2 calibration targets):
+    assert profiles["470.lbm"].write_fraction > 0.3  # write-heavy streaming
+    assert (
+        profiles["429.mcf"].footprint_lines
+        > 10 * profiles["416.gamess"].footprint_lines
+    )  # huge vs tiny working sets
+    assert (
+        profiles["462.libquantum"].cold_fraction
+        > profiles["456.hmmer"].cold_fraction
+    )  # streaming vs loop reuse
+    low_mpki = [n for n, s in ALL_WORKLOADS.items() if s.mpki_class == "low"]
+    high_mpki = [n for n, s in ALL_WORKLOADS.items() if s.mpki_class == "high"]
+    mean_low = sum(profiles[n].mean_instructions_per_reference for n in low_mpki)
+    mean_high = sum(profiles[n].mean_instructions_per_reference for n in high_mpki)
+    # Low-MPKI models are less memory-intensive on average.
+    assert mean_low / len(low_mpki) > mean_high / len(high_mpki)

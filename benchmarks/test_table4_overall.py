@@ -1,0 +1,41 @@
+"""Table IV: overall speedup over LRU — 1-core and 4-core, both suites."""
+
+import pytest
+
+from repro.eval.experiments import table4_overall
+from repro.eval.reporting import format_table
+
+from common import FIGURE_POLICIES
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_overall_speedups(benchmark, eval_config, eval_config_4core):
+    table = benchmark.pedantic(
+        table4_overall,
+        kwargs=dict(
+            eval_config_1core=eval_config,
+            eval_config_4core=eval_config_4core,
+            policies=FIGURE_POLICIES,
+            num_mixes=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    columns = list(next(iter(table.values())).keys())
+    rows = [
+        {"policy": policy, **{c: round(values[c], 2) for c in columns}}
+        for policy, values in table.items()
+    ]
+    print()
+    print(format_table(
+        rows,
+        headers=["policy"] + columns,
+        title="Table IV — overall % speedup over LRU",
+    ))
+
+    # Paper shape (1-core SPEC column): every policy gains over LRU;
+    # SHiP++ leads; RLR is competitive with the PC-free group.
+    spec_column = {p: v["1-core spec2006"] for p, v in table.items()}
+    assert all(value > 0 for value in spec_column.values())
+    assert spec_column["ship++"] == max(spec_column.values())
+    assert spec_column["rlr"] > 0

@@ -1,0 +1,69 @@
+"""Explain a single replacement decision of a trained agent (saliency).
+
+Trains a small agent, captures a real replacement decision from a replay,
+and prints the gradient-times-input attribution of each Table II feature
+toward the chosen way's Q-value — the per-decision companion to the
+paper's global Figure 3 heat map.
+
+Usage:
+    python examples/explain_decision.py [workload]
+"""
+
+import sys
+
+from repro.cache.cache import Cache
+from repro.eval import EvalConfig
+from repro.eval.runner import _prepared
+from repro.rl.explain import explain_decision, render_explanation
+from repro.rl.policy_adapter import AgentReplacementPolicy
+from repro.rl.trainer import TrainerConfig, train_on_stream
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "450.soplex"
+    eval_config = EvalConfig(scale=32, trace_length=10_000, seed=7)
+    trace = eval_config.trace(workload)
+    prepared = _prepared(eval_config, trace, 1, None)
+
+    print(f"training a small agent on {workload} ...")
+    trained = train_on_stream(
+        prepared.llc_config,
+        prepared.llc_records,
+        TrainerConfig(hidden_size=32, epochs=1, seed=1),
+    )
+
+    captured = {}
+
+    class _CapturingAdapter(AgentReplacementPolicy):
+        def victim(self, set_index, cache_set, access):
+            way = super().victim(set_index, cache_set, access)
+            if "state" not in captured and self._set_accesses[set_index] > 50:
+                state = self.features.vector(
+                    access, self._access_preuse(set_index, access), cache_set
+                )
+                captured["state"] = state
+                captured["way"] = way
+                captured["set"] = set_index
+            return way
+
+    adapter = _CapturingAdapter(trained.agent, trained.extractor, train=False)
+    adapter.bind(prepared.llc_config)
+    cache = Cache(prepared.llc_config, adapter, detailed=True)
+    for record in prepared.llc_records:
+        cache.access(record)
+        if "state" in captured:
+            break
+
+    if "state" not in captured:
+        print("no decision captured (trace too short)")
+        return
+
+    way = captured["way"]
+    print(f"\ncaptured a decision in set {captured['set']}: evict way {way}")
+    print("top feature attributions toward that choice:\n")
+    attributions = explain_decision(trained, captured["state"], way, top=10)
+    print(render_explanation(attributions))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Cost-effectiveness scatter: Table I overhead vs measured speedup.
+
+The paper's core argument is about the *combination* of axes: RLR sits
+among the PC-based policies on performance while paying a fraction of
+their true implementation cost (PC plumbing excluded from Table I).  This
+example measures both axes on a workload subset and renders the trade-off.
+
+Usage:
+    python examples/overhead_vs_performance.py
+"""
+
+from repro.eval import EvalConfig, compare_policies, geomean
+from repro.eval.experiments import table1_overhead
+
+POLICIES = ["drrip", "kpc_r", "ship", "ship++", "hawkeye", "mpppb",
+            "glider", "rlr", "rlr_unopt"]
+WORKLOADS = ["471.omnetpp", "450.soplex", "483.xalancbmk", "470.lbm",
+             "429.mcf", "403.gcc"]
+
+
+def main() -> None:
+    eval_config = EvalConfig(scale=16, trace_length=25_000, seed=7)
+    overheads = {row.policy: row for row in table1_overhead()}
+
+    speedups = {policy: [] for policy in POLICIES}
+    for workload in WORKLOADS:
+        trace = eval_config.trace(workload)
+        results = compare_policies(eval_config, trace, ["lru"] + POLICIES)
+        baseline = results["lru"].single_ipc
+        for policy in POLICIES:
+            speedups[policy].append(results[policy].single_ipc / baseline)
+        print(f"finished {workload}")
+
+    print(f"\n{'policy':12s} {'overhead KB':>12s} {'uses PC':>8s} "
+          f"{'speedup':>9s}  cost-effectiveness")
+    rows = []
+    for policy in POLICIES:
+        overall = (geomean(speedups[policy]) - 1) * 100
+        row = overheads.get(policy)
+        kib = row.kib if row else float("nan")
+        uses_pc = row.uses_pc if row else False
+        rows.append((policy, kib, uses_pc, overall))
+    for policy, kib, uses_pc, overall in sorted(rows, key=lambda r: r[1]):
+        efficiency = overall / kib if kib else 0.0
+        bar = "#" * max(0, int(efficiency * 20))
+        print(f"{policy:12s} {kib:12.2f} {'yes' if uses_pc else 'no':>8s} "
+              f"{overall:+8.2f}%  {bar}")
+
+    print("\nPC-based policies additionally require PC plumbing through the "
+          "whole pipeline and cache hierarchy — a cost Table I omits and "
+          "the paper argues is decisive (§I).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Figure-10-style comparison: IPC speedup over LRU across workloads.
+
+Sweeps a selection of SPEC-2006-like workload models under every evaluated
+replacement policy and prints per-workload speedups plus the suite geomean
+(the paper's Table IV quantity).
+
+Usage:
+    python examples/policy_comparison.py [workload ...]
+"""
+
+import sys
+
+from repro.eval import EvalConfig, compare_policies, geomean
+from repro.eval.reporting import format_speedup_series
+
+POLICIES = ["drrip", "kpc_r", "ship", "ship++", "hawkeye", "rlr", "rlr_unopt"]
+DEFAULT_WORKLOADS = [
+    "429.mcf",
+    "470.lbm",
+    "471.omnetpp",
+    "450.soplex",
+    "483.xalancbmk",
+    "403.gcc",
+]
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or DEFAULT_WORKLOADS
+    eval_config = EvalConfig(scale=16, trace_length=30_000, seed=7)
+
+    series = {}
+    for name in workloads:
+        trace = eval_config.trace(name)
+        results = compare_policies(eval_config, trace, ["lru"] + POLICIES)
+        baseline = results["lru"].single_ipc
+        series[name] = {
+            policy: results[policy].single_ipc / baseline for policy in POLICIES
+        }
+        print(f"finished {name}")
+
+    print()
+    print(format_speedup_series(series, POLICIES,
+                                title="IPC speedup over LRU (Figure 10 style)"))
+    print("\nsuite geomean:")
+    for policy in POLICIES:
+        overall = geomean(row[policy] for row in series.values())
+        print(f"  {policy:10s} {(overall - 1) * 100:+.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e .` works without the wheel package
+(this reproduction environment is offline).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Cache substrate: lines, sets, caches, and the 3-level hierarchy."""
+
+from repro.cache.block import CacheLine
+from repro.cache.cache import AccessResult, Cache
+from repro.cache.cache_set import CacheSet
+from repro.cache.config import CacheConfig, CoreConfig, HierarchyConfig
+from repro.cache.hierarchy import CacheHierarchy, L1, L2, LLC, MEMORY
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheSet",
+    "CacheStats",
+    "CoreConfig",
+    "HierarchyConfig",
+    "L1",
+    "L2",
+    "LLC",
+    "MEMORY",
+]

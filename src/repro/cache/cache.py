@@ -1,0 +1,178 @@
+"""Set-associative cache with pluggable replacement policy.
+
+The cache is purely functional (no timing); the hierarchy and timing model
+live in :mod:`repro.cache.hierarchy` and :mod:`repro.cpu`.  Observers can be
+attached to record the access stream (for Belady precomputation and the
+paper's Figure 4 analysis) and eviction events (Figures 5–7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cache_set import CacheSet
+from repro.cache.replacement.base import BYPASS
+from repro.cache.stats import CacheStats
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    bypassed: bool = False
+    evicted_line_address: int = -1
+    evicted_dirty: bool = False
+
+    @property
+    def has_writeback(self) -> bool:
+        """True if the access displaced a dirty line that must go downstream."""
+        return self.evicted_line_address >= 0 and self.evicted_dirty
+
+
+class Cache:
+    """A single cache level.
+
+    Args:
+        config: Cache geometry (:class:`repro.cache.config.CacheConfig`).
+        policy: A replacement policy instance; ``bind`` is called here.
+        allow_bypass: Honour :data:`BYPASS` returned by the policy.  When
+            False a bypass request falls back to LRU eviction.
+        detailed: Maintain the full Table II per-line metadata (ages, preuse,
+            per-type counts).  Needed at the LLC (RL features, analysis);
+            upper levels run with ``detailed=False`` for speed.
+    """
+
+    def __init__(
+        self, config, policy, allow_bypass: bool = False, detailed: bool = True
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.allow_bypass = allow_bypass
+        self.detailed = detailed
+        self.sets = [CacheSet(i, config.ways) for i in range(config.num_sets)]
+        self.stats = CacheStats()
+        self._seen_lines = set()
+        self.access_observers = []
+        self.eviction_observers = []
+
+    # -- observers --------------------------------------------------------
+
+    def add_access_observer(self, callback) -> None:
+        """``callback(access, hit)`` fires on every access to this cache."""
+        self.access_observers.append(callback)
+
+    def add_eviction_observer(self, callback) -> None:
+        """``callback(set_index, line, access)`` fires before each eviction."""
+        self.eviction_observers.append(callback)
+
+    # -- main entry point ---------------------------------------------------
+
+    def access(self, access) -> AccessResult:
+        """Look up ``access``; on a miss, allocate (evicting if needed)."""
+        set_index = self.config.set_index(access.line_address)
+        tag = self.config.tag(access.line_address)
+        cache_set = self.sets[set_index]
+
+        cache_set.begin_access(ages=self.detailed)
+        way = cache_set.find(tag)
+
+        if way is not None:
+            result = self._handle_hit(cache_set, way, access)
+        else:
+            result = self._handle_miss(cache_set, tag, access)
+
+        for callback in self.access_observers:
+            callback(access, result.hit)
+        return result
+
+    def _handle_hit(self, cache_set, way: int, access) -> AccessResult:
+        cache_set.record_hit()
+        line = cache_set.lines[way]
+        if self.detailed:
+            line.touch(access)
+        elif access.is_write:
+            line.dirty = True
+        cache_set.promote(way)
+        self.stats.record_hit(access.access_type)
+        self.policy.on_hit(cache_set.index, way, line, access)
+        return AccessResult(hit=True)
+
+    def _handle_miss(self, cache_set, tag: int, access) -> AccessResult:
+        cache_set.record_miss()
+        compulsory = access.line_address not in self._seen_lines
+        self._seen_lines.add(access.line_address)
+        self.stats.record_miss(access.access_type, compulsory=compulsory)
+        self.policy.on_miss(cache_set.index, access)
+
+        way = cache_set.free_way()
+        evicted_address, evicted_dirty = -1, False
+        if way is None:
+            way = self.policy.victim(cache_set.index, cache_set, access)
+            if way == BYPASS:
+                if self.allow_bypass:
+                    self.stats.bypasses += 1
+                    return AccessResult(hit=False, bypassed=True)
+                way = cache_set.lru_way()
+            victim_line = cache_set.lines[way]
+            for callback in self.eviction_observers:
+                callback(cache_set.index, victim_line, access)
+            self.policy.on_evict(cache_set.index, way, victim_line, access)
+            evicted_address = victim_line.line_address
+            evicted_dirty = victim_line.dirty
+            self.stats.evictions += 1
+            if evicted_dirty:
+                self.stats.dirty_evictions += 1
+
+        line = cache_set.lines[way]
+        # Promote BEFORE filling: promote shifts the other lines down based
+        # on the outgoing line's recency, keeping recencies a permutation.
+        cache_set.promote(way)
+        line.fill(tag, access.line_address, access)
+        line.recency = self.config.ways - 1
+        self.policy.on_fill(cache_set.index, way, line, access)
+        return AccessResult(
+            hit=False,
+            evicted_line_address=evicted_address,
+            evicted_dirty=evicted_dirty,
+        )
+
+    # -- inspection helpers -------------------------------------------------
+
+    def contains(self, line_address: int) -> bool:
+        """True if ``line_address`` is currently cached (no state change)."""
+        set_index = self.config.set_index(line_address)
+        tag = self.config.tag(line_address)
+        return self.sets[set_index].find(tag) is not None
+
+    def invalidate(self, line_address: int) -> bool:
+        """Drop ``line_address`` if present; returns whether it was cached."""
+        found, _ = self.invalidate_line(line_address)
+        return found
+
+    def invalidate_line(self, line_address: int):
+        """Drop ``line_address``; returns (was_present, was_dirty).
+
+        Used for back-invalidation in inclusive hierarchies, where a dirty
+        upper-level copy must be written back on invalidation.
+        """
+        set_index = self.config.set_index(line_address)
+        tag = self.config.tag(line_address)
+        way = self.sets[set_index].find(tag)
+        if way is None:
+            return False, False
+        line = self.sets[set_index].lines[way]
+        was_dirty = line.dirty
+        line.invalidate()
+        return True, was_dirty
+
+    def occupancy(self) -> float:
+        """Fraction of lines currently valid."""
+        valid = sum(
+            1 for cache_set in self.sets for line in cache_set.lines if line.valid
+        )
+        return valid / self.config.num_lines
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters (after warm-up)."""
+        self.stats.reset()

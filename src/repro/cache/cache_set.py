@@ -1,0 +1,85 @@
+"""A single cache set: ways plus the Table II set-level counters."""
+
+from __future__ import annotations
+
+from repro.cache.block import CacheLine
+
+
+class CacheSet:
+    """One set of a set-associative cache.
+
+    Maintains the set-level features the paper's RL agent consumes:
+    ``accesses`` (total set accesses), ``accesses_since_miss`` (reset on every
+    miss), and ``misses``; and keeps per-line ages/recency consistent.
+    """
+
+    __slots__ = ("index", "ways", "lines", "accesses", "accesses_since_miss", "misses")
+
+    def __init__(self, index: int, ways: int) -> None:
+        self.index = index
+        self.ways = ways
+        self.lines = [CacheLine() for _ in range(ways)]
+        self.accesses = 0
+        self.accesses_since_miss = 0
+        self.misses = 0
+
+    def find(self, tag: int):
+        """Return the way index holding ``tag``, or None."""
+        for way, line in enumerate(self.lines):
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    def free_way(self):
+        """Return the index of an invalid way, or None if the set is full."""
+        for way, line in enumerate(self.lines):
+            if not line.valid:
+                return way
+        return None
+
+    def begin_access(self, ages: bool = True) -> None:
+        """Account one set access: bump the set counter and all line ages.
+
+        ``ages=False`` skips the per-line age bookkeeping (used by upper
+        cache levels, which never read the Table II metadata).
+        """
+        self.accesses += 1
+        if not ages:
+            return
+        for line in self.lines:
+            if line.valid:
+                line.age_since_insertion += 1
+                line.age_since_last_access += 1
+
+    def record_hit(self) -> None:
+        self.accesses_since_miss += 1
+
+    def record_miss(self) -> None:
+        self.accesses_since_miss = 0
+        self.misses += 1
+
+    def promote(self, way: int) -> None:
+        """Make ``way`` the most recently used line (recency = ways-1).
+
+        Every line that was more recent than ``way`` shifts down by one, so
+        recency values remain a permutation of 0..ways-1 over valid lines.
+        """
+        old = self.lines[way].recency
+        for other in self.lines:
+            if other.valid and other.recency > old:
+                other.recency -= 1
+        self.lines[way].recency = self.ways - 1
+
+    def lru_way(self) -> int:
+        """Way index of the least recently used valid line."""
+        best_way = 0
+        best_recency = self.ways
+        for way, line in enumerate(self.lines):
+            if line.valid and line.recency < best_recency:
+                best_recency = line.recency
+                best_way = way
+        return best_way
+
+    def valid_ways(self):
+        """Indices of valid ways."""
+        return [way for way, line in enumerate(self.lines) if line.valid]

@@ -1,0 +1,126 @@
+"""Cache and hierarchy configuration objects.
+
+Defaults follow Table III of the paper (per-core): 32KB 8-way L1, 256KB 8-way
+L2, 2MB 16-way shared LLC, with a next-line prefetcher at L1 and an IP-stride
+prefetcher at L2.  A proportionally scaled-down configuration is provided for
+fast Python evaluation runs; set-associative behaviour is scale-free once the
+working-set/cache ratio is preserved (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.traces.record import LINE_SIZE
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of a single cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+    line_size: int = LINE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_size) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line_size = {self.ways * self.line_size}"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ValueError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.ways * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.num_sets * self.ways
+
+    def set_index(self, line_address: int) -> int:
+        """Map a line address to its set index."""
+        return line_address & (self.num_sets - 1)
+
+    def tag(self, line_address: int) -> int:
+        """Tag bits of a line address (everything above the set index)."""
+        return line_address >> (self.num_sets - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Full memory-hierarchy configuration (Table III)."""
+
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    llc: CacheConfig
+    memory_latency: int = 200
+    l1_prefetcher: str = "next_line"
+    l2_prefetcher: str = "ip_stride"
+    llc_prefetcher: str = "none"
+    num_cores: int = 1
+
+    @staticmethod
+    def paper(num_cores: int = 1) -> "HierarchyConfig":
+        """The exact Table III configuration (LLC is 2MB per core)."""
+        return HierarchyConfig(
+            l1i=CacheConfig("L1I", 32 * 1024, 8, latency=4),
+            l1d=CacheConfig("L1D", 32 * 1024, 8, latency=4),
+            l2=CacheConfig("L2", 256 * 1024, 8, latency=12),
+            llc=CacheConfig("LLC", 2 * 1024 * 1024 * num_cores, 16, latency=26),
+            memory_latency=200,
+            num_cores=num_cores,
+        )
+
+    @staticmethod
+    def scaled(
+        num_cores: int = 1, factor: int = 16, llc_ways: int = 16
+    ) -> "HierarchyConfig":
+        """Table III scaled down by ``factor`` for fast Python runs.
+
+        Associativities and latencies are preserved by default (the LLC
+        stays 16-way, so RLR's recency/priority machinery is exercised
+        identically); only the number of sets shrinks.  Workload models in
+        ``repro.eval.workloads`` scale their working sets by the same
+        factor.  ``llc_ways`` overrides the LLC associativity at constant
+        capacity for sensitivity studies.
+        """
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        return HierarchyConfig(
+            l1i=CacheConfig("L1I", 32 * 1024 // factor, 8, latency=4),
+            l1d=CacheConfig("L1D", 32 * 1024 // factor, 8, latency=4),
+            l2=CacheConfig("L2", 256 * 1024 // factor, 8, latency=12),
+            llc=CacheConfig(
+                "LLC", 2 * 1024 * 1024 * num_cores // factor, llc_ways, latency=26
+            ),
+            memory_latency=200,
+            num_cores=num_cores,
+        )
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Timing-model parameters for one core (Table III: 3-issue O3, 256 ROB).
+
+    The stall-based model charges ``instr_delta / issue_width`` cycles of
+    compute per access plus a fraction of the access latency, with deeper
+    misses overlapped less (``overlap`` approximates the memory-level
+    parallelism an O3 core with a 256-entry ROB extracts).
+    """
+
+    issue_width: int = 3
+    rob_size: int = 256
+    overlap: float = 0.3
+    writeback_stall_fraction: float = 0.0
+    prefetch_stall_fraction: float = 0.0

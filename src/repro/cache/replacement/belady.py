@@ -1,0 +1,89 @@
+"""Belady's OPT — the offline optimal replacement policy.
+
+Belady evicts the line whose next use lies farthest in the future (never-
+again-used lines first).  It needs the future LLC reference stream, which is
+independent of the LLC's own replacement policy in this hierarchy (upper
+levels never observe LLC state), so an exact two-pass simulation works:
+
+1. Run the workload once with any policy, recording the LLC access stream
+   (:func:`repro.eval.runner.record_llc_stream` does this).
+2. Construct :class:`BeladyPolicy` with that stream and run again.
+
+The policy counts LLC accesses itself (one ``on_hit`` or ``on_miss`` per
+access) to stay aligned with the recorded stream, and checks alignment as it
+goes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cache.replacement.base import BYPASS, ReplacementPolicy, register_policy
+
+#: Next-use position assigned to lines never used again.
+NEVER = float("inf")
+
+
+@register_policy
+class BeladyPolicy(ReplacementPolicy):
+    """Exact offline OPT over a pre-recorded LLC line-address stream."""
+
+    name = "belady"
+
+    def __init__(self, future_line_addresses=None, allow_bypass: bool = False) -> None:
+        super().__init__()
+        self.allow_bypass = allow_bypass
+        self._position = 0
+        self._occurrences = {}
+        if future_line_addresses is not None:
+            self.set_future(future_line_addresses)
+
+    def set_future(self, future_line_addresses) -> None:
+        """Load the upcoming LLC access stream (line addresses, in order)."""
+        occurrences = {}
+        for position, line_address in enumerate(future_line_addresses):
+            occurrences.setdefault(line_address, deque()).append(position)
+        self._occurrences = occurrences
+        self._position = 0
+
+    # -- stream alignment ----------------------------------------------------
+
+    def _advance(self, access) -> None:
+        queue = self._occurrences.get(access.line_address)
+        if queue is None or not queue or queue[0] != self._position:
+            raise RuntimeError(
+                "Belady stream misalignment at position "
+                f"{self._position}: the recorded stream does not match the "
+                "simulated one (did the hierarchy configuration change?)"
+            )
+        queue.popleft()
+        self._position += 1
+
+    def on_hit(self, set_index, way, line, access):
+        self._advance(access)
+
+    def on_miss(self, set_index, access):
+        self._advance(access)
+
+    def next_use(self, line_address: int):
+        """Position of the next access to ``line_address`` (NEVER if none)."""
+        queue = self._occurrences.get(line_address)
+        if not queue:
+            return NEVER
+        return queue[0]
+
+    def victim(self, set_index, cache_set, access):
+        farthest_way, farthest_use = 0, -1.0
+        for way in range(self.ways):
+            line = cache_set.lines[way]
+            if not line.valid:
+                continue
+            use = self.next_use(line.line_address)
+            if use == NEVER:
+                return way
+            if use > farthest_use:
+                farthest_use = use
+                farthest_way = way
+        if self.allow_bypass and self.next_use(access.line_address) > farthest_use:
+            return BYPASS
+        return farthest_way

@@ -1,0 +1,129 @@
+"""LIP / BIP / DIP — the classic insertion-policy family.
+
+Qureshi et al., "Adaptive Insertion Policies for High Performance Caching",
+ISCA 2007 (cited as [23] in the paper).  These policies keep the LRU
+*eviction* rule but change the *insertion* position:
+
+* LIP inserts every new line at the LRU position (thrash protection);
+* BIP inserts at LRU, promoting to MRU with a small probability epsilon;
+* DIP set-duels LRU-insertion (i.e. plain LRU) against BIP with a PSEL
+  counter, following the original's leader-set mechanism.
+
+They are the conceptual ancestors of the RRIP family and serve as reference
+points below DRRIP.  Each policy owns its recency stack (like the RRIP
+family owns its RRPVs), so insertion depth is fully under its control.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.cache.replacement.base import ReplacementPolicy, register_policy
+from repro.cache.replacement.rrip import interleaved_leader_sets
+
+
+class _InsertionLRUBase(ReplacementPolicy):
+    """LRU eviction over a policy-owned recency stack, pluggable insertion."""
+
+    def _post_bind(self):
+        # Initialize each stack as a permutation so promote/demote (which
+        # are permutation-preserving) never create ties.
+        self._recency = [list(range(self.ways)) for _ in range(self.num_sets)]
+
+    def _promote(self, set_index: int, way: int) -> None:
+        stack = self._recency[set_index]
+        old = stack[way]
+        for other in range(self.ways):
+            if stack[other] > old:
+                stack[other] -= 1
+        stack[way] = self.ways - 1
+
+    def _demote(self, set_index: int, way: int) -> None:
+        stack = self._recency[set_index]
+        old = stack[way]
+        for other in range(self.ways):
+            if stack[other] < old:
+                stack[other] += 1
+        stack[way] = 0
+
+    def _insert_at_mru(self, set_index: int, access) -> bool:
+        raise NotImplementedError
+
+    def on_hit(self, set_index, way, line, access):
+        self._promote(set_index, way)
+
+    def on_fill(self, set_index, way, line, access):
+        if self._insert_at_mru(set_index, access):
+            self._promote(set_index, way)
+        else:
+            self._demote(set_index, way)
+
+    def victim(self, set_index, cache_set, access):
+        stack = self._recency[set_index]
+        return min(cache_set.valid_ways(), key=lambda way: stack[way])
+
+    @classmethod
+    def overhead_bits(cls, config):
+        return config.num_lines * int(math.log2(config.ways))
+
+
+@register_policy
+class LIPPolicy(_InsertionLRUBase):
+    """LRU Insertion Policy: every fill lands at the LRU position."""
+
+    name = "lip"
+
+    def _insert_at_mru(self, set_index, access):
+        return False
+
+
+@register_policy
+class BIPPolicy(_InsertionLRUBase):
+    """Bimodal Insertion Policy: MRU insertion with probability 1/32."""
+
+    name = "bip"
+    MRU_PROBABILITY = 1 / 32
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def _insert_at_mru(self, set_index, access):
+        return self._rng.random() < self.MRU_PROBABILITY
+
+
+@register_policy
+class DIPPolicy(BIPPolicy):
+    """Dynamic Insertion Policy: set-duel LRU vs BIP (10-bit PSEL)."""
+
+    name = "dip"
+    PSEL_BITS = 10
+    LEADER_SETS = 32
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self._psel = 1 << (self.PSEL_BITS - 1)
+        self._psel_max = (1 << self.PSEL_BITS) - 1
+
+    def _post_bind(self):
+        super()._post_bind()
+        self._lru_leaders, self._bip_leaders = interleaved_leader_sets(
+            self.num_sets, self.LEADER_SETS
+        )
+
+    def on_miss(self, set_index, access):
+        if set_index in self._lru_leaders:
+            self._psel = min(self._psel + 1, self._psel_max)
+        elif set_index in self._bip_leaders:
+            self._psel = max(self._psel - 1, 0)
+
+    def _insert_at_mru(self, set_index, access):
+        if set_index in self._lru_leaders:
+            return True  # plain LRU behaviour: fills go to MRU
+        if set_index in self._bip_leaders:
+            return super()._insert_at_mru(set_index, access)
+        lru_wins = self._psel < (1 << (self.PSEL_BITS - 1))
+        if lru_wins:
+            return True
+        return super()._insert_at_mru(set_index, access)

@@ -1,0 +1,119 @@
+"""EVA — Economic Value Added replacement (Beckmann & Sanchez, HPCA 2017).
+
+EVA ranks lines by the difference between their expected future hits and the
+opportunity cost of the cache space they will occupy, as a function of age
+(set accesses since last reference).  Per-age hit and eviction counters are
+collected online; periodically the EVA-vs-age curve is recomputed with the
+backward recursion from the paper:
+
+    EVA(a) = [ H(a) - g * L(a) ] / N(a)
+
+where, over events (hits or evictions) occurring at age >= a, ``N`` counts
+events, ``H`` counts hits, ``L`` sums remaining lifetimes, and
+``g = total_hits / total_lifetime`` is the cache's average hit rate per
+line-access of occupancy.  The victim is the line whose age has the lowest
+EVA.  This implementation omits the paper's reused/non-reused classification
+split (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import ReplacementPolicy, register_policy
+
+
+@register_policy
+class EVAPolicy(ReplacementPolicy):
+    """Age-based EVA replacement with periodic curve recomputation."""
+
+    name = "eva"
+    MAX_AGE = 256
+    UPDATE_INTERVAL = 8192  # events between curve recomputations
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._hit_counts = [0] * (self.MAX_AGE + 1)
+        self._evict_counts = [0] * (self.MAX_AGE + 1)
+        self._eva = [0.0] * (self.MAX_AGE + 1)
+        self._events = 0
+
+    def _post_bind(self):
+        self._age = [[0] * self.ways for _ in range(self.num_sets)]
+        # Default curve: prefer evicting older lines until data arrives.
+        self._eva = [-float(age) for age in range(self.MAX_AGE + 1)]
+
+    def _bounded_age(self, set_index: int, way: int) -> int:
+        return min(self._age[set_index][way], self.MAX_AGE)
+
+    def _record_event(self, age: int, hit: bool) -> None:
+        age = min(age, self.MAX_AGE)
+        if hit:
+            self._hit_counts[age] += 1
+        else:
+            self._evict_counts[age] += 1
+        self._events += 1
+        if self._events % self.UPDATE_INTERVAL == 0:
+            self._recompute()
+
+    def _recompute(self) -> None:
+        events = [
+            self._hit_counts[a] + self._evict_counts[a]
+            for a in range(self.MAX_AGE + 1)
+        ]
+        total_events = sum(events)
+        if total_events == 0:
+            return
+        total_hits = sum(self._hit_counts)
+        total_lifetime = sum(age * count for age, count in enumerate(events))
+        if total_lifetime == 0:
+            return
+        hit_rate_per_access = total_hits / total_lifetime
+        # Backward suffix sums: N(a), H(a), L(a).
+        remaining_events = 0
+        remaining_hits = 0
+        remaining_lifetime = 0
+        for age in range(self.MAX_AGE, -1, -1):
+            remaining_events += events[age]
+            remaining_hits += self._hit_counts[age]
+            # Events at age b >= a have (b - a) accesses of life left;
+            # incrementing by remaining_events per step accumulates that sum.
+            if age < self.MAX_AGE:
+                remaining_lifetime += remaining_events
+            if remaining_events:
+                self._eva[age] = (
+                    remaining_hits - hit_rate_per_access * remaining_lifetime
+                ) / remaining_events
+            else:
+                self._eva[age] = 0.0
+        # Decay counters so the curve adapts to phase changes.
+        self._hit_counts = [count // 2 for count in self._hit_counts]
+        self._evict_counts = [count // 2 for count in self._evict_counts]
+
+    def _tick_set(self, set_index: int) -> None:
+        ages = self._age[set_index]
+        for way in range(self.ways):
+            ages[way] += 1
+
+    def on_hit(self, set_index, way, line, access):
+        self._tick_set(set_index)
+        self._record_event(self._bounded_age(set_index, way), hit=True)
+        self._age[set_index][way] = 0
+
+    def on_miss(self, set_index, access):
+        self._tick_set(set_index)
+
+    def on_fill(self, set_index, way, line, access):
+        self._age[set_index][way] = 0
+
+    def on_evict(self, set_index, way, line, access):
+        self._record_event(self._bounded_age(set_index, way), hit=False)
+
+    def victim(self, set_index, cache_set, access):
+        return min(
+            (way for way in range(self.ways) if cache_set.lines[way].valid),
+            key=lambda way: self._eva[self._bounded_age(set_index, way)],
+        )
+
+    @classmethod
+    def overhead_bits(cls, config):
+        # Per-line age plus the per-age counter arrays.
+        return config.num_lines * 8 + 2 * (cls.MAX_AGE + 1) * 16

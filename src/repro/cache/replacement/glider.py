@@ -1,0 +1,182 @@
+"""Glider — ISVM-based replacement (Shi, Huang, Jain & Lin, MICRO 2019).
+
+Cited as [24] and discussed in the paper's related work: an offline
+attention LSTM showed that a program's *control-flow history* (an unordered
+set of recent PCs) predicts reuse; the hardware distillation is an Integer
+Support Vector Machine per PC over a PC History Register (PCHR), trained
+online against OPTgen outcomes (the same oracle reconstruction Hawkeye
+uses).
+
+Hardware structures implemented here, following the publication:
+
+* PCHR — the last ``HISTORY`` PC hashes observed at the LLC;
+* ISVM table — per (hashed) PC, 16 integer weights; a prediction gathers
+  one weight per PCHR entry (indexed by a 4-bit hash) and sums them;
+* OPTgen on sampled sets produces the training signal;
+* the replacement side mirrors Hawkeye: predicted-averse lines are evicted
+  first, friendly lines age like RRIP.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cache.replacement.base import ReplacementPolicy, register_policy
+from repro.cache.replacement.hawkeye import _OPTgen
+
+HISTORY = 5  #: PCHR depth (the publication's default)
+ISVM_TABLES = 2048  #: number of per-PC weight tables
+ISVM_WEIGHTS = 16  #: weights per table (4-bit index from each history PC)
+WEIGHT_MIN, WEIGHT_MAX = -8, 7  #: 4-bit signed saturating weights
+#: Prediction threshold: sum >= 0 => cache-friendly.
+PREDICT_THRESHOLD = 0
+#: Stop strengthening weights once the margin is comfortable (the
+#: publication's "training threshold" trick to avoid saturation).
+TRAIN_THRESHOLD = 30
+MAX_RRPV = 7
+
+
+def _pc_hash(pc: int) -> int:
+    return (pc ^ (pc >> 13) ^ (pc >> 26)) & (ISVM_TABLES - 1)
+
+
+def _weight_index(history_pc: int) -> int:
+    return (history_pc ^ (history_pc >> 4)) & (ISVM_WEIGHTS - 1)
+
+
+class ISVMTable:
+    """The per-PC integer-SVM weight tables."""
+
+    def __init__(self) -> None:
+        self._weights = [[0] * ISVM_WEIGHTS for _ in range(ISVM_TABLES)]
+
+    def _row(self, pc_hash: int) -> list:
+        return self._weights[pc_hash]
+
+    def predict(self, pc_hash: int, history) -> int:
+        """Margin of the (pc, history) sample: sum of gathered weights."""
+        row = self._row(pc_hash)
+        return sum(row[_weight_index(entry)] for entry in history)
+
+    def train(self, pc_hash: int, history, positive: bool) -> None:
+        """Push the margin toward the OPTgen outcome (saturating)."""
+        margin = self.predict(pc_hash, history)
+        if positive and margin >= TRAIN_THRESHOLD:
+            return  # confident enough; avoid weight saturation
+        if not positive and margin <= -TRAIN_THRESHOLD:
+            return
+        row = self._row(pc_hash)
+        step = 1 if positive else -1
+        for entry in history:
+            index = _weight_index(entry)
+            row[index] = max(WEIGHT_MIN, min(WEIGHT_MAX, row[index] + step))
+
+
+@register_policy
+class GliderPolicy(ReplacementPolicy):
+    """Glider: OPTgen-trained ISVM over PC history.
+
+    Overhead (Table I): the paper reports 61.6KB for a 16-way 2MB cache
+    (ISVM tables dominate: 2048 tables x 16 weights x 4 bits = 16KB, plus
+    per-line state and the sampler).
+    """
+
+    name = "glider"
+    uses_pc = True
+    SAMPLED_SETS = 64
+
+    def _post_bind(self):
+        self._rrpv = [[MAX_RRPV] * self.ways for _ in range(self.num_sets)]
+        self._friendly = [[False] * self.ways for _ in range(self.num_sets)]
+        self._line_pc = [[0] * self.ways for _ in range(self.num_sets)]
+        self._line_history = [
+            [()] * self.ways for _ in range(self.num_sets)
+        ]
+        self._isvm = ISVMTable()
+        self._pchr = deque(maxlen=HISTORY)
+        stride = max(1, self.num_sets // self.SAMPLED_SETS)
+        self._optgen = {
+            set_index: _OPTgen(self.ways)
+            for set_index in range(0, self.num_sets, stride)
+        }
+        # Sampled (pc, history) snapshots per outstanding line address.
+        self._samples = {}
+
+    # -- history + sampling ---------------------------------------------------
+
+    def _observe(self, set_index: int, access) -> None:
+        if not access.access_type.is_demand:
+            return
+        pc_hash = _pc_hash(access.pc)
+        history = tuple(self._pchr)
+        optgen = self._optgen.get(set_index)
+        if optgen is not None:
+            outcome = optgen.access(access.line_address, pc_hash)
+            previous = self._samples.get((set_index, access.line_address))
+            if outcome is not None and previous is not None:
+                trained_pc, opt_hit = outcome
+                _, sample_history = previous
+                self._isvm.train(trained_pc, sample_history, positive=opt_hit)
+            self._samples[(set_index, access.line_address)] = (pc_hash, history)
+            if len(self._samples) > 8 * self.ways * len(self._optgen):
+                self._samples.pop(next(iter(self._samples)))
+        self._pchr.append(pc_hash)
+
+    def _predict_friendly(self, pc_hash: int, history) -> bool:
+        return self._isvm.predict(pc_hash, history) >= PREDICT_THRESHOLD
+
+    # -- replacement state ------------------------------------------------------
+
+    def _insert(self, set_index: int, way: int, access) -> None:
+        pc_hash = _pc_hash(access.pc)
+        history = tuple(self._pchr)
+        self._line_pc[set_index][way] = pc_hash
+        self._line_history[set_index][way] = history
+        if self._predict_friendly(pc_hash, history):
+            self._friendly[set_index][way] = True
+            self._rrpv[set_index][way] = 0
+            for other in range(self.ways):
+                if other != way and self._friendly[set_index][other]:
+                    self._rrpv[set_index][other] = min(
+                        self._rrpv[set_index][other] + 1, MAX_RRPV - 1
+                    )
+        else:
+            self._friendly[set_index][way] = False
+            self._rrpv[set_index][way] = MAX_RRPV
+
+    def on_hit(self, set_index, way, line, access):
+        self._observe(set_index, access)
+        self._insert(set_index, way, access)
+
+    def on_miss(self, set_index, access):
+        self._observe(set_index, access)
+
+    def on_fill(self, set_index, way, line, access):
+        self._insert(set_index, way, access)
+
+    def victim(self, set_index, cache_set, access):
+        rrpv = self._rrpv[set_index]
+        for way in range(self.ways):
+            if cache_set.lines[way].valid and rrpv[way] == MAX_RRPV:
+                return way
+        victim_way = max(
+            (way for way in range(self.ways) if cache_set.lines[way].valid),
+            key=lambda way: rrpv[way],
+        )
+        # Evicting a predicted-friendly line: detrain its ISVM sample.
+        self._isvm.train(
+            self._line_pc[set_index][victim_way],
+            self._line_history[set_index][victim_way],
+            positive=False,
+        )
+        return victim_way
+
+    @classmethod
+    def overhead_bits(cls, config):
+        isvm = ISVM_TABLES * ISVM_WEIGHTS * 4  # 16KB
+        per_line = 3 + 1  # RRIP value + friendly bit: 16KB @ 2MB/16-way
+        # Sampler snapshots: pc hash + the history's 4-bit weight indices
+        # (all the training step consumes) per sampled entry.
+        sampler_entries = cls.SAMPLED_SETS * config.ways * 8
+        sampler = sampler_entries * (11 + HISTORY * 4)
+        return isvm + config.num_lines * per_line + sampler + HISTORY * 11

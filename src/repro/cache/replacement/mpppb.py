@@ -1,0 +1,138 @@
+"""MPPPB — Multiperspective reuse prediction (Jimenez & Teran, MICRO 2017).
+
+Cited as [14] in the paper (28KB, PC-based).  The idea: predict whether an
+incoming/probed line is dead by summing small saturating weights gathered
+from SEVERAL feature tables ("perspectives") — PC hashes over different
+shifts, the address offset, the last access type — perceptron-style, and
+train the weights on observed outcomes (reuse = alive, eviction without
+reuse = dead).
+
+This is a faithful reduced implementation: the original uses more
+perspectives and a sampler; the perceptron machinery, multi-feature
+indexing, threshold training, and dead-on-arrival insertion/eviction
+behaviour are all preserved.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import ReplacementPolicy, register_policy
+from repro.traces.record import AccessType
+
+TABLE_SIZE = 2048
+WEIGHT_MIN, WEIGHT_MAX = -32, 31  #: 6-bit saturating weights
+#: Prediction: sum >= threshold => predicted dead (bypass/evict-first).
+DEAD_THRESHOLD = 8
+#: Train only while the margin is small (perceptron training rule).
+TRAIN_MARGIN = 40
+MAX_RRPV = 3
+
+
+def _mask(value: int) -> int:
+    return value & (TABLE_SIZE - 1)
+
+
+def _features(access) -> tuple:
+    """One table index per perspective."""
+    pc = access.pc
+    return (
+        _mask(pc ^ (pc >> 11)),  # PC
+        _mask((pc >> 2) ^ (pc >> 15)),  # shifted PC
+        _mask(access.line_address),  # low line-address bits
+        _mask((access.line_address >> 7) ^ pc),  # region x PC
+        _mask(access.address & 63),  # intra-line offset
+        _mask(int(access.access_type) * 521),  # access type
+    )
+
+
+class _Perceptron:
+    """Per-perspective weight tables with summed prediction."""
+
+    def __init__(self, num_features: int) -> None:
+        self._tables = [[0] * TABLE_SIZE for _ in range(num_features)]
+
+    def margin(self, indices) -> int:
+        return sum(
+            table[index] for table, index in zip(self._tables, indices)
+        )
+
+    def train(self, indices, dead: bool) -> None:
+        margin = self.margin(indices)
+        if dead and margin >= TRAIN_MARGIN:
+            return
+        if not dead and margin <= -TRAIN_MARGIN:
+            return
+        step = 1 if dead else -1
+        for table, index in zip(self._tables, indices):
+            table[index] = max(WEIGHT_MIN, min(WEIGHT_MAX, table[index] + step))
+
+
+@register_policy
+class MPPPBPolicy(ReplacementPolicy):
+    """Multiperspective placement/promotion/bypass (reduced).
+
+    Overhead (Table I): the paper reports 28KB for a 16-way 2MB cache; six
+    2048-entry 6-bit tables plus 2-bit RRPVs land in that neighbourhood.
+    """
+
+    name = "mpppb"
+    uses_pc = True
+
+    def _post_bind(self):
+        self._rrpv = [[MAX_RRPV] * self.ways for _ in range(self.num_sets)]
+        self._perceptron = _Perceptron(len(_features_probe()))
+        self._line_features = [
+            [None] * self.ways for _ in range(self.num_sets)
+        ]
+        self._reused = [[False] * self.ways for _ in range(self.num_sets)]
+
+    def on_hit(self, set_index, way, line, access):
+        # The line proved alive: train its insertion sample toward "alive".
+        sample = self._line_features[set_index][way]
+        if sample is not None and not self._reused[set_index][way]:
+            self._perceptron.train(sample, dead=False)
+            self._reused[set_index][way] = True
+        if access.access_type == AccessType.PREFETCH:
+            self._rrpv[set_index][way] = min(self._rrpv[set_index][way], 1)
+        else:
+            self._rrpv[set_index][way] = 0
+        # Re-sample on the hit so the next interval trains too.
+        self._line_features[set_index][way] = _features(access)
+        self._reused[set_index][way] = False
+
+    def on_evict(self, set_index, way, line, access):
+        sample = self._line_features[set_index][way]
+        if sample is not None and not self._reused[set_index][way]:
+            self._perceptron.train(sample, dead=True)
+
+    def on_fill(self, set_index, way, line, access):
+        sample = _features(access)
+        self._line_features[set_index][way] = sample
+        self._reused[set_index][way] = False
+        if self._perceptron.margin(sample) >= DEAD_THRESHOLD:
+            self._rrpv[set_index][way] = MAX_RRPV  # predicted dead
+        elif access.access_type == AccessType.WRITEBACK:
+            self._rrpv[set_index][way] = MAX_RRPV
+        else:
+            self._rrpv[set_index][way] = MAX_RRPV - 1
+
+    def victim(self, set_index, cache_set, access):
+        rrpv = self._rrpv[set_index]
+        while True:
+            for way in range(self.ways):
+                if cache_set.lines[way].valid and rrpv[way] == MAX_RRPV:
+                    return way
+            for way in range(self.ways):
+                if cache_set.lines[way].valid:
+                    rrpv[way] += 1
+
+    @classmethod
+    def overhead_bits(cls, config):
+        tables = len(_features_probe()) * TABLE_SIZE * 6
+        return config.num_lines * 2 + tables
+
+
+def _features_probe() -> tuple:
+    """Feature tuple arity (used for table allocation)."""
+    from repro.traces.record import TraceRecord
+
+    return _features(TraceRecord(address=0))

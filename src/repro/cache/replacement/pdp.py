@@ -1,0 +1,101 @@
+"""PDP — Protecting Distance based Policy (Duong et al., MICRO 2012).
+
+Lines are *protected* until the number of set accesses since their insertion
+or last access reaches the Protecting Distance (PD).  On a miss, an
+unprotected line is evicted; if all lines are protected, the line with the
+largest age is evicted (or the access bypasses, if enabled).  PD is
+recomputed periodically from a reuse-distance histogram by maximising the
+PDP paper's hit-rate-per-occupancy estimate
+
+    E(PD) = sum_{d <= PD} h(d) / (PD + d_e)
+
+where ``h`` is the observed reuse-distance histogram and ``d_e`` the mean
+distance of accesses beyond PD (we use the simplified single-term estimator;
+the paper uses a small search processor for the same computation).
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import BYPASS, ReplacementPolicy, register_policy
+
+
+@register_policy
+class PDPPolicy(ReplacementPolicy):
+    """Protecting-distance replacement with periodic PD recomputation."""
+
+    name = "pdp"
+    needs_line_metadata = True  # reads line.preuse for the RD histogram
+    MAX_DISTANCE = 256
+    RECOMPUTE_INTERVAL = 4096  # demand accesses between PD searches
+
+    def __init__(self, enable_bypass: bool = False) -> None:
+        super().__init__()
+        self.enable_bypass = enable_bypass
+        self.protecting_distance = 64
+        self._histogram = [0] * (self.MAX_DISTANCE + 1)
+        self._accesses = 0
+
+    def _post_bind(self):
+        # Per-line age in set accesses since insertion/last access.
+        self._age = [[0] * self.ways for _ in range(self.num_sets)]
+
+    def _record_reuse(self, distance: int) -> None:
+        self._histogram[min(distance, self.MAX_DISTANCE)] += 1
+        self._accesses += 1
+        if self._accesses % self.RECOMPUTE_INTERVAL == 0:
+            self._recompute_pd()
+
+    def _recompute_pd(self) -> None:
+        total = sum(self._histogram)
+        if total == 0:
+            return
+        best_pd, best_value = self.protecting_distance, -1.0
+        cumulative_hits = 0
+        for pd in range(1, self.MAX_DISTANCE + 1):
+            cumulative_hits += self._histogram[pd]
+            value = cumulative_hits / (pd + 1)
+            if value > best_value:
+                best_value = value
+                best_pd = pd
+        self.protecting_distance = best_pd
+        # Exponential decay so PD tracks phase changes.
+        self._histogram = [count // 2 for count in self._histogram]
+
+    def _tick_set(self, set_index: int) -> None:
+        ages = self._age[set_index]
+        for way in range(self.ways):
+            ages[way] += 1
+
+    def on_hit(self, set_index, way, line, access):
+        self._tick_set(set_index)
+        if access.access_type.is_demand:
+            # line.preuse was just updated by the cache with the distance.
+            self._record_reuse(line.preuse)
+        self._age[set_index][way] = 0
+
+    def on_miss(self, set_index, access):
+        self._tick_set(set_index)
+
+    def on_fill(self, set_index, way, line, access):
+        self._age[set_index][way] = 0
+
+    def victim(self, set_index, cache_set, access):
+        ages = self._age[set_index]
+        unprotected = [
+            way
+            for way in range(self.ways)
+            if cache_set.lines[way].valid and ages[way] >= self.protecting_distance
+        ]
+        if unprotected:
+            return max(unprotected, key=lambda way: ages[way])
+        if self.enable_bypass:
+            return BYPASS
+        return max(
+            (way for way in range(self.ways) if cache_set.lines[way].valid),
+            key=lambda way: ages[way],
+        )
+
+    @classmethod
+    def overhead_bits(cls, config):
+        # 8-bit age per line plus the PD register and histogram logic.
+        return config.num_lines * 8 + 8 + cls.MAX_DISTANCE * 16

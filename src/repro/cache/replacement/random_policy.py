@@ -1,0 +1,21 @@
+"""Random replacement — the zero-state reference point."""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache.replacement.base import ReplacementPolicy, register_policy
+
+
+@register_policy
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random valid way (seeded, so runs are repeatable)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def victim(self, set_index, cache_set, access):
+        return self._rng.choice(cache_set.valid_ways())

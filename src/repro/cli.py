@@ -1,0 +1,358 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``list``      — available workload models and replacement policies
+* ``simulate``  — one workload under one policy, full result summary
+* ``compare``   — one workload under several policies (+ optional Belady)
+* ``sweep``     — a whole suite, Figure-10-style speedup table + geomean
+* ``mpki``      — Figure-12-style demand-MPKI table
+* ``mix``       — a 4-core workload mix (Figure 13 / §IV-D)
+* ``table1``    — the hardware-overhead table
+* ``train``     — train an RL agent on a workload (optionally save it)
+* ``hillclimb`` — §III-B greedy feature selection
+* ``trace``     — generate a workload trace and write it to a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cache.replacement import POLICY_REGISTRY
+from repro.eval.metrics import geomean, mix_speedup, speedup_percent
+from repro.eval.reporting import format_speedup_series, format_table
+from repro.eval.runner import _prepared, compare_policies, replay, run_workload
+from repro.eval.workloads import EvalConfig, suite_names
+from repro.traces.spec_models import ALL_WORKLOADS
+
+
+def _add_eval_arguments(parser) -> None:
+    parser.add_argument("--scale", type=int, default=16,
+                        help="divide Table III cache sizes by this (default 16)")
+    parser.add_argument("--length", type=int, default=30_000,
+                        help="trace length in memory references")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _eval_config(args) -> EvalConfig:
+    return EvalConfig(scale=args.scale, trace_length=args.length, seed=args.seed)
+
+
+def _policies_argument(parser, default) -> None:
+    parser.add_argument("--policies", nargs="+", default=list(default),
+                        help="replacement policies to evaluate")
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def cmd_list(args) -> int:
+    print("workload models:")
+    for suite in ("spec2006", "cloudsuite"):
+        print(f"  [{suite}]")
+        for name in suite_names(suite):
+            spec = ALL_WORKLOADS[name]
+            patterns = "+".join(p.kind for p in spec.patterns)
+            print(f"    {name:18s} {patterns}")
+    print("\nreplacement policies:")
+    for name in sorted(POLICY_REGISTRY):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    eval_config = _eval_config(args)
+    trace = eval_config.trace(args.workload)
+    result = run_workload(eval_config, trace, args.policy)
+    print(f"workload: {args.workload}   policy: {args.policy}")
+    print(f"  IPC:             {result.single_ipc:.4f}")
+    print(f"  LLC hit rate:    {100 * result.llc_hit_rate:.2f}%")
+    print(f"  demand hit rate: {100 * result.llc_demand_hit_rate:.2f}%")
+    print(f"  demand MPKI:     {result.demand_mpki:.2f}")
+    for key in ("accesses", "hits", "misses", "evictions", "dirty_evictions"):
+        print(f"  llc {key}: {result.llc_stats[key]}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    eval_config = _eval_config(args)
+    trace = eval_config.trace(args.workload)
+    results = compare_policies(
+        eval_config, trace, args.policies, include_belady=args.belady
+    )
+    baseline_name = args.policies[0]
+    baseline = results[baseline_name].single_ipc
+    rows = []
+    for name, result in results.items():
+        rows.append({
+            "policy": name,
+            "ipc": round(result.single_ipc, 4),
+            "hit%": round(100 * result.llc_hit_rate, 2),
+            "mpki": round(result.demand_mpki, 2),
+            f"vs {baseline_name}": f"{speedup_percent(result.single_ipc, baseline):+.2f}%",
+        })
+    print(format_table(
+        rows, headers=["policy", "ipc", "hit%", "mpki", f"vs {baseline_name}"],
+        title=f"{args.workload} ({len(trace)} references)",
+    ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    eval_config = _eval_config(args)
+    series = {}
+    for name in suite_names(args.suite):
+        trace = eval_config.trace(name)
+        results = compare_policies(eval_config, trace, ["lru"] + args.policies)
+        baseline = results["lru"].single_ipc
+        series[name] = {
+            policy: results[policy].single_ipc / baseline
+            for policy in args.policies
+        }
+        print(f"finished {name}", file=sys.stderr)
+    print(format_speedup_series(series, args.policies,
+                                title=f"IPC speedup over LRU ({args.suite})"))
+    print("\nsuite geomean:")
+    for policy in args.policies:
+        overall = geomean(row[policy] for row in series.values())
+        print(f"  {policy:10s} {(overall - 1) * 100:+.2f}%")
+    return 0
+
+
+def cmd_mpki(args) -> int:
+    from repro.eval.experiments import mpki_comparison
+
+    eval_config = _eval_config(args)
+    results = mpki_comparison(
+        eval_config, policies=tuple(args.policies), min_mpki=args.min_mpki,
+        suite=args.suite,
+    )
+    policies = ["lru"] + args.policies
+    rows = [
+        {"workload": workload, **{p: round(row[p], 2) for p in policies}}
+        for workload, row in results.items()
+    ]
+    print(format_table(rows, headers=["workload"] + policies,
+                       title=f"demand MPKI (LRU MPKI > {args.min_mpki})"))
+    return 0
+
+
+def cmd_mix(args) -> int:
+    eval_config = _eval_config(args)
+    trace = eval_config.mix_trace(args.workloads)
+    baseline = run_workload(eval_config, trace, "lru", num_cores=len(args.workloads))
+    print(f"mix: {trace.name}")
+    print(f"LRU per-core IPC: {[round(v, 3) for v in baseline.ipc]}")
+    for policy in args.policies:
+        result = run_workload(
+            eval_config, trace, policy, num_cores=len(args.workloads)
+        )
+        speedup = mix_speedup(result.ipc, baseline.ipc)
+        print(f"  {policy:10s} mix speedup {100 * (speedup - 1):+.2f}%")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.eval.experiments import table1_overhead
+
+    rows = [
+        {
+            "policy": row.policy,
+            "uses_pc": "Yes" if row.uses_pc else "No",
+            "kib": round(row.kib, 2),
+            "paper_kib": row.paper_kib,
+        }
+        for row in table1_overhead()
+    ]
+    print(format_table(rows, headers=["policy", "uses_pc", "kib", "paper_kib"],
+                       title="Table I — storage overhead, 16-way 2MB LLC"))
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.rl import (
+        AgentReplacementPolicy,
+        TrainerConfig,
+        feature_importance,
+        train_on_stream,
+    )
+    from repro.rl.trainer import save_agent
+
+    eval_config = _eval_config(args)
+    trace = eval_config.trace(args.workload)
+    prepared = _prepared(eval_config, trace, 1, None)
+    config = TrainerConfig(
+        hidden_size=args.hidden, epochs=args.epochs, seed=args.seed
+    )
+    print(f"training on {args.workload} "
+          f"({len(prepared.llc_records)} LLC accesses) ...", file=sys.stderr)
+    trained = train_on_stream(prepared.llc_config, prepared.llc_records, config)
+
+    adapter = AgentReplacementPolicy(trained.agent, trained.extractor, train=False)
+    rl_result = replay(prepared, adapter, detailed=True)
+    lru_result = replay(prepared, "lru")
+    print(f"LLC hit rate: agent {100 * rl_result.llc_hit_rate:.2f}% "
+          f"vs LRU {100 * lru_result.llc_hit_rate:.2f}%")
+    print("top features by |weight|:")
+    importances = feature_importance(trained.agent.network, trained.extractor)
+    for name, value in sorted(importances.items(), key=lambda kv: -kv[1])[:8]:
+        print(f"  {name:26s} {value:.4f}")
+    if args.save:
+        save_agent(trained, args.save)
+        print(f"agent saved to {args.save}")
+    return 0
+
+
+def cmd_hillclimb(args) -> int:
+    from repro.rl.hill_climbing import hill_climb
+    from repro.rl.trainer import TrainerConfig, llc_stream_records
+
+    eval_config = _eval_config(args)
+    llc_config = eval_config.hierarchy(num_cores=1).llc
+    stream = llc_stream_records(eval_config, args.workload)[: args.budget]
+    config = TrainerConfig(
+        hidden_size=16, epochs=1, max_records=args.budget, seed=args.seed
+    )
+    result = hill_climb(
+        llc_config, [stream], config=config, max_features=args.max_features
+    )
+    for step in result.steps:
+        print(f"+ {step.added_feature:24s} -> hit rate {step.score:.3f}")
+    print(f"selected: {result.selected}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.eval.report import write_report
+
+    eval_config = _eval_config(args)
+    write_report(
+        args.output,
+        eval_config,
+        include_multicore=args.multicore,
+        num_mixes=args.mixes,
+    )
+    print(f"report written to {args.output}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.traces.trace_io import save_trace
+
+    eval_config = _eval_config(args)
+    trace = eval_config.trace(args.workload)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} records ({trace.instruction_count} "
+          f"instructions) to {args.output}")
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RLR cache-replacement reproduction (HPCA 2021)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list workloads and policies")
+
+    simulate = commands.add_parser("simulate", help="run one workload/policy")
+    simulate.add_argument("workload")
+    simulate.add_argument("--policy", default="rlr")
+    _add_eval_arguments(simulate)
+
+    compare = commands.add_parser("compare", help="compare policies on a workload")
+    compare.add_argument("workload")
+    _policies_argument(compare, ("lru", "drrip", "ship++", "rlr"))
+    compare.add_argument("--belady", action="store_true",
+                         help="include the offline-optimal policy")
+    _add_eval_arguments(compare)
+
+    sweep = commands.add_parser("sweep", help="sweep a whole suite")
+    sweep.add_argument("--suite", choices=("spec2006", "cloudsuite"),
+                       default="spec2006")
+    _policies_argument(sweep, ("drrip", "ship++", "rlr"))
+    _add_eval_arguments(sweep)
+
+    mpki = commands.add_parser("mpki", help="Figure-12-style MPKI table")
+    mpki.add_argument("--suite", choices=("spec2006", "cloudsuite"),
+                      default="spec2006")
+    mpki.add_argument("--min-mpki", type=float, default=3.0)
+    _policies_argument(mpki, ("drrip", "rlr"))
+    _add_eval_arguments(mpki)
+
+    mix = commands.add_parser("mix", help="run a multicore workload mix")
+    mix.add_argument("workloads", nargs=4, metavar="WORKLOAD")
+    _policies_argument(mix, ("drrip", "rlr"))
+    _add_eval_arguments(mix)
+
+    commands.add_parser("table1", help="hardware-overhead table")
+
+    train = commands.add_parser("train", help="train an RL agent")
+    train.add_argument("workload")
+    train.add_argument("--hidden", type=int, default=64)
+    train.add_argument("--epochs", type=int, default=1)
+    train.add_argument("--save", help="save the trained agent to this .npz")
+    _add_eval_arguments(train)
+
+    hillclimb = commands.add_parser("hillclimb", help="feature selection")
+    hillclimb.add_argument("workload")
+    hillclimb.add_argument("--budget", type=int, default=4000,
+                           help="LLC accesses per training run")
+    hillclimb.add_argument("--max-features", type=int, default=4)
+    _add_eval_arguments(hillclimb)
+
+    trace = commands.add_parser("trace", help="generate and save a trace")
+    trace.add_argument("workload")
+    trace.add_argument("output")
+    _add_eval_arguments(trace)
+
+    report = commands.add_parser("report", help="write a full markdown report")
+    report.add_argument("output")
+    report.add_argument("--multicore", action="store_true")
+    report.add_argument("--mixes", type=int, default=3)
+    _add_eval_arguments(report)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "simulate": cmd_simulate,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "mpki": cmd_mpki,
+    "mix": cmd_mix,
+    "table1": cmd_table1,
+    "train": cmd_train,
+    "hillclimb": cmd_hillclimb,
+    "trace": cmd_trace,
+    "report": cmd_report,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except ValueError as error:
+        # Bad user input (unknown workload/policy, invalid config): print
+        # the message, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""RLR priority computation (paper §IV-A, Figure 8).
+
+Each line's priority is a weighted sum
+
+    P_line = 8 * P_age + P_type + P_hit        (+ P_core on multicore)
+
+with P_age in {0, 1} (1 while the line's age is below the estimated reuse
+distance RD), P_type in {0, 1} (0 if the last access was a prefetch), and
+P_hit in {0, 1} (1 once the line has been hit).  The weight 8 comes from the
+paper's hill-climbing analysis (preuse distance dominates; 8 = one 3-bit left
+shift in hardware).  The line with the LOWEST priority is evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traces.record import AccessType
+
+#: Hardware weight of the age priority (left shift by 3).
+AGE_WEIGHT = 8
+
+
+@dataclass(frozen=True)
+class PriorityWeights:
+    """Ablation switches for the priority terms (§V-B ablation study)."""
+
+    use_age: bool = True
+    use_type: bool = True
+    use_hit: bool = True
+
+
+def age_priority(age: int, reuse_distance: int) -> int:
+    """P_age: 1 if the line has not yet reached the estimated RD, else 0."""
+    return 1 if age <= reuse_distance else 0
+
+
+def type_priority(last_access_was_prefetch: bool) -> int:
+    """P_type: 0 for non-reused prefetched lines, 1 otherwise."""
+    return 0 if last_access_was_prefetch else 1
+
+
+def hit_priority(hit_register: int) -> int:
+    """P_hit: 1 once the line has received at least one hit."""
+    return 1 if hit_register > 0 else 0
+
+
+def line_priority(
+    age: int,
+    reuse_distance: int,
+    last_access_was_prefetch: bool,
+    hit_register: int,
+    core_priority: int = 0,
+    weights: PriorityWeights = PriorityWeights(),
+) -> int:
+    """Compute P_line for one cache line (Figure 8 flowchart)."""
+    priority = core_priority
+    if weights.use_age:
+        priority += AGE_WEIGHT * age_priority(age, reuse_distance)
+    if weights.use_type:
+        priority += type_priority(last_access_was_prefetch)
+    if weights.use_hit:
+        priority += hit_priority(hit_register)
+    return priority
+
+
+def is_prefetch(access_type: AccessType) -> bool:
+    """Whether an access type sets the RLR type register to 'prefetch'."""
+    return access_type == AccessType.PREFETCH

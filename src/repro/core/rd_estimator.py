@@ -1,0 +1,66 @@
+"""Reuse-distance (RD) estimation for RLR (paper §IV-A/§IV-B).
+
+On every demand hit, the hitting line's age counter value (its preuse
+distance) is sent to an accumulator.  Every ``2**log2_hits`` demand hits, the
+estimate is refreshed as
+
+    RD = 2 x (accumulated preuse / number of hits)
+
+which hardware implements as a single right shift of the accumulator by
+``log2_hits - 1`` (average = shift right by log2_hits, double = shift left
+by 1).  This module models exactly that arithmetic.
+"""
+
+from __future__ import annotations
+
+
+class ReuseDistanceEstimator:
+    """Hardware-faithful RD computation: accumulate, then shift.
+
+    Args:
+        log2_hits: log2 of the demand-hit epoch length (paper: 5, i.e. 32).
+        initial_rd: RD used before the first epoch completes.
+        max_rd: Saturation bound for RD (bounded by the age-counter range).
+        multiplier_log2: log2 of the RD multiplier applied to the average
+            preuse distance (paper: 1, i.e. RD = 2 x average).  Still a
+            single shift in hardware; exposed because the best multiplier
+            depends on the traffic mix (see EXPERIMENTS.md's "rlr_tuned").
+    """
+
+    def __init__(
+        self,
+        log2_hits: int = 5,
+        initial_rd: int = 0,
+        max_rd: int = None,
+        multiplier_log2: int = 1,
+    ):
+        if log2_hits < 1:
+            raise ValueError("log2_hits must be >= 1 (epoch of at least 2 hits)")
+        if not 0 <= multiplier_log2 <= log2_hits:
+            raise ValueError("multiplier_log2 must be in [0, log2_hits]")
+        self.log2_hits = log2_hits
+        self.epoch_hits = 1 << log2_hits
+        self.max_rd = max_rd
+        self.multiplier_log2 = multiplier_log2
+        self.rd = initial_rd
+        self._accumulator = 0
+        self._hits = 0
+        self.epochs_completed = 0
+
+    def record_demand_hit(self, age_value: int) -> None:
+        """Feed one demand hit's age-counter value into the accumulator."""
+        self._accumulator += age_value
+        self._hits += 1
+        if self._hits == self.epoch_hits:
+            self._refresh()
+
+    def _refresh(self) -> None:
+        # average (>> log2_hits) then multiply (<< multiplier_log2): a
+        # single right shift by (log2_hits - multiplier_log2).
+        new_rd = self._accumulator >> (self.log2_hits - self.multiplier_log2)
+        if self.max_rd is not None:
+            new_rd = min(new_rd, self.max_rd)
+        self.rd = new_rd
+        self._accumulator = 0
+        self._hits = 0
+        self.epochs_completed += 1

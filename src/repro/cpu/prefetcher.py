@@ -1,0 +1,158 @@
+"""Hardware prefetchers (Table III: next-line at L1, IP-stride at L2).
+
+A KPC-P-like confidence-directed stride prefetcher is also provided so the
+paper's "RLR + KPC-P" comparison (§V-B) can be reproduced: low-confidence
+prefetches skip the L2 fill and only land in the LLC, mirroring KPC-P's
+cache-pollution avoidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """A prefetch candidate emitted by a prefetcher.
+
+    ``fill_l2`` is False for low-confidence KPC-P prefetches, which are
+    installed only in the LLC.
+    """
+
+    line_address: int
+    fill_l2: bool = True
+
+
+class Prefetcher:
+    """Base prefetcher: observes accesses, emits prefetch candidates."""
+
+    name = "none"
+
+    def observe(self, access, hit: bool):
+        """Return a list of :class:`PrefetchRequest` for this access."""
+        return []
+
+
+class NoPrefetcher(Prefetcher):
+    """Disabled prefetcher (LLC in Table III)."""
+
+    name = "none"
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch the next ``degree`` sequential lines on demand misses.
+
+    Prefetch-on-miss is the standard configuration for an L1 next-line
+    prefetcher: hits already cover the spatial run, and issuing on every
+    access would flood the lower levels with duplicate requests.
+    """
+
+    name = "next_line"
+
+    def __init__(self, degree: int = 1, on_miss_only: bool = True) -> None:
+        self.degree = degree
+        self.on_miss_only = on_miss_only
+
+    def observe(self, access, hit: bool):
+        if hit and self.on_miss_only:
+            return []
+        base = access.line_address
+        return [PrefetchRequest(base + i) for i in range(1, self.degree + 1)]
+
+
+class IPStridePrefetcher(Prefetcher):
+    """Classic per-PC stride prefetcher with 2-bit confidence.
+
+    Tracks the last line address and stride per instruction pointer; once the
+    same stride repeats enough times (confidence saturates past the
+    threshold), it prefetches ``degree`` strides ahead.
+    """
+
+    name = "ip_stride"
+
+    def __init__(
+        self, table_size: int = 256, degree: int = 2, threshold: int = 2
+    ) -> None:
+        self.table_size = table_size
+        self.degree = degree
+        self.threshold = threshold
+        self._table = {}  # pc -> [last_line, stride, confidence]
+
+    def observe(self, access, hit: bool):
+        pc = access.pc & (self.table_size - 1) if self.table_size else access.pc
+        line = access.line_address
+        entry = self._table.get(pc)
+        if entry is None:
+            self._table[pc] = [line, 0, 0]
+            self._evict_if_full()
+            return []
+        last_line, stride, confidence = entry
+        new_stride = line - last_line
+        if new_stride == stride and stride != 0:
+            confidence = min(confidence + 1, 3)
+        else:
+            confidence = max(confidence - 1, 0)
+            if confidence == 0:
+                stride = new_stride
+        entry[0], entry[1], entry[2] = line, stride, confidence
+        if confidence >= self.threshold and stride != 0:
+            return [
+                PrefetchRequest(line + stride * i) for i in range(1, self.degree + 1)
+            ]
+        return []
+
+    def _evict_if_full(self) -> None:
+        # Bounded table: drop an arbitrary (oldest-inserted) entry.
+        if len(self._table) > self.table_size:
+            self._table.pop(next(iter(self._table)))
+
+
+class KPCPrefetcher(IPStridePrefetcher):
+    """KPC-P approximation: confidence decides the fill level.
+
+    High-confidence prefetches fill L2 (and LLC); low-confidence ones fill
+    only the LLC (``fill_l2=False``), avoiding L2 pollution as in the paper's
+    description of KPC-P.
+    """
+
+    name = "kpc_p"
+
+    def __init__(
+        self,
+        table_size: int = 256,
+        degree: int = 2,
+        threshold: int = 1,
+        high_confidence: int = 3,
+    ) -> None:
+        super().__init__(table_size=table_size, degree=degree, threshold=threshold)
+        self.high_confidence = high_confidence
+
+    def observe(self, access, hit: bool):
+        requests = super().observe(access, hit)
+        if not requests:
+            return []
+        pc = access.pc & (self.table_size - 1) if self.table_size else access.pc
+        confidence = self._table[pc][2]
+        fill_l2 = confidence >= self.high_confidence
+        return [
+            PrefetchRequest(request.line_address, fill_l2=fill_l2)
+            for request in requests
+        ]
+
+
+_PREFETCHERS = {
+    "none": NoPrefetcher,
+    "next_line": NextLinePrefetcher,
+    "ip_stride": IPStridePrefetcher,
+    "kpc_p": KPCPrefetcher,
+}
+
+
+def make_prefetcher(name: str, **kwargs) -> Prefetcher:
+    """Instantiate a prefetcher by registry name."""
+    try:
+        factory = _PREFETCHERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PREFETCHERS))
+        raise ValueError(f"unknown prefetcher {name!r}; known: {known}") from None
+    return factory(**kwargs)

@@ -1,0 +1,60 @@
+"""Experiment harness: workloads, runner, metrics, and per-figure experiments."""
+
+from repro.eval.agreement import belady_agreement, compare_agreement
+from repro.eval.report import generate_report, write_report
+from repro.eval.statistics import SpeedupEstimate, seed_sweep
+from repro.eval.timeline import policy_timeline, render_sparkline
+from repro.eval.victim_analysis import (
+    compare_victim_profiles,
+    policy_victim_statistics,
+)
+
+from repro.eval.metrics import (
+    geomean,
+    ipc_speedup,
+    mix_speedup,
+    overall_speedup_percent,
+    speedup_percent,
+)
+from repro.eval.runner import (
+    compare_policies,
+    record_llc_stream,
+    run_belady,
+    run_workload,
+    sweep,
+)
+from repro.eval.workloads import (
+    EvalConfig,
+    RL_TRAINING_BENCHMARKS,
+    high_mpki_names,
+    spec_mixes,
+    suite_names,
+)
+
+__all__ = [
+    "EvalConfig",
+    "SpeedupEstimate",
+    "belady_agreement",
+    "generate_report",
+    "seed_sweep",
+    "write_report",
+    "compare_agreement",
+    "compare_victim_profiles",
+    "policy_timeline",
+    "policy_victim_statistics",
+    "render_sparkline",
+    "RL_TRAINING_BENCHMARKS",
+    "compare_policies",
+    "geomean",
+    "high_mpki_names",
+    "ipc_speedup",
+    "mix_speedup",
+    "overall_speedup_percent",
+    "record_llc_stream",
+    "run_belady",
+    "run_workload",
+    "speedup_percent",
+    "spec_mixes",
+    "suite_names",
+    "sweep",
+]

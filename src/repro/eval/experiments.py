@@ -1,0 +1,332 @@
+"""One entry point per paper table/figure (the DESIGN.md §4 index).
+
+Every function returns plain data (dicts/lists) that the corresponding
+benchmark under ``benchmarks/`` prints in the paper's format;
+EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cache.replacement.belady import BeladyPolicy
+from repro.core.overhead import table1 as _table1_rows
+from repro.core.priority import PriorityWeights
+from repro.core.rlr import RLRPolicy
+from repro.eval.metrics import geomean, mix_speedup
+from repro.eval.runner import _prepared, replay
+from repro.eval.workloads import EvalConfig, spec_mixes, suite_names
+from repro.rl.trainer import (
+    TrainerConfig,
+    llc_stream_records,
+    train_on_stream,
+    train_per_benchmark,
+)
+from repro.rl.policy_adapter import AgentReplacementPolicy
+
+#: Policy lineup of Figures 10-13 (LRU is the baseline).
+FIGURE_POLICIES = (
+    "drrip", "kpc_r", "ship", "rlr", "rlr_unopt", "rlr_tuned", "hawkeye", "ship++"
+)
+
+
+# -- Table I ----------------------------------------------------------------
+
+
+def table1_overhead(config=None):
+    """Table I: storage overhead per policy (computed vs paper-reported)."""
+    return _table1_rows(config)
+
+
+# -- Figure 1: LLC hit rate comparison ---------------------------------------
+
+
+def fig1_hit_rates(
+    eval_config: EvalConfig,
+    workloads=None,
+    policies=("lru", "drrip", "ship", "ship++", "hawkeye", "rlr"),
+    include_rl: bool = False,
+    rl_config: TrainerConfig = None,
+) -> dict:
+    """Overall LLC hit rate per workload per policy, plus Belady (and RL).
+
+    Belady is the theoretical optimum for this metric (it maximizes total
+    hits over all access types), exactly as in the paper's Figure 1.
+    """
+    workloads = workloads or suite_names("spec2006")
+    results = {}
+    for name in workloads:
+        trace = eval_config.trace(name)
+        prepared = _prepared(eval_config, trace, 1, None)
+        row = {}
+        for policy in policies:
+            row[policy] = replay(prepared, policy).llc_hit_rate
+        if include_rl:
+            llc_config = prepared.llc_config
+            trained = train_on_stream(
+                llc_config, prepared.llc_records, rl_config or TrainerConfig()
+            )
+            adapter = AgentReplacementPolicy(
+                trained.agent, trained.extractor, train=False
+            )
+            row["rl"] = replay(prepared, adapter).llc_hit_rate
+        row["belady"] = replay(
+            prepared, BeladyPolicy(prepared.llc_line_stream)
+        ).llc_hit_rate
+        results[name] = row
+    return results
+
+
+# -- Figure 3: weight heat map ------------------------------------------------
+
+
+def fig3_heatmap(eval_config: EvalConfig, benchmarks, trainer_config=None):
+    """Train one agent per benchmark, return the Figure 3 heat-map matrix."""
+    from repro.rl.analysis import heatmap
+
+    agents = train_per_benchmark(eval_config, benchmarks, trainer_config)
+    return heatmap(agents)
+
+
+# -- Figure 4: |preuse - reuse| distribution ---------------------------------
+
+
+def fig4_preuse_vs_reuse(eval_config: EvalConfig, workloads) -> dict:
+    """Per-workload distribution of |preuse − reuse| for reused lines.
+
+    Computed directly on the LLC reference stream: for consecutive
+    same-address gaps g1, g2 (in accesses to the line's set), the access in
+    the middle has preuse g1 and reuse g2.  Buckets follow the paper:
+    <10, 10–50, >50.
+    """
+    llc_config = eval_config.hierarchy(num_cores=1).llc
+    results = {}
+    for name in workloads:
+        records = llc_stream_records(eval_config, name)
+        set_accesses = defaultdict(int)
+        last_seen = {}  # line -> (set_access_count at last access, prev gap)
+        buckets = {"<10": 0, "10-50": 0, ">50": 0}
+        for record in records:
+            set_index = llc_config.set_index(record.line_address)
+            set_accesses[set_index] += 1
+            now = set_accesses[set_index]
+            seen = last_seen.get(record.line_address)
+            if seen is not None:
+                then, prev_gap = seen
+                gap = now - then
+                if prev_gap is not None:
+                    difference = abs(prev_gap - gap)
+                    if difference < 10:
+                        buckets["<10"] += 1
+                    elif difference <= 50:
+                        buckets["10-50"] += 1
+                    else:
+                        buckets[">50"] += 1
+                last_seen[record.line_address] = (now, gap)
+            else:
+                last_seen[record.line_address] = (now, None)
+        total = sum(buckets.values())
+        results[name] = {
+            key: (value / total if total else 0.0) for key, value in buckets.items()
+        }
+    return results
+
+
+# -- Figures 5-7: RL-agent victim analysis -----------------------------------
+
+
+def agent_victim_statistics(
+    eval_config: EvalConfig, workloads, trainer_config=None
+) -> dict:
+    """Train an agent per workload, replay greedily, record victim features.
+
+    Returns per workload:
+      * ``avg_age_by_type`` — Figure 5 (victim age since last access, in set
+        accesses, averaged per last-access type);
+      * ``hits_histogram`` — Figure 6 (fraction of victims with 0/1/>1 hits);
+      * ``recency_histogram`` — Figure 7 (fraction of victims per recency).
+    """
+    trainer_config = trainer_config or TrainerConfig()
+    results = {}
+    for name in workloads:
+        trace = eval_config.trace(name)
+        prepared = _prepared(eval_config, trace, 1, None)
+        llc_config = prepared.llc_config
+        trained = train_on_stream(llc_config, prepared.llc_records, trainer_config)
+
+        age_by_type = defaultdict(list)
+        hits_histogram = {"0": 0, "1": 0, ">1": 0}
+        recency_histogram = defaultdict(int)
+
+        def observe(set_index, line, access):
+            age_by_type[line.last_access_type].append(line.age_since_last_access)
+            if line.hits_since_insertion == 0:
+                hits_histogram["0"] += 1
+            elif line.hits_since_insertion == 1:
+                hits_histogram["1"] += 1
+            else:
+                hits_histogram[">1"] += 1
+            recency_histogram[line.recency] += 1
+
+        adapter = AgentReplacementPolicy(trained.agent, trained.extractor, train=False)
+        replay(prepared, adapter, detailed=True, observers=[observe])
+        victims = sum(hits_histogram.values())
+        results[name] = {
+            "avg_age_by_type": {
+                access_type.short_name: (
+                    sum(ages) / len(ages) if ages else 0.0
+                )
+                for access_type, ages in age_by_type.items()
+            },
+            "hits_histogram": {
+                key: value / victims if victims else 0.0
+                for key, value in hits_histogram.items()
+            },
+            "recency_histogram": {
+                recency: count / victims if victims else 0.0
+                for recency, count in sorted(recency_histogram.items())
+            },
+        }
+    return results
+
+
+# -- Figures 10/11: single-core speedups --------------------------------------
+
+
+def single_core_speedups(
+    eval_config: EvalConfig, suite: str, policies=FIGURE_POLICIES
+) -> dict:
+    """IPC speedup over LRU per workload (Figure 10 = spec2006, 11 = cloud)."""
+    results = {}
+    for name in suite_names(suite):
+        trace = eval_config.trace(name)
+        prepared = _prepared(eval_config, trace, 1, None)
+        baseline = replay(prepared, "lru").single_ipc
+        results[name] = {
+            policy: replay(prepared, policy).single_ipc / baseline
+            for policy in policies
+        }
+    return results
+
+
+# -- Figure 12: demand MPKI ----------------------------------------------------
+
+
+def mpki_comparison(
+    eval_config: EvalConfig,
+    policies=FIGURE_POLICIES,
+    min_mpki: float = 3.0,
+    suite: str = "spec2006",
+) -> dict:
+    """Demand MPKI per policy for workloads with LRU MPKI > ``min_mpki``."""
+    results = {}
+    for name in suite_names(suite):
+        trace = eval_config.trace(name)
+        prepared = _prepared(eval_config, trace, 1, None)
+        baseline = replay(prepared, "lru")
+        if baseline.demand_mpki <= min_mpki:
+            continue
+        row = {"lru": baseline.demand_mpki}
+        for policy in policies:
+            row[policy] = replay(prepared, policy).demand_mpki
+        results[name] = row
+    return results
+
+
+# -- Figure 13 / Table IV: multicore -------------------------------------------
+
+
+def multicore_speedups(
+    eval_config: EvalConfig,
+    num_mixes: int = 10,
+    policies=FIGURE_POLICIES,
+    suite: str = "spec2006",
+) -> dict:
+    """4-core mix speedups over LRU (paper: 100 random SPEC mixes).
+
+    Returns {mix_name: {policy: speedup}}; each speedup is the geometric
+    mean of the four cores' IPC ratios.
+    """
+    if suite == "spec2006":
+        mixes = spec_mixes(eval_config, num_mixes)
+    else:
+        names = suite_names(suite)
+        mixes = [tuple(names[:4])]
+    results = {}
+    for mix in mixes:
+        trace = eval_config.mix_trace(mix)
+        prepared = _prepared(eval_config, trace, 4, None)
+        baseline = replay(prepared, "lru").ipc
+        row = {}
+        for policy in policies:
+            result = replay(prepared, policy)
+            row[policy] = mix_speedup(result.ipc, baseline)
+        results[trace.name] = row
+    return results
+
+
+def table4_overall(
+    eval_config_1core: EvalConfig,
+    eval_config_4core: EvalConfig = None,
+    policies=FIGURE_POLICIES,
+    num_mixes: int = 10,
+) -> dict:
+    """Table IV: overall % speedup for 1-core/4-core, SPEC and CloudSuite."""
+    table = {}
+    for suite in ("spec2006", "cloudsuite"):
+        single = single_core_speedups(eval_config_1core, suite, policies)
+        for policy in policies:
+            table.setdefault(policy, {})[f"1-core {suite}"] = (
+                geomean(row[policy] for row in single.values()) - 1
+            ) * 100
+    if eval_config_4core is not None:
+        for suite in ("spec2006", "cloudsuite"):
+            multi = multicore_speedups(
+                eval_config_4core, num_mixes=num_mixes, policies=policies, suite=suite
+            )
+            for policy in policies:
+                table[policy][f"4-core {suite}"] = (
+                    geomean(row[policy] for row in multi.values()) - 1
+                ) * 100
+    return table
+
+
+# -- §V-B ablations --------------------------------------------------------------
+
+
+def ablation_priorities(eval_config: EvalConfig, workloads) -> dict:
+    """RLR with hit/type priority disabled (paper §V-B).
+
+    Returns overall speedup (%) over LRU for full RLR, RLR without the hit
+    register, and RLR without the type register.
+    """
+    variants = {
+        "rlr": PriorityWeights(),
+        "rlr_no_hit": PriorityWeights(use_hit=False),
+        "rlr_no_type": PriorityWeights(use_type=False),
+        "rlr_age_only": PriorityWeights(use_hit=False, use_type=False),
+    }
+    speedups = {name: [] for name in variants}
+    for workload in workloads:
+        trace = eval_config.trace(workload)
+        prepared = _prepared(eval_config, trace, 1, None)
+        baseline = replay(prepared, "lru").single_ipc
+        for name, weights in variants.items():
+            result = replay(prepared, RLRPolicy(weights=weights))
+            speedups[name].append(result.single_ipc / baseline)
+    return {name: (geomean(values) - 1) * 100 for name, values in speedups.items()}
+
+
+def ablation_age_bits(eval_config: EvalConfig, workloads, bit_widths=(2, 3, 4, 5, 6, 8)):
+    """§IV-C: sweep the age-counter width (paper chose 5 bits unopt, 2 opt)."""
+    from repro.core.rlr import RLRUnoptPolicy
+
+    speedups = {bits: [] for bits in bit_widths}
+    for workload in workloads:
+        trace = eval_config.trace(workload)
+        prepared = _prepared(eval_config, trace, 1, None)
+        baseline = replay(prepared, "lru").single_ipc
+        for bits in bit_widths:
+            result = replay(prepared, RLRUnoptPolicy(age_bits=bits))
+            speedups[bits].append(result.single_ipc / baseline)
+    return {bits: (geomean(values) - 1) * 100 for bits, values in speedups.items()}

@@ -1,0 +1,46 @@
+"""Performance metrics (paper §V-A).
+
+Single-core: IPC speedup over LRU per benchmark, geometric mean across the
+suite.  Multicore: per-mix geometric mean of the four cores' IPC speedups,
+then geometric mean across mixes.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (1.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 1.0
+    if any(value <= 0 for value in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def ipc_speedup(ipc: float, baseline_ipc: float) -> float:
+    """IPC_i / IPC_LRU — the paper's per-benchmark metric."""
+    if baseline_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return ipc / baseline_ipc
+
+
+def speedup_percent(ipc: float, baseline_ipc: float) -> float:
+    """Speedup as the percentage the paper's figures plot."""
+    return (ipc_speedup(ipc, baseline_ipc) - 1.0) * 100.0
+
+
+def mix_speedup(ipcs, baseline_ipcs) -> float:
+    """Multicore workload-mix speedup: (prod_i IPC_i/IPC_LRU_i)^(1/n)."""
+    if len(ipcs) != len(baseline_ipcs):
+        raise ValueError("per-core IPC lists must have equal length")
+    return geomean(
+        ipc_speedup(ipc, base) for ipc, base in zip(ipcs, baseline_ipcs)
+    )
+
+
+def overall_speedup_percent(per_workload_speedups) -> float:
+    """Suite-level number reported in Table IV: geomean speedup, as %."""
+    return (geomean(per_workload_speedups) - 1.0) * 100.0

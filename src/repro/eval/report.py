@@ -1,0 +1,103 @@
+"""Full experiment report generation.
+
+Runs a configurable subset of the paper's experiments and renders one
+markdown report — the programmatic equivalent of re-running the benchmark
+suite and collating its tables.  Used by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.eval.experiments import (
+    FIGURE_POLICIES,
+    fig4_preuse_vs_reuse,
+    mpki_comparison,
+    multicore_speedups,
+    single_core_speedups,
+    table1_overhead,
+)
+from repro.eval.metrics import geomean
+from repro.eval.reporting import format_speedup_series, format_table
+from repro.eval.workloads import EvalConfig, RL_TRAINING_BENCHMARKS
+
+
+def generate_report(
+    eval_config: EvalConfig,
+    policies=FIGURE_POLICIES,
+    suites=("spec2006", "cloudsuite"),
+    include_multicore: bool = False,
+    num_mixes: int = 3,
+) -> str:
+    """Run the core experiment set and render a markdown report."""
+    out = io.StringIO()
+    write = out.write
+    write("# RLR reproduction report\n\n")
+    write(f"- evaluation scale: Table III / {eval_config.scale}\n")
+    write(f"- trace length: {eval_config.trace_length} references\n")
+    write(f"- seed: {eval_config.seed}\n\n")
+
+    write("## Table I — storage overhead\n\n```\n")
+    rows = [
+        {
+            "policy": row.policy,
+            "uses_pc": "Yes" if row.uses_pc else "No",
+            "kib": round(row.kib, 2),
+            "paper_kib": row.paper_kib,
+        }
+        for row in table1_overhead()
+    ]
+    write(format_table(rows, headers=["policy", "uses_pc", "kib", "paper_kib"]))
+    write("\n```\n\n")
+
+    for suite in suites:
+        write(f"## Single-core speedups over LRU ({suite})\n\n```\n")
+        series = single_core_speedups(eval_config, suite, policies)
+        write(format_speedup_series(series, policies))
+        write("\n```\n\nGeomean: ")
+        geomeans = {
+            policy: (geomean(row[policy] for row in series.values()) - 1) * 100
+            for policy in policies
+        }
+        write(", ".join(f"{p} {v:+.2f}%" for p, v in geomeans.items()))
+        write("\n\n")
+
+    write("## Demand MPKI (LRU MPKI > 3)\n\n```\n")
+    mpki = mpki_comparison(eval_config, policies=policies)
+    mpki_policies = ["lru"] + list(policies)
+    rows = [
+        {"workload": workload, **{p: round(row[p], 2) for p in mpki_policies}}
+        for workload, row in mpki.items()
+    ]
+    write(format_table(rows, headers=["workload"] + mpki_policies))
+    write("\n```\n\n")
+
+    write("## |preuse − reuse| distribution (Figure 4)\n\n```\n")
+    fig4 = fig4_preuse_vs_reuse(eval_config, RL_TRAINING_BENCHMARKS)
+    rows = [
+        {
+            "workload": name,
+            "<10": f"{100 * buckets['<10']:.0f}%",
+            "10-50": f"{100 * buckets['10-50']:.0f}%",
+            ">50": f"{100 * buckets['>50']:.0f}%",
+        }
+        for name, buckets in fig4.items()
+    ]
+    write(format_table(rows, headers=["workload", "<10", "10-50", ">50"]))
+    write("\n```\n\n")
+
+    if include_multicore:
+        write(f"## 4-core mixes ({num_mixes} random SPEC mixes)\n\n```\n")
+        multicore = multicore_speedups(
+            eval_config, num_mixes=num_mixes, policies=policies
+        )
+        write(format_speedup_series(multicore, policies))
+        write("\n```\n\n")
+
+    return out.getvalue()
+
+
+def write_report(path, eval_config: EvalConfig, **kwargs) -> None:
+    """Generate a report and write it to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(generate_report(eval_config, **kwargs))

@@ -1,0 +1,61 @@
+"""Plain-text table/series rendering for experiment outputs.
+
+Every experiment in :mod:`repro.eval.experiments` returns plain data
+structures; these helpers print them the way the paper's tables and figures
+report them (rows of benchmarks, columns of policies, percentages).
+"""
+
+from __future__ import annotations
+
+
+def format_table(rows, headers, title: str = None, precision: int = 2) -> str:
+    """Render a list-of-dicts (or list-of-lists) as an aligned text table."""
+    if rows and isinstance(rows[0], dict):
+        rows = [[row.get(h, "") for h in headers] for row in rows]
+
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent_matrix(matrix: dict, policies, title: str = None) -> str:
+    """Render {workload: {policy: fraction}} as a percent table."""
+    headers = ["workload"] + list(policies)
+    rows = []
+    for workload, values in matrix.items():
+        row = [workload] + [
+            f"{100 * values[p]:.1f}" if p in values else "-" for p in policies
+        ]
+        rows.append(row)
+    return format_table(rows, headers, title=title)
+
+
+def format_speedup_series(series: dict, policies, title: str = None) -> str:
+    """Render {workload: {policy: speedup_fraction}} as +x.x% columns."""
+    headers = ["workload"] + list(policies)
+    rows = []
+    for workload, values in series.items():
+        row = [workload]
+        for policy in policies:
+            if policy in values:
+                row.append(f"{(values[policy] - 1) * 100:+.2f}%")
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(rows, headers, title=title)

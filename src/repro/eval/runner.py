@@ -1,0 +1,249 @@
+"""Sweep runner: (workload x policy) simulations, including Belady.
+
+Because the LLC reference stream is independent of the LLC's own replacement
+policy (upper levels never observe LLC state — the same property the paper
+exploits to train RL on pre-recorded LLC traces), each workload is simulated
+through the full hierarchy exactly once (:func:`prepare_workload`), recording
+
+* the LLC access stream,
+* the per-core compute + L1/L2-stall cycle baseline, and
+* the warm-up boundary,
+
+and every policy is then evaluated by replaying only the LLC
+(:func:`replay`).  Replay results are bit-identical to a full-system run and
+an order of magnitude faster.  :func:`run_workload` is the public
+one-simulation entry point; :func:`run_belady` reuses the recorded stream as
+OPT's future knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cache import Cache
+from repro.cache.config import CoreConfig
+from repro.cache.hierarchy import L1, L2, LLC, MEMORY, CacheHierarchy
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.belady import BeladyPolicy
+from repro.cpu.core_model import TimingModel
+from repro.cpu.system import SystemResult
+from repro.eval.workloads import EvalConfig
+from repro.traces.record import Trace
+
+
+@dataclass
+class PreparedWorkload:
+    """Pass-1 artifact: everything policy-independent about one workload."""
+
+    trace_name: str
+    num_cores: int
+    llc_config: object
+    llc_records: list  #: the LLC access stream (TraceRecord objects)
+    warmup_index: int  #: stream position where measurement starts
+    base_cycles: list  #: per-core cycles excluding LLC-level demand stalls
+    instructions: list  #: per-core instructions (post-warm-up)
+    stall_llc: float
+    stall_mem: float
+
+    @property
+    def llc_line_stream(self) -> list:
+        """Line addresses of the stream (Belady's future knowledge)."""
+        return [record.line_address for record in self.llc_records]
+
+
+def prepare_workload(
+    eval_config: EvalConfig,
+    trace: Trace,
+    num_cores: int = 1,
+    l2_prefetcher: str = None,
+    core_config: CoreConfig = None,
+) -> PreparedWorkload:
+    """Run the full hierarchy once (LRU LLC) and record the LLC stream."""
+    hierarchy_config = eval_config.hierarchy(num_cores=num_cores)
+    hierarchy = CacheHierarchy(
+        hierarchy_config, make_policy("lru"), l2_prefetcher=l2_prefetcher
+    )
+    timing = TimingModel(hierarchy_config, core_config or CoreConfig())
+    llc_records = []
+    hierarchy.llc.add_access_observer(
+        lambda access, hit: llc_records.append(access)
+    )
+
+    warmup_end = int(len(trace.records) * eval_config.warmup_fraction)
+    warmup_index = 0
+    base_cycles = [0.0] * num_cores
+    instructions = [0] * num_cores
+    issue_width = timing.core_config.issue_width
+    stall = timing._stall
+    for position, record in enumerate(trace.records):
+        if position == warmup_end:
+            warmup_index = len(llc_records)
+        level = hierarchy.access(record)
+        if position < warmup_end:
+            continue
+        core = record.core
+        instructions[core] += record.instr_delta
+        base_cycles[core] += record.instr_delta / issue_width
+        if level in (L1, L2):
+            base_cycles[core] += stall[level]
+        # LLC/MEMORY stalls are policy-dependent; charged during replay.
+    return PreparedWorkload(
+        trace_name=trace.name,
+        num_cores=num_cores,
+        llc_config=hierarchy_config.llc,
+        llc_records=llc_records,
+        warmup_index=warmup_index,
+        base_cycles=base_cycles,
+        instructions=instructions,
+        stall_llc=stall[LLC],
+        stall_mem=stall[MEMORY],
+    )
+
+
+def _instantiate(policy, num_cores: int):
+    """Accept a policy name or instance; wire multicore RLR automatically."""
+    if not isinstance(policy, str):
+        return policy
+    if policy in ("rlr", "rlr_unopt", "rlr_tuned") and num_cores > 1:
+        return make_policy(policy, num_cores=num_cores)
+    return make_policy(policy)
+
+
+def replay(
+    prepared: PreparedWorkload,
+    policy,
+    allow_bypass: bool = False,
+    detailed: bool = None,
+    observers: list = None,
+) -> SystemResult:
+    """Replay the recorded LLC stream under ``policy``; compute IPC/stats.
+
+    ``detailed`` forces Table II metadata maintenance on the replay cache
+    (defaults to the policy's own ``needs_line_metadata``); ``observers`` are
+    attached as eviction observers (Figures 5-7 instrumentation).
+    """
+    policy = _instantiate(policy, prepared.num_cores)
+    policy.bind(prepared.llc_config)
+    if detailed is None:
+        detailed = getattr(policy, "needs_line_metadata", True)
+    cache = Cache(
+        prepared.llc_config, policy, allow_bypass=allow_bypass, detailed=detailed
+    )
+    for observer in observers or []:
+        cache.add_eviction_observer(observer)
+    cycles = list(prepared.base_cycles)
+    warmup_index = prepared.warmup_index
+    stall_llc, stall_mem = prepared.stall_llc, prepared.stall_mem
+    for position, record in enumerate(prepared.llc_records):
+        if position == warmup_index:
+            cache.reset_stats()
+        result = cache.access(record)
+        if position >= warmup_index and record.access_type.is_demand:
+            cycles[record.core] += stall_llc if result.hit else stall_mem
+    ipc = [
+        instr / cyc if cyc > 0 else 0.0
+        for instr, cyc in zip(prepared.instructions, cycles)
+    ]
+    total_instructions = sum(prepared.instructions)
+    return SystemResult(
+        trace_name=prepared.trace_name,
+        policy_name=getattr(policy, "name", "unknown"),
+        ipc=ipc,
+        instructions=list(prepared.instructions),
+        llc_stats=cache.stats.summary(),
+        demand_mpki=cache.stats.demand_mpki(total_instructions),
+        llc_demand_hit_rate=cache.stats.demand_hit_rate,
+        llc_hit_rate=cache.stats.hit_rate,
+    )
+
+
+def _prepared(eval_config, trace, num_cores, l2_prefetcher) -> PreparedWorkload:
+    """Cache pass-1 artifacts on the EvalConfig (keyed by trace identity)."""
+    cache = getattr(eval_config, "_prepared_cache", None)
+    if cache is None:
+        cache = {}
+        eval_config._prepared_cache = cache
+    key = (trace.name, num_cores, l2_prefetcher, len(trace.records))
+    if key not in cache:
+        cache[key] = prepare_workload(
+            eval_config, trace, num_cores=num_cores, l2_prefetcher=l2_prefetcher
+        )
+    return cache[key]
+
+
+def run_workload(
+    eval_config: EvalConfig,
+    trace: Trace,
+    policy,
+    num_cores: int = 1,
+    allow_bypass: bool = False,
+    l2_prefetcher: str = None,
+) -> SystemResult:
+    """Simulate one trace under one policy at the evaluation scale."""
+    prepared = _prepared(eval_config, trace, num_cores, l2_prefetcher)
+    return replay(prepared, policy, allow_bypass=allow_bypass)
+
+
+def record_llc_stream(
+    eval_config: EvalConfig,
+    trace: Trace,
+    num_cores: int = 1,
+    l2_prefetcher: str = None,
+) -> list:
+    """The LLC line-address stream for ``trace`` (Belady's future input)."""
+    prepared = _prepared(eval_config, trace, num_cores, l2_prefetcher)
+    return prepared.llc_line_stream
+
+
+def run_belady(
+    eval_config: EvalConfig,
+    trace: Trace,
+    num_cores: int = 1,
+    l2_prefetcher: str = None,
+    allow_bypass: bool = False,
+) -> SystemResult:
+    """Exact Belady OPT using the recorded stream as future knowledge."""
+    prepared = _prepared(eval_config, trace, num_cores, l2_prefetcher)
+    policy = BeladyPolicy(prepared.llc_line_stream, allow_bypass=allow_bypass)
+    return replay(prepared, policy, allow_bypass=allow_bypass)
+
+
+def compare_policies(
+    eval_config: EvalConfig,
+    trace: Trace,
+    policies,
+    num_cores: int = 1,
+    include_belady: bool = False,
+    l2_prefetcher: str = None,
+) -> dict:
+    """Run one trace under several policies; returns {name: SystemResult}."""
+    prepared = _prepared(eval_config, trace, num_cores, l2_prefetcher)
+    results = {}
+    for policy in policies:
+        name = policy if isinstance(policy, str) else policy.name
+        results[name] = replay(prepared, policy)
+    if include_belady:
+        belady = BeladyPolicy(prepared.llc_line_stream)
+        results["belady"] = replay(prepared, belady)
+    return results
+
+
+def sweep(
+    eval_config: EvalConfig,
+    workload_names,
+    policies,
+    include_belady: bool = False,
+    l2_prefetcher: str = None,
+) -> dict:
+    """Run a suite sweep; returns {workload: {policy: SystemResult}}."""
+    table = {}
+    for name in workload_names:
+        trace = eval_config.trace(name)
+        table[name] = compare_policies(
+            eval_config,
+            trace,
+            policies,
+            include_belady=include_belady,
+            l2_prefetcher=l2_prefetcher,
+        )
+    return table

@@ -1,0 +1,81 @@
+"""Seed-robustness statistics for speedup measurements.
+
+The paper stresses rigorous methodology ("the selection of instruction
+traces used for evaluation can have significant impact on overall
+results", §V-B, discussing EVA/PDP discrepancies).  Synthetic traces make
+the analogous check cheap: re-generate each workload under several seeds
+and report the speedup's mean and spread, so a result can be labeled
+robust or trace-sensitive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.eval.runner import compare_policies
+from repro.eval.workloads import EvalConfig
+
+
+@dataclass
+class SpeedupEstimate:
+    """Mean and spread of a speedup across trace seeds."""
+
+    policy: str
+    workload: str
+    samples: list
+
+    @property
+    def mean_percent(self) -> float:
+        return (sum(self.samples) / len(self.samples) - 1) * 100
+
+    @property
+    def stdev_percent(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mean = sum(self.samples) / len(self.samples)
+        variance = sum((s - mean) ** 2 for s in self.samples) / (
+            len(self.samples) - 1
+        )
+        return math.sqrt(variance) * 100
+
+    @property
+    def min_percent(self) -> float:
+        return (min(self.samples) - 1) * 100
+
+    @property
+    def max_percent(self) -> float:
+        return (max(self.samples) - 1) * 100
+
+    def sign_is_robust(self) -> bool:
+        """True if every seed agrees on the speedup's sign (or is ~zero)."""
+        return all(s >= 0.999 for s in self.samples) or all(
+            s <= 1.001 for s in self.samples
+        )
+
+
+def seed_sweep(
+    workload: str,
+    policies,
+    seeds=(7, 11, 13),
+    scale: int = 32,
+    trace_length: int = 10_000,
+) -> dict:
+    """Measure speedups over LRU for each policy across trace seeds.
+
+    Returns {policy: SpeedupEstimate}.  Each seed regenerates the workload
+    model (different RNG draws, same parameters) — the synthetic analogue
+    of evaluating multiple SimPoints of one benchmark.
+    """
+    samples = {policy: [] for policy in policies}
+    for seed in seeds:
+        config = EvalConfig(scale=scale, trace_length=trace_length, seed=seed)
+        trace = config.trace(workload)
+        results = compare_policies(config, trace, ["lru"] + list(policies))
+        baseline = results["lru"].single_ipc
+        for policy in policies:
+            samples[policy].append(results[policy].single_ipc / baseline)
+    return {
+        policy: SpeedupEstimate(policy, workload, values)
+        for policy, values in samples.items()
+    }

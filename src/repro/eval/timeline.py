@@ -1,0 +1,112 @@
+"""Windowed time-series instrumentation (phase analysis).
+
+The paper's §III-C argues a key virtue of the learned policy is *dynamic
+adaptation* — RLR inherits it through the periodically refreshed RD
+estimate.  This module records windowed LLC hit-rate series for any policy
+and the RD-estimate trajectory for RLR, so phase transitions and the
+policy's reaction to them can be observed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.runner import _prepared, replay
+
+
+@dataclass
+class Timeline:
+    """Windowed series for one (workload, policy) replay."""
+
+    window: int
+    hit_rates: list = field(default_factory=list)
+    demand_hit_rates: list = field(default_factory=list)
+    rd_values: list = field(default_factory=list)  #: empty unless RLR-like
+
+    @property
+    def windows(self) -> int:
+        return len(self.hit_rates)
+
+    def phase_shift_magnitude(self) -> float:
+        """Largest window-to-window change in hit rate (phase indicator)."""
+        if len(self.hit_rates) < 2:
+            return 0.0
+        return max(
+            abs(b - a) for a, b in zip(self.hit_rates, self.hit_rates[1:])
+        )
+
+
+class TimelineCollector:
+    """Access observer accumulating windowed statistics."""
+
+    def __init__(self, window: int, policy=None) -> None:
+        self.timeline = Timeline(window=window)
+        self._policy = policy
+        self._window = window
+        self._hits = 0
+        self._demand_hits = 0
+        self._demand_total = 0
+        self._count = 0
+
+    def __call__(self, access, hit: bool) -> None:
+        self._count += 1
+        self._hits += hit
+        if access.access_type.is_demand:
+            self._demand_total += 1
+            self._demand_hits += hit
+        if self._count == self._window:
+            self._flush()
+
+    def _flush(self) -> None:
+        timeline = self.timeline
+        timeline.hit_rates.append(self._hits / self._window)
+        timeline.demand_hit_rates.append(
+            self._demand_hits / self._demand_total if self._demand_total else 0.0
+        )
+        estimator = getattr(self._policy, "estimator", None)
+        if estimator is not None:
+            timeline.rd_values.append(estimator.rd)
+        self._hits = 0
+        self._demand_hits = 0
+        self._demand_total = 0
+        self._count = 0
+
+
+def policy_timeline(
+    eval_config, workload_name: str, policy, window: int = 2000
+) -> Timeline:
+    """Replay a workload and return the windowed hit-rate (and RD) series."""
+    trace = eval_config.trace(workload_name)
+    prepared = _prepared(eval_config, trace, 1, None)
+    from repro.eval.runner import _instantiate
+
+    policy_instance = _instantiate(policy, 1)
+    collector = TimelineCollector(window, policy=policy_instance)
+    # Attach via the replay cache's access observers.
+    from repro.cache.cache import Cache
+
+    policy_instance.bind(prepared.llc_config)
+    cache = Cache(
+        prepared.llc_config,
+        policy_instance,
+        detailed=getattr(policy_instance, "needs_line_metadata", True),
+    )
+    cache.add_access_observer(collector)
+    for record in prepared.llc_records:
+        cache.access(record)
+    return collector.timeline
+
+
+def render_sparkline(values, width: int = 60) -> str:
+    """Compact unicode sparkline for a numeric series."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        blocks[int((value - low) / span * (len(blocks) - 1))] for value in values
+    )

@@ -1,0 +1,100 @@
+"""Victim-profile analysis for any replacement policy.
+
+Generalizes the paper's Figures 5-7 instrumentation (victim age per access
+type, hits-since-insertion histogram, recency histogram) from the RL agent
+to arbitrary policies, so a derived policy's eviction behaviour can be
+compared directly against the agent it was distilled from — the validation
+step behind §IV's design.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.eval.runner import _prepared, replay
+from repro.traces.record import AccessType
+
+
+@dataclass
+class VictimStatistics:
+    """Aggregated victim features for one (workload, policy) run."""
+
+    victims: int = 0
+    avg_age_by_type: dict = field(default_factory=dict)
+    hits_histogram: dict = field(default_factory=dict)
+    recency_histogram: dict = field(default_factory=dict)
+
+    @property
+    def zero_hit_fraction(self) -> float:
+        return self.hits_histogram.get("0", 0.0)
+
+    def upper_half_recency_fraction(self, ways: int) -> float:
+        """Share of victims from the upper (more recent) recency half."""
+        return sum(
+            value for recency, value in self.recency_histogram.items()
+            if recency >= ways // 2
+        )
+
+
+class VictimCollector:
+    """Eviction observer accumulating the Figures 5-7 statistics."""
+
+    def __init__(self) -> None:
+        self._ages_by_type = defaultdict(list)
+        self._hits = {"0": 0, "1": 0, ">1": 0}
+        self._recency = defaultdict(int)
+
+    def __call__(self, set_index, line, access) -> None:
+        self._ages_by_type[line.last_access_type].append(
+            line.age_since_last_access
+        )
+        if line.hits_since_insertion == 0:
+            self._hits["0"] += 1
+        elif line.hits_since_insertion == 1:
+            self._hits["1"] += 1
+        else:
+            self._hits[">1"] += 1
+        self._recency[line.recency] += 1
+
+    def statistics(self) -> VictimStatistics:
+        victims = sum(self._hits.values())
+        scale = victims or 1
+        return VictimStatistics(
+            victims=victims,
+            avg_age_by_type={
+                access_type.short_name: sum(ages) / len(ages)
+                for access_type, ages in self._ages_by_type.items()
+                if ages
+            },
+            hits_histogram={k: v / scale for k, v in self._hits.items()},
+            recency_histogram={
+                recency: count / scale
+                for recency, count in sorted(self._recency.items())
+            },
+        )
+
+
+def policy_victim_statistics(
+    eval_config, workload_name: str, policy
+) -> VictimStatistics:
+    """Replay one workload under ``policy``, collecting victim statistics."""
+    trace = eval_config.trace(workload_name)
+    prepared = _prepared(eval_config, trace, 1, None)
+    collector = VictimCollector()
+    replay(prepared, policy, detailed=True, observers=[collector])
+    return collector.statistics()
+
+
+def compare_victim_profiles(eval_config, workload_name: str, policies) -> dict:
+    """Victim statistics for several policies on one workload.
+
+    Accepts policy names or instances; returns {label: VictimStatistics}.
+    """
+    profiles = {}
+    for policy in policies:
+        label = policy if isinstance(policy, str) else policy.name
+        profiles[label] = policy_victim_statistics(
+            eval_config, workload_name, policy
+        )
+    return profiles

@@ -1,0 +1,109 @@
+"""Evaluation configuration and workload construction.
+
+The default evaluation scale divides Table III's cache sizes by 16 (LLC:
+2MB -> 128KB, still 16-way) and scales every workload's working set by the
+same factor via :mod:`repro.traces.spec_models` (working sets are expressed
+as fractions of LLC capacity).  Trace lengths default to 100k references —
+enough for the policies' adaptive state to converge at this scale while
+keeping a full-suite sweep tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import HierarchyConfig
+from repro.traces.mix import interleave, random_mixes
+from repro.traces.record import Trace
+from repro.traces.spec_models import (
+    ALL_WORKLOADS,
+    CLOUDSUITE,
+    SPEC2006,
+    build_trace,
+    get_workload,
+)
+
+
+@dataclass
+class EvalConfig:
+    """Knobs shared by every experiment."""
+
+    scale: int = 16  #: divide Table III cache sizes by this
+    trace_length: int = 100_000
+    seed: int = 7
+    warmup_fraction: float = 0.2
+    num_cores: int = 1
+    llc_ways: int = 16  #: LLC associativity (16 = Table III)
+    _trace_cache: dict = field(default_factory=dict, repr=False)
+
+    def hierarchy(self, num_cores: int = None) -> HierarchyConfig:
+        """The hierarchy configuration at this evaluation scale."""
+        cores = num_cores or self.num_cores
+        if self.scale == 1 and self.llc_ways == 16:
+            return HierarchyConfig.paper(num_cores=cores)
+        return HierarchyConfig.scaled(
+            num_cores=cores, factor=self.scale, llc_ways=self.llc_ways
+        )
+
+    @property
+    def llc_lines(self) -> int:
+        """LLC capacity in lines at this scale (single-core)."""
+        return self.hierarchy(num_cores=1).llc.num_lines
+
+    def trace(self, workload_name: str, core: int = 0) -> Trace:
+        """Build (and cache) the trace for one workload model."""
+        key = (workload_name, core)
+        if key not in self._trace_cache:
+            spec = get_workload(workload_name)
+            self._trace_cache[key] = build_trace(
+                spec,
+                llc_lines=self.llc_lines,
+                length=self.trace_length,
+                seed=self.seed,
+                core=core,
+            )
+        return self._trace_cache[key]
+
+    def mix_trace(self, names) -> Trace:
+        """Build a 4-core (or N-core) interleaved mix trace."""
+        traces = [self.trace(name, core=core) for core, name in enumerate(names)]
+        return interleave(traces)
+
+
+def suite_names(suite: str) -> list:
+    """Benchmark names of a suite ("spec2006" or "cloudsuite")."""
+    if suite == "spec2006":
+        return [spec.name for spec in SPEC2006]
+    if suite == "cloudsuite":
+        return [spec.name for spec in CLOUDSUITE]
+    raise ValueError(f"unknown suite {suite!r}")
+
+
+def high_mpki_names(suite: str = "spec2006") -> list:
+    """Benchmarks the paper focuses on (significant LRU-vs-Belady gap)."""
+    return [
+        name
+        for name in suite_names(suite)
+        if ALL_WORKLOADS[name].mpki_class == "high"
+    ]
+
+
+#: The eight SPEC benchmarks used for RL agent training / analysis (§III-B,
+#: Figure 7): applications with a significant Belady-vs-LRU hit-rate gap.
+RL_TRAINING_BENCHMARKS = [
+    "459.GemsFDTD",
+    "403.gcc",
+    "429.mcf",
+    "450.soplex",
+    "470.lbm",
+    "437.leslie3d",
+    "471.omnetpp",
+    "483.xalancbmk",
+]
+
+
+def spec_mixes(eval_config: EvalConfig, num_mixes: int) -> list:
+    """Random 4-benchmark SPEC mixes (paper: 100 mixes of the 29 apps)."""
+    return random_mixes(
+        suite_names("spec2006"), num_mixes, mix_size=4, seed=eval_config.seed
+    )

@@ -1,0 +1,145 @@
+"""The DQN-style RL agent (paper §III-A "Agent" / "Training").
+
+Epsilon-greedy victim selection over the MLP's per-way Q-values, experience
+replay, and optional discounting with a target network.  The paper's reward
+is an immediate Belady-derived signal, so the default ``gamma`` is 0 (pure
+reward regression); discounted Q-learning is supported for experimentation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.rl.network import MLP
+from repro.rl.replay import ReplayMemory, Transition
+
+#: Paper: epsilon = 0.1 performed best.
+DEFAULT_EPSILON = 0.1
+
+
+class DQNAgent:
+    """Victim-selecting agent: network + replay + exploration policy.
+
+    Args:
+        input_size: State-vector width.
+        ways: Number of cache ways (output size).
+        hidden_size: Hidden-layer width (paper: 175).
+        epsilon: Exploration rate (paper: 0.1).
+        gamma: Discount factor (0 = immediate-reward regression, the default
+            matching the paper's Belady reward).
+        batch_size: Replay batch size.
+        train_interval: Decisions between training steps.
+        target_sync_interval: Training steps between target-network syncs
+            (only relevant when gamma > 0).
+        replay_capacity: Replay-memory size.
+        learning_rate: Adam step size.
+        counterfactual: Train on the full Belady reward vector (the reward of
+            evicting EVERY way is computable from the future oracle), which
+            is far more sample-efficient than single-action DQN updates.
+            Set False for the paper-literal single-action mode.
+        seed: RNG seed for exploration, replay sampling, and weights.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        ways: int = 16,
+        hidden_size: int = 175,
+        epsilon: float = DEFAULT_EPSILON,
+        gamma: float = 0.0,
+        batch_size: int = 32,
+        train_interval: int = 4,
+        target_sync_interval: int = 256,
+        replay_capacity: int = 10_000,
+        learning_rate: float = 1e-3,
+        counterfactual: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.counterfactual = counterfactual
+        self.ways = ways
+        self.epsilon = epsilon
+        self.gamma = gamma
+        self.batch_size = batch_size
+        self.train_interval = train_interval
+        self.target_sync_interval = target_sync_interval
+        self.network = MLP(
+            input_size, hidden_size, ways, learning_rate=learning_rate, seed=seed
+        )
+        self._target = MLP(
+            input_size, hidden_size, ways, learning_rate=learning_rate, seed=seed
+        )
+        self._target.copy_weights_from(self.network)
+        self.replay = ReplayMemory(replay_capacity, seed=seed + 1)
+        self._rng = random.Random(seed + 2)
+        self.decisions = 0
+        self.train_steps = 0
+        self.losses = []
+
+    # -- action selection ---------------------------------------------------
+
+    def select_action(self, state: np.ndarray, valid_ways) -> int:
+        """Epsilon-greedy choice among ``valid_ways``."""
+        if self._rng.random() < self.epsilon:
+            return self._rng.choice(list(valid_ways))
+        return self.select_greedy(state, valid_ways)
+
+    def select_greedy(self, state: np.ndarray, valid_ways) -> int:
+        """Highest-Q valid way (exploitation only)."""
+        q_values = self.network.predict_one(state)
+        return max(valid_ways, key=lambda way: q_values[way])
+
+    # -- learning -------------------------------------------------------------
+
+    def observe(self, state, action: int, reward: float, next_state=None) -> None:
+        """Record a transition and train on schedule."""
+        self.replay.push(Transition(state, action, next_state, reward))
+        self.decisions += 1
+        if (
+            self.decisions % self.train_interval == 0
+            and len(self.replay) >= self.batch_size
+        ):
+            self._train_step()
+
+    def observe_vector(self, state, reward_vector) -> None:
+        """Record a counterfactual transition (reward for every way)."""
+        self.replay.push(
+            Transition(state, -1, None, np.asarray(reward_vector, dtype=float))
+        )
+        self.decisions += 1
+        if (
+            self.decisions % self.train_interval == 0
+            and len(self.replay) >= self.batch_size
+        ):
+            self._train_step_full()
+
+    def _train_step_full(self) -> None:
+        batch = self.replay.sample(self.batch_size)
+        states = np.stack([transition.state for transition in batch])
+        targets = np.stack([transition.reward for transition in batch])
+        loss = self.network.train_batch_full(states, targets)
+        self.losses.append(loss)
+        self.train_steps += 1
+
+    def _train_step(self) -> None:
+        batch = self.replay.sample(self.batch_size)
+        states = np.stack([transition.state for transition in batch])
+        actions = np.array([transition.action for transition in batch])
+        rewards = np.array([transition.reward for transition in batch])
+        if self.gamma > 0.0:
+            targets = rewards.copy()
+            next_states = [transition.next_state for transition in batch]
+            have_next = [i for i, s in enumerate(next_states) if s is not None]
+            if have_next:
+                stacked = np.stack([next_states[i] for i in have_next])
+                future_q = self._target.forward(stacked).max(axis=1)
+                for offset, index in enumerate(have_next):
+                    targets[index] += self.gamma * future_q[offset]
+        else:
+            targets = rewards
+        loss = self.network.train_batch(states, actions, targets)
+        self.losses.append(loss)
+        self.train_steps += 1
+        if self.gamma > 0.0 and self.train_steps % self.target_sync_interval == 0:
+            self._target.copy_weights_from(self.network)

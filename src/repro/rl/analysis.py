@@ -1,0 +1,96 @@
+"""Neural-network interpretation (paper §III-B, Figure 3).
+
+To find the features that drive the agent's decisions, the paper computes
+the average weight magnitude of each input-layer neuron across all hidden
+neurons, and for per-line features additionally averages across the 16 ways.
+Plotted per training benchmark, this is the Figure 3 heat map; the features
+with consistently high magnitudes (across at least three benchmarks) are the
+ones the final RLR policy is built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def feature_importance(network, extractor) -> dict:
+    """Per-feature mean |input weight|, averaged over spans and ways.
+
+    Args:
+        network: A trained :class:`repro.rl.network.MLP`.
+        extractor: The :class:`repro.rl.features.FeatureExtractor` that
+            defined the network's input layout.
+
+    Returns:
+        {feature_name: importance} over Table II feature names.
+    """
+    magnitudes = network.input_weight_magnitudes()
+    importances = {}
+    for name, spans in extractor.feature_spans().items():
+        values = [magnitudes[start:end].mean() for start, end in spans]
+        importances[name] = float(np.mean(values))
+    return importances
+
+
+def heatmap(trained_agents: dict) -> tuple:
+    """Figure 3's heat-map matrix.
+
+    Args:
+        trained_agents: {benchmark: TrainedAgent} from
+            :func:`repro.rl.trainer.train_per_benchmark`.
+
+    Returns:
+        (feature_names, benchmark_names, matrix) where
+        ``matrix[i][j]`` is feature i's importance for benchmark j,
+        column-normalized to [0, 1].
+    """
+    benchmarks = list(trained_agents)
+    per_benchmark = {
+        benchmark: feature_importance(trained.agent.network, trained.extractor)
+        for benchmark, trained in trained_agents.items()
+    }
+    features = sorted({name for imp in per_benchmark.values() for name in imp})
+    matrix = np.zeros((len(features), len(benchmarks)))
+    for j, benchmark in enumerate(benchmarks):
+        importances = per_benchmark[benchmark]
+        column = np.array([importances.get(f, 0.0) for f in features])
+        peak = column.max()
+        matrix[:, j] = column / peak if peak > 0 else column
+    return features, benchmarks, matrix
+
+
+def top_features(trained_agents: dict, count: int = 5, min_benchmarks: int = 3):
+    """Features with high weight in at least ``min_benchmarks`` benchmarks.
+
+    This automates the paper's reading of the heat map ("the features with
+    high magnitude of weights, considering at least three benchmarks").
+    """
+    features, benchmarks, matrix = heatmap(trained_agents)
+    threshold = 0.5  # "high magnitude" = top half of the normalized scale
+    scores = []
+    for i, feature in enumerate(features):
+        high_count = int((matrix[i, :] >= threshold).sum())
+        scores.append((high_count, float(matrix[i, :].mean()), feature))
+    scores.sort(reverse=True)
+    qualified = [
+        feature for high, _, feature in scores if high >= min_benchmarks
+    ]
+    if len(qualified) >= count:
+        return qualified[:count]
+    # Fall back to mean importance if too few cross the threshold.
+    return [feature for _, _, feature in scores[:count]]
+
+
+def render_heatmap(features, benchmarks, matrix, width: int = 8) -> str:
+    """ASCII rendering of the Figure 3 heat map (darker = heavier)."""
+    shades = " .:-=+*#%@"
+    lines = []
+    header = " " * 26 + "".join(b[: width - 1].ljust(width) for b in benchmarks)
+    lines.append(header)
+    for i, feature in enumerate(features):
+        cells = []
+        for j in range(len(benchmarks)):
+            level = int(round(matrix[i, j] * (len(shades) - 1)))
+            cells.append((shades[level] * 3).ljust(width))
+        lines.append(feature.ljust(26) + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Per-decision explanation of the agent's choices (saliency).
+
+The paper's Figure 3 interprets the network *globally* (mean |weight| per
+input).  This module adds *local* interpretation: for one concrete
+replacement decision, the gradient-times-input saliency of every feature
+toward the chosen way's Q-value — which feature values pushed the agent to
+evict that particular line.  Together the two views support the §III-B
+"decipher the agent's policy" workflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def qvalue_gradient(network, state: np.ndarray, action: int) -> np.ndarray:
+    """d Q(state)[action] / d state, computed analytically for the MLP."""
+    state = np.asarray(state, dtype=float)
+    pre_hidden = state @ network.w1 + network.b1
+    hidden = np.tanh(pre_hidden)
+    # dQ/dh = w2[:, action]; dh/dpre = 1 - tanh^2; dpre/dx = w1.T
+    grad_hidden = network.w2[:, action] * (1.0 - hidden**2)
+    return network.w1 @ grad_hidden
+
+
+def saliency(network, state: np.ndarray, action: int) -> np.ndarray:
+    """Gradient x input attribution per state element."""
+    return qvalue_gradient(network, state, action) * np.asarray(state)
+
+
+def explain_decision(trained, state: np.ndarray, action: int, top: int = 8):
+    """Top feature attributions for choosing ``action`` in ``state``.
+
+    Args:
+        trained: A :class:`repro.rl.trainer.TrainedAgent`.
+        state: The state vector the decision was made on.
+        action: The chosen way.
+        top: Number of attributions to return.
+
+    Returns:
+        List of (feature_label, state_value, attribution) sorted by
+        |attribution| descending.  Per-way feature labels carry their way
+        index (e.g. ``line_preuse[3]``).
+    """
+    attributions = saliency(trained.agent.network, state, action)
+    labeled = []
+    for label, start, end in trained.extractor.layout:
+        span_attr = float(attributions[start:end].sum())
+        span_value = float(np.asarray(state)[start:end].sum())
+        labeled.append((label, span_value, span_attr))
+    labeled.sort(key=lambda item: -abs(item[2]))
+    return labeled[:top]
+
+
+def render_explanation(attributions, width: int = 30) -> str:
+    """ASCII rendering of an attribution list."""
+    if not attributions:
+        return "(no attributions)"
+    peak = max(abs(a) for _, _, a in attributions) or 1.0
+    lines = []
+    for label, value, attribution in attributions:
+        bar_length = int(round(abs(attribution) / peak * width))
+        bar = ("+" if attribution >= 0 else "-") * bar_length
+        lines.append(f"{label:28s} value={value:6.2f}  {attribution:+8.4f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""The agent's neural network (paper §III-A).
+
+A multi-layer perceptron with one hidden layer — 334 inputs, 175 tanh hidden
+neurons, 16 linear outputs for a 16-way LLC — "simple enough for
+interpretation but performs almost as well as denser networks".  Implemented
+in numpy with Adam, trained by Q-value regression on the selected action's
+output only (standard DQN-style masking).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MLP:
+    """One-hidden-layer perceptron: tanh hidden, linear output.
+
+    Args:
+        input_size: State-vector width (334 for the full feature set, 16-way).
+        hidden_size: Hidden neurons (paper: 175).
+        output_size: One Q-value per cache way (paper: 16).
+        learning_rate: Adam step size.
+        seed: Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int = 175,
+        output_size: int = 16,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.output_size = output_size
+        self.learning_rate = learning_rate
+        # Xavier/Glorot initialization for tanh.
+        bound1 = np.sqrt(6.0 / (input_size + hidden_size))
+        bound2 = np.sqrt(6.0 / (hidden_size + output_size))
+        self.w1 = rng.uniform(-bound1, bound1, (input_size, hidden_size))
+        self.b1 = np.zeros(hidden_size)
+        self.w2 = rng.uniform(-bound2, bound2, (hidden_size, output_size))
+        self.b2 = np.zeros(output_size)
+        # Adam state.
+        self._step = 0
+        self._moments = {
+            name: (np.zeros_like(param), np.zeros_like(param))
+            for name, param in self._parameters().items()
+        }
+
+    def _parameters(self) -> dict:
+        return {"w1": self.w1, "b1": self.b1, "w2": self.w2, "b2": self.b2}
+
+    def forward(self, states: np.ndarray) -> np.ndarray:
+        """Q-values for a batch (or single vector) of states."""
+        states = np.atleast_2d(states)
+        hidden = np.tanh(states @ self.w1 + self.b1)
+        return hidden @ self.w2 + self.b2
+
+    def predict_one(self, state: np.ndarray) -> np.ndarray:
+        """Q-values for a single state, as a flat vector."""
+        return self.forward(state)[0]
+
+    def train_batch(
+        self, states: np.ndarray, actions: np.ndarray, targets: np.ndarray
+    ) -> float:
+        """One Adam step of masked MSE regression.
+
+        Only the output corresponding to each sample's ``action`` receives a
+        gradient; returns the batch MSE loss on those outputs.
+        """
+        states = np.atleast_2d(states)
+        batch = states.shape[0]
+        pre_hidden = states @ self.w1 + self.b1
+        hidden = np.tanh(pre_hidden)
+        outputs = hidden @ self.w2 + self.b2
+
+        rows = np.arange(batch)
+        predicted = outputs[rows, actions]
+        errors = predicted - targets
+        loss = float(np.mean(errors**2))
+
+        # Backprop through the masked MSE.
+        grad_outputs = np.zeros_like(outputs)
+        grad_outputs[rows, actions] = 2.0 * errors / batch
+        grad_w2 = hidden.T @ grad_outputs
+        grad_b2 = grad_outputs.sum(axis=0)
+        grad_hidden = (grad_outputs @ self.w2.T) * (1.0 - hidden**2)
+        grad_w1 = states.T @ grad_hidden
+        grad_b1 = grad_hidden.sum(axis=0)
+
+        self._adam_step(
+            {"w1": grad_w1, "b1": grad_b1, "w2": grad_w2, "b2": grad_b2}
+        )
+        return loss
+
+    def train_batch_full(self, states: np.ndarray, targets: np.ndarray) -> float:
+        """One Adam step regressing ALL outputs to ``targets``.
+
+        Used for counterfactual Belady-reward training, where the target
+        Q-value of every way is known.  Returns the batch MSE.
+        """
+        states = np.atleast_2d(states)
+        batch = states.shape[0]
+        pre_hidden = states @ self.w1 + self.b1
+        hidden = np.tanh(pre_hidden)
+        outputs = hidden @ self.w2 + self.b2
+
+        errors = outputs - targets
+        loss = float(np.mean(errors**2))
+
+        grad_outputs = 2.0 * errors / (batch * self.output_size)
+        grad_w2 = hidden.T @ grad_outputs
+        grad_b2 = grad_outputs.sum(axis=0)
+        grad_hidden = (grad_outputs @ self.w2.T) * (1.0 - hidden**2)
+        grad_w1 = states.T @ grad_hidden
+        grad_b1 = grad_hidden.sum(axis=0)
+        self._adam_step(
+            {"w1": grad_w1, "b1": grad_b1, "w2": grad_w2, "b2": grad_b2}
+        )
+        return loss
+
+    def _adam_step(self, grads: dict, beta1=0.9, beta2=0.999, eps=1e-8) -> None:
+        self._step += 1
+        parameters = self._parameters()
+        for name, grad in grads.items():
+            m, v = self._moments[name]
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad**2
+            m_hat = m / (1 - beta1**self._step)
+            v_hat = v / (1 - beta2**self._step)
+            parameters[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    def copy_weights_from(self, other: "MLP") -> None:
+        """Clone another network's parameters (target-network sync)."""
+        self.w1 = other.w1.copy()
+        self.b1 = other.b1.copy()
+        self.w2 = other.w2.copy()
+        self.b2 = other.b2.copy()
+
+    def save(self, path) -> None:
+        """Persist weights + geometry to an .npz file.
+
+        Writes to exactly ``path``: numpy's savez appends ``.npz`` to bare
+        string paths, which would break a subsequent ``load(path)``, so the
+        file is opened explicitly.
+        """
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                w1=self.w1,
+                b1=self.b1,
+                w2=self.w2,
+                b2=self.b2,
+                meta=np.array(
+                    [self.input_size, self.hidden_size, self.output_size]
+                ),
+            )
+
+    @classmethod
+    def load(cls, path, learning_rate: float = 1e-3) -> "MLP":
+        """Load a network persisted with :meth:`save`."""
+        data = np.load(path)
+        input_size, hidden_size, output_size = (int(v) for v in data["meta"])
+        network = cls(input_size, hidden_size, output_size, learning_rate)
+        network.w1 = data["w1"]
+        network.b1 = data["b1"]
+        network.w2 = data["w2"]
+        network.b2 = data["b2"]
+        network._moments = {
+            name: (np.zeros_like(param), np.zeros_like(param))
+            for name, param in network._parameters().items()
+        }
+        return network
+
+    def input_weight_magnitudes(self) -> np.ndarray:
+        """Mean |weight| of each input neuron across hidden neurons.
+
+        This is the quantity the paper's Figure 3 heat map plots per feature.
+        """
+        return np.abs(self.w1).mean(axis=1)

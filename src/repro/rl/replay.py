@@ -1,0 +1,52 @@
+"""Experience replay (paper §III-A "Training").
+
+A bounded circular buffer of <state, action, next_state, reward>
+transactions.  Training samples random batches, which "breaks the similarity
+of subsequent training samples" and lets the model relearn past experience.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One replacement decision stored for training."""
+
+    state: np.ndarray
+    action: int
+    next_state: object  #: np.ndarray or None (terminal / gamma == 0)
+    reward: float
+
+
+class ReplayMemory:
+    """Fixed-capacity circular transaction buffer."""
+
+    def __init__(self, capacity: int = 10_000, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buffer = []
+        self._cursor = 0
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def push(self, transition: Transition) -> None:
+        """Append, overwriting the oldest transaction when full."""
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(transition)
+        else:
+            self._buffer[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> list:
+        """Uniformly sample ``batch_size`` transactions (without replacement)."""
+        if batch_size > len(self._buffer):
+            raise ValueError("not enough transitions to sample")
+        return self._rng.sample(self._buffer, batch_size)

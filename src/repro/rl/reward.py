@@ -1,0 +1,99 @@
+"""Belady-derived reward (paper §III-A "Reward").
+
+* +1 when the agent evicts the line with the farthest reuse distance in the
+  set (the Belady-optimal choice);
+* -1 when the evicted line would be reused *sooner* than the line being
+  inserted (keeping it would have yielded an earlier hit);
+* 0 otherwise.
+
+"Only the optimal replacement decision is assigned a positive reward,
+differentiating it from the other decisions."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+POSITIVE_REWARD = 1.0
+NEGATIVE_REWARD = -1.0
+NEUTRAL_REWARD = 0.0
+
+#: Next-use position for never-reused lines.
+NEVER = float("inf")
+
+
+class FutureOracle:
+    """Next-use lookups over a pre-recorded LLC line-address stream.
+
+    Shares Belady's machinery: per-address queues of future positions,
+    advanced once per LLC access.
+    """
+
+    def __init__(self, line_addresses) -> None:
+        self._occurrences = {}
+        for position, line_address in enumerate(line_addresses):
+            self._occurrences.setdefault(line_address, deque()).append(position)
+        self.position = 0
+
+    def advance(self, line_address: int) -> None:
+        """Consume the current stream position (must match the stream)."""
+        queue = self._occurrences.get(line_address)
+        if not queue or queue[0] != self.position:
+            raise RuntimeError(
+                f"oracle misalignment at position {self.position}"
+            )
+        queue.popleft()
+        self.position += 1
+
+    def next_use(self, line_address: int) -> float:
+        """Stream position of the next access to ``line_address`` (or NEVER)."""
+        queue = self._occurrences.get(line_address)
+        return queue[0] if queue else NEVER
+
+
+def belady_reward_vector(oracle: FutureOracle, cache_set, access) -> list:
+    """Counterfactual rewards for evicting EACH way (invalid ways: -1).
+
+    Because the oracle knows the future, the reward of every possible
+    eviction is computable at decision time, not just the taken one.  Using
+    the full vector as a regression target makes training far more
+    sample-efficient than single-action DQN updates; both modes are
+    supported (see :class:`repro.rl.agent.DQNAgent`'s ``counterfactual``).
+    """
+    next_uses = [
+        oracle.next_use(line.line_address) if line.valid else None
+        for line in cache_set.lines
+    ]
+    valid_uses = [use for use in next_uses if use is not None]
+    farthest = max(valid_uses)
+    inserted_next = oracle.next_use(access.line_address)
+    rewards = []
+    for use in next_uses:
+        if use is None:
+            rewards.append(NEGATIVE_REWARD)
+        elif use == farthest:
+            rewards.append(POSITIVE_REWARD)
+        elif use < inserted_next:
+            rewards.append(NEGATIVE_REWARD)
+        else:
+            rewards.append(NEUTRAL_REWARD)
+    return rewards
+
+
+def belady_reward(oracle: FutureOracle, cache_set, victim_way: int, access) -> float:
+    """Reward the agent's choice of ``victim_way`` for the missing ``access``.
+
+    Must be called *after* the oracle has advanced past the current access,
+    so every ``next_use`` refers strictly to the future.
+    """
+    next_uses = [
+        oracle.next_use(line.line_address) if line.valid else NEVER
+        for line in cache_set.lines
+    ]
+    farthest = max(next_uses)
+    chosen = next_uses[victim_way]
+    if chosen == farthest:
+        return POSITIVE_REWARD
+    if chosen < oracle.next_use(access.line_address):
+        return NEGATIVE_REWARD
+    return NEUTRAL_REWARD

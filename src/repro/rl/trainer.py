@@ -1,0 +1,152 @@
+"""High-level RL training/evaluation driver (paper §III).
+
+Glues the pieces together: obtains LLC access streams for the training
+benchmarks (the eight SPEC applications with a significant Belady-vs-LRU
+gap), trains one agent per benchmark (as the paper does for its Figure 3
+heat-map analysis) or a single shared agent, and evaluates agents greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.runner import _prepared
+from repro.rl.agent import DQNAgent
+from repro.rl.environment import RLSimulation
+from repro.rl.features import FeatureExtractor
+
+
+def llc_stream_records(eval_config, workload_name: str) -> list:
+    """The LLC access stream (TraceRecords) for one workload model."""
+    trace = eval_config.trace(workload_name)
+    return _prepared(eval_config, trace, 1, None).llc_records
+
+
+@dataclass
+class TrainedAgent:
+    """An agent plus the extractor that defines its input layout."""
+
+    agent: DQNAgent
+    extractor: FeatureExtractor
+    benchmark: str = ""
+    train_hit_rate: float = 0.0
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters for a training run (paper values as defaults)."""
+
+    hidden_size: int = 175
+    epochs: int = 1
+    epsilon: float = 0.1
+    gamma: float = 0.0
+    batch_size: int = 32
+    train_interval: int = 4
+    replay_capacity: int = 10_000
+    learning_rate: float = 1e-3
+    seed: int = 0
+    features: tuple = None  #: None = the full Table II set (334 dims)
+    max_records: int = None  #: truncate streams (hill-climbing speed knob)
+
+
+def make_extractor(llc_config, features=None) -> FeatureExtractor:
+    """A Table II extractor matching an LLC configuration."""
+    return FeatureExtractor(
+        ways=llc_config.ways, num_sets=llc_config.num_sets, enabled=features
+    )
+
+
+def train_on_stream(
+    llc_config, records, config: TrainerConfig, extractor=None
+) -> TrainedAgent:
+    """Train a fresh agent on one LLC stream for ``config.epochs`` passes."""
+    if extractor is None:
+        extractor = make_extractor(llc_config, config.features)
+    if config.max_records is not None:
+        records = records[: config.max_records]
+    agent = DQNAgent(
+        input_size=extractor.size,
+        ways=llc_config.ways,
+        hidden_size=config.hidden_size,
+        epsilon=config.epsilon,
+        gamma=config.gamma,
+        batch_size=config.batch_size,
+        train_interval=config.train_interval,
+        replay_capacity=config.replay_capacity,
+        learning_rate=config.learning_rate,
+        seed=config.seed,
+    )
+    stats = None
+    for _ in range(max(1, config.epochs)):
+        simulation = RLSimulation(llc_config, agent, extractor, records, train=True)
+        stats = simulation.run()
+    return TrainedAgent(
+        agent=agent,
+        extractor=extractor,
+        train_hit_rate=stats.hit_rate if stats else 0.0,
+    )
+
+
+def evaluate_on_stream(trained: TrainedAgent, llc_config, records):
+    """Greedy (no exploration, no learning) pass; returns cache stats."""
+    simulation = RLSimulation(
+        llc_config, trained.agent, trained.extractor, records, train=False
+    )
+    return simulation.run()
+
+
+def save_agent(trained: TrainedAgent, path) -> None:
+    """Persist a trained agent (network weights + feature layout) to .npz."""
+    import numpy as np
+
+    trained.agent.network.save(path)
+    # Append the extractor layout in a sidecar-free way: re-open and add.
+    # (Write through a file handle: numpy's savez appends ".npz" to bare
+    # string paths, which would break loading from the exact path given.)
+    data = dict(np.load(path))
+    data["features"] = np.array(sorted(trained.extractor.enabled), dtype="U40")
+    data["geometry"] = np.array(
+        [trained.extractor.ways, trained.extractor.num_sets]
+    )
+    with open(path, "wb") as handle:
+        np.savez(handle, **data)
+
+
+def load_agent(path) -> TrainedAgent:
+    """Load an agent saved with :func:`save_agent` (greedy evaluation use)."""
+    import numpy as np
+
+    from repro.rl.agent import DQNAgent
+    from repro.rl.network import MLP
+
+    data = np.load(path)
+    ways, num_sets = (int(v) for v in data["geometry"])
+    extractor = FeatureExtractor(
+        ways=ways, num_sets=num_sets, enabled=[str(f) for f in data["features"]]
+    )
+    network = MLP.load(path)
+    agent = DQNAgent(
+        input_size=network.input_size,
+        ways=network.output_size,
+        hidden_size=network.hidden_size,
+    )
+    agent.network = network
+    return TrainedAgent(agent=agent, extractor=extractor)
+
+
+def train_per_benchmark(
+    eval_config, workload_names, config: TrainerConfig = None
+) -> dict:
+    """One agent per benchmark (paper §III-B heat-map methodology).
+
+    Returns {benchmark: TrainedAgent}.
+    """
+    config = config or TrainerConfig()
+    llc_config = eval_config.hierarchy(num_cores=1).llc
+    agents = {}
+    for name in workload_names:
+        records = llc_stream_records(eval_config, name)
+        trained = train_on_stream(llc_config, records, config)
+        trained.benchmark = name
+        agents[name] = trained
+    return agents

@@ -1,0 +1,19 @@
+"""Trace records, synthetic workload models, and trace I/O."""
+
+from repro.traces.record import (
+    LINE_SIZE,
+    OFFSET_BITS,
+    AccessType,
+    Trace,
+    TraceRecord,
+    access_type_from_name,
+)
+
+__all__ = [
+    "AccessType",
+    "LINE_SIZE",
+    "OFFSET_BITS",
+    "Trace",
+    "TraceRecord",
+    "access_type_from_name",
+]

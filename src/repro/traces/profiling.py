@@ -1,0 +1,120 @@
+"""Trace characterization tools.
+
+Profiles the properties the workload models are calibrated on (DESIGN.md
+§2): per-set reuse-distance distributions, footprints, access-type and PC
+breakdowns, and spatial locality.  Useful both for validating synthetic
+models against intended behaviour and for characterizing imported traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceProfile:
+    """Summary statistics for one trace."""
+
+    name: str
+    references: int
+    instructions: int
+    footprint_lines: int
+    access_type_counts: dict
+    write_fraction: float
+    distinct_pcs: int
+    sequential_fraction: float  #: accesses at line+1 of the previous access
+    reuse_distance_histogram: dict  #: bucketed per-set reuse distances
+    cold_fraction: float  #: accesses with no prior reference to the line
+
+    @property
+    def mean_instructions_per_reference(self) -> float:
+        return self.instructions / self.references if self.references else 0.0
+
+
+#: Reuse-distance buckets (in per-set accesses), paper-Figure-4 style.
+REUSE_BUCKETS = ((0, 8), (8, 16), (16, 32), (32, 64), (64, 128), (128, None))
+
+
+def _bucket_label(low, high) -> str:
+    return f"{low}-{high}" if high is not None else f">={low}"
+
+
+def profile_trace(trace, num_sets: int = 128) -> TraceProfile:
+    """Compute a :class:`TraceProfile` for ``trace``.
+
+    ``num_sets`` sets the set-mapping used for per-set reuse distances
+    (use the evaluation LLC's set count to match simulator behaviour).
+    """
+    set_mask = num_sets - 1
+    set_accesses = defaultdict(int)
+    last_access = {}
+    type_counts = Counter()
+    pcs = set()
+    histogram = Counter()
+    sequential = 0
+    cold = 0
+    previous_line = None
+    writes = 0
+
+    for record in trace:
+        line = record.line_address
+        set_index = line & set_mask
+        set_accesses[set_index] += 1
+        type_counts[record.access_type.short_name] += 1
+        pcs.add(record.pc)
+        if record.is_write:
+            writes += 1
+        if previous_line is not None and line == previous_line + 1:
+            sequential += 1
+        previous_line = line
+
+        seen_at = last_access.get(line)
+        if seen_at is None:
+            cold += 1
+        else:
+            distance = set_accesses[set_index] - seen_at
+            for low, high in REUSE_BUCKETS:
+                if high is None or distance < high:
+                    if distance >= low:
+                        histogram[_bucket_label(low, high)] += 1
+                        break
+        last_access[line] = set_accesses[set_index]
+
+    references = len(trace)
+    reused = max(1, references - cold)
+    return TraceProfile(
+        name=trace.name,
+        references=references,
+        instructions=trace.instruction_count,
+        footprint_lines=len(last_access),
+        access_type_counts=dict(type_counts),
+        write_fraction=writes / references if references else 0.0,
+        distinct_pcs=len(pcs),
+        sequential_fraction=sequential / references if references else 0.0,
+        reuse_distance_histogram={
+            label: count / reused for label, count in sorted(histogram.items())
+        },
+        cold_fraction=cold / references if references else 0.0,
+    )
+
+
+def compare_profiles(profiles) -> str:
+    """Render several profiles side by side as a text table."""
+    from repro.eval.reporting import format_table
+
+    rows = []
+    for profile in profiles:
+        rows.append({
+            "trace": profile.name,
+            "refs": profile.references,
+            "lines": profile.footprint_lines,
+            "instr/ref": round(profile.mean_instructions_per_reference, 1),
+            "write%": round(100 * profile.write_fraction, 1),
+            "seq%": round(100 * profile.sequential_fraction, 1),
+            "cold%": round(100 * profile.cold_fraction, 1),
+            "pcs": profile.distinct_pcs,
+        })
+    headers = ["trace", "refs", "lines", "instr/ref", "write%", "seq%",
+               "cold%", "pcs"]
+    return format_table(rows, headers=headers, title="trace profiles")

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.replacement import make_policy
+from repro.traces import AccessType, TraceRecord
+
+
+@pytest.fixture
+def tiny_config():
+    """4 sets x 4 ways = 16 lines; small enough to reason about by hand."""
+    return CacheConfig("tiny", 4 * 4 * 64, 4, latency=10)
+
+
+@pytest.fixture
+def small_config():
+    """16 sets x 16 ways = 256 lines; the paper's associativity."""
+    return CacheConfig("small", 16 * 16 * 64, 16, latency=26)
+
+
+@pytest.fixture
+def make_cache():
+    """Factory: build a cache with a named policy bound to a config."""
+
+    def build(config, policy="lru", **kwargs):
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        policy.bind(config)
+        return Cache(config, policy, **kwargs)
+
+    return build
+
+
+def load(line: int, pc: int = 0, core: int = 0) -> TraceRecord:
+    """A LOAD record for cache line ``line``."""
+    return TraceRecord(
+        address=line * 64, pc=pc, access_type=AccessType.LOAD, core=core
+    )
+
+
+def rfo(line: int, pc: int = 0) -> TraceRecord:
+    return TraceRecord(address=line * 64, pc=pc, access_type=AccessType.RFO)
+
+
+def prefetch(line: int, pc: int = 0) -> TraceRecord:
+    return TraceRecord(address=line * 64, pc=pc, access_type=AccessType.PREFETCH)
+
+
+def writeback(line: int) -> TraceRecord:
+    return TraceRecord(address=line * 64, access_type=AccessType.WRITEBACK)
+
+
+@pytest.fixture
+def records():
+    """Record-constructing helpers as a namespace."""
+
+    class Records:
+        load = staticmethod(load)
+        rfo = staticmethod(rfo)
+        prefetch = staticmethod(prefetch)
+        writeback = staticmethod(writeback)
+
+    return Records
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

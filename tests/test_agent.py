@@ -1,0 +1,82 @@
+"""Tests for the DQN agent."""
+
+import numpy as np
+import pytest
+
+from repro.rl.agent import DQNAgent
+
+
+def make_agent(**kwargs):
+    defaults = dict(
+        input_size=6, ways=4, hidden_size=8, batch_size=4, train_interval=2,
+        replay_capacity=64, seed=0,
+    )
+    defaults.update(kwargs)
+    return DQNAgent(**defaults)
+
+
+class TestActionSelection:
+    def test_greedy_picks_max_q_valid_way(self):
+        agent = make_agent(epsilon=0.0)
+        state = np.ones(6)
+        q_values = agent.network.predict_one(state)
+        expected = max(range(4), key=lambda way: q_values[way])
+        assert agent.select_greedy(state, range(4)) == expected
+
+    def test_greedy_respects_valid_ways(self):
+        agent = make_agent(epsilon=0.0)
+        state = np.ones(6)
+        assert agent.select_action(state, [2]) == 2
+
+    def test_full_exploration_is_uniform_ish(self):
+        agent = make_agent(epsilon=1.0)
+        state = np.zeros(6)
+        choices = {agent.select_action(state, range(4)) for _ in range(100)}
+        assert choices == {0, 1, 2, 3}
+
+    def test_paper_default_epsilon(self):
+        from repro.rl.agent import DEFAULT_EPSILON
+
+        assert DEFAULT_EPSILON == 0.1
+
+
+class TestLearning:
+    def test_observe_trains_on_schedule(self):
+        agent = make_agent(counterfactual=False)
+        state = np.zeros(6)
+        for i in range(16):
+            agent.observe(state, i % 4, 1.0)
+        assert agent.train_steps > 0
+        assert agent.losses
+
+    def test_counterfactual_training(self):
+        agent = make_agent(counterfactual=True)
+        state = np.zeros(6)
+        for _ in range(16):
+            agent.observe_vector(state, [1.0, -1.0, 0.0, 0.0])
+        assert agent.train_steps > 0
+        # After training toward a fixed target, way 0 should have the
+        # highest Q-value.
+        for _ in range(300):
+            agent.observe_vector(state, [1.0, -1.0, 0.0, 0.0])
+        q_values = agent.network.predict_one(state)
+        assert int(np.argmax(q_values)) == 0
+
+    def test_no_training_before_batch_fills(self):
+        agent = make_agent(batch_size=32)
+        agent.observe_vector(np.zeros(6), [0, 0, 0, 0])
+        assert agent.train_steps == 0
+
+    def test_gamma_bootstrapping_runs(self):
+        agent = make_agent(counterfactual=False, gamma=0.9)
+        state = np.zeros(6)
+        next_state = np.ones(6)
+        for i in range(20):
+            agent.observe(state, i % 4, 0.5, next_state)
+        assert agent.train_steps > 0
+
+    def test_decision_counter(self):
+        agent = make_agent()
+        for _ in range(5):
+            agent.observe_vector(np.zeros(6), [0, 0, 0, 0])
+        assert agent.decisions == 5

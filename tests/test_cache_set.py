@@ -1,0 +1,106 @@
+"""Tests for CacheSet: lookup, recency stack, set counters."""
+
+from repro.cache.cache_set import CacheSet
+
+from tests.conftest import load
+
+
+def fill_way(cache_set, way, line_address):
+    line = cache_set.lines[way]
+    line.fill(tag=line_address, line_address=line_address, access=load(line_address))
+    cache_set.promote(way)
+    line.recency = cache_set.ways - 1
+
+
+class TestFind:
+    def test_miss_on_empty_set(self):
+        cache_set = CacheSet(0, 4)
+        assert cache_set.find(42) is None
+
+    def test_finds_filled_way(self):
+        cache_set = CacheSet(0, 4)
+        fill_way(cache_set, 2, 42)
+        assert cache_set.find(42) == 2
+
+    def test_invalid_lines_never_match(self):
+        cache_set = CacheSet(0, 4)
+        fill_way(cache_set, 1, 42)
+        cache_set.lines[1].invalidate()
+        assert cache_set.find(42) is None
+
+
+class TestFreeWay:
+    def test_empty_set_has_free_way(self):
+        assert CacheSet(0, 4).free_way() == 0
+
+    def test_full_set_has_none(self):
+        cache_set = CacheSet(0, 2)
+        fill_way(cache_set, 0, 1)
+        fill_way(cache_set, 1, 2)
+        assert cache_set.free_way() is None
+
+
+class TestRecency:
+    def test_promote_keeps_permutation(self):
+        cache_set = CacheSet(0, 4)
+        for way in range(4):
+            fill_way(cache_set, way, way + 10)
+        for way in (2, 0, 3, 1, 1, 2):
+            cache_set.promote(way)
+            recencies = sorted(line.recency for line in cache_set.lines)
+            assert recencies == [0, 1, 2, 3]
+
+    def test_promoted_way_is_mru(self):
+        cache_set = CacheSet(0, 4)
+        for way in range(4):
+            fill_way(cache_set, way, way + 10)
+        cache_set.promote(1)
+        assert cache_set.lines[1].recency == 3
+
+    def test_lru_way_is_least_recent(self):
+        cache_set = CacheSet(0, 4)
+        for way in range(4):
+            fill_way(cache_set, way, way + 10)
+        # Access order: 0,1,2,3 then 0 -> LRU should be way 1.
+        cache_set.promote(0)
+        assert cache_set.lru_way() == 1
+
+    def test_lru_ignores_invalid_lines(self):
+        cache_set = CacheSet(0, 4)
+        for way in range(4):
+            fill_way(cache_set, way, way + 10)
+        lru = cache_set.lru_way()
+        cache_set.lines[lru].invalidate()
+        assert cache_set.lru_way() != lru
+
+
+class TestCounters:
+    def test_begin_access_bumps_set_and_line_ages(self):
+        cache_set = CacheSet(0, 4)
+        fill_way(cache_set, 0, 10)
+        cache_set.begin_access()
+        assert cache_set.accesses == 1
+        assert cache_set.lines[0].age_since_insertion == 1
+        assert cache_set.lines[0].age_since_last_access == 1
+
+    def test_begin_access_without_ages(self):
+        cache_set = CacheSet(0, 4)
+        fill_way(cache_set, 0, 10)
+        cache_set.begin_access(ages=False)
+        assert cache_set.accesses == 1
+        assert cache_set.lines[0].age_since_insertion == 0
+
+    def test_accesses_since_miss(self):
+        cache_set = CacheSet(0, 4)
+        cache_set.record_hit()
+        cache_set.record_hit()
+        assert cache_set.accesses_since_miss == 2
+        cache_set.record_miss()
+        assert cache_set.accesses_since_miss == 0
+        assert cache_set.misses == 1
+
+    def test_valid_ways(self):
+        cache_set = CacheSet(0, 4)
+        fill_way(cache_set, 1, 10)
+        fill_way(cache_set, 3, 11)
+        assert cache_set.valid_ways() == [1, 3]

@@ -1,0 +1,159 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+SMALL = ("--scale", "64", "--length", "2000")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestListCommand:
+    def test_lists_workloads_and_policies(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "429.mcf" in out
+        assert "cassandra" in out
+        assert "rlr" in out
+        assert "belady" in out
+
+
+class TestTable1Command:
+    def test_prints_overheads(self, capsys):
+        code, out = run_cli(capsys, "table1")
+        assert code == 0
+        assert "16.75" in out  # RLR @ 2MB
+        assert "hawkeye" in out
+
+
+class TestSimulateCommand:
+    def test_summary_fields(self, capsys):
+        code, out = run_cli(capsys, "simulate", "470.lbm", "--policy", "rlr", *SMALL)
+        assert code == 0
+        assert "IPC:" in out
+        assert "demand MPKI:" in out
+
+
+class TestCompareCommand:
+    def test_table_with_baseline_column(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "471.omnetpp",
+            "--policies", "lru", "rlr", "--belady", *SMALL,
+        )
+        assert code == 0
+        assert "vs lru" in out
+        assert "belady" in out
+
+
+class TestMixCommand:
+    def test_four_core_mix(self, capsys):
+        code, out = run_cli(
+            capsys, "mix", "429.mcf", "470.lbm", "403.gcc", "483.xalancbmk",
+            "--policies", "rlr", *SMALL,
+        )
+        assert code == 0
+        assert "mix speedup" in out
+
+
+class TestTraceCommand:
+    def test_writes_trace_file(self, capsys, tmp_path):
+        output = tmp_path / "trace.csv"
+        code, out = run_cli(capsys, "trace", "403.gcc", str(output), *SMALL)
+        assert code == 0
+        assert output.exists()
+        from repro.traces.trace_io import load_trace
+
+        assert len(load_trace(output)) == 2000
+
+
+class TestMPKICommand:
+    def test_mpki_table(self, capsys):
+        code, out = run_cli(
+            capsys, "mpki", "--policies", "rlr", "--min-mpki", "0.5",
+            "--suite", "cloudsuite", *SMALL,
+        )
+        assert code == 0
+        assert "demand MPKI" in out
+
+
+class TestTrainCommand:
+    def test_trains_and_saves(self, capsys, tmp_path):
+        path = tmp_path / "agent.npz"
+        code, out = run_cli(
+            capsys, "train", "450.soplex", "--hidden", "8",
+            "--save", str(path), "--scale", "64", "--length", "1500",
+        )
+        assert code == 0
+        assert "LLC hit rate" in out
+        assert path.exists()
+        # Round-trip the saved agent.
+        from repro.rl.trainer import load_agent
+
+        trained = load_agent(path)
+        assert trained.agent.network.hidden_size == 8
+        assert trained.extractor.size == trained.agent.network.input_size
+
+
+class TestHillclimbCommand:
+    def test_runs_selection(self, capsys):
+        code, out = run_cli(
+            capsys, "hillclimb", "450.soplex", "--budget", "800",
+            "--max-features", "2", "--scale", "64", "--length", "1500",
+        )
+        assert code == 0
+        assert "selected:" in out
+
+
+class TestReportCommand:
+    def test_writes_markdown_report(self, capsys, tmp_path):
+        output = tmp_path / "report.md"
+        code, out = run_cli(
+            capsys, "report", str(output),
+            "--scale", "64", "--length", "1500",
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "# RLR reproduction report" in text
+        assert "Table I" in text
+        assert "Single-core speedups" in text
+        assert "preuse" in text
+
+
+class TestSweepCommand:
+    def test_cloudsuite_sweep(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "--suite", "cloudsuite",
+            "--policies", "rlr", "--scale", "64", "--length", "1200",
+        )
+        assert code == 0
+        assert "suite geomean" in out
+        assert "cassandra" in out
+
+
+class TestPipeHandling:
+    def test_broken_pipe_exits_cleanly(self):
+        import subprocess
+
+        result = subprocess.run(
+            "python -m repro table1 | head -2",
+            shell=True, capture_output=True, text=True, cwd="/root/repo",
+        )
+        assert result.returncode == 0
+        assert "Table I" in result.stdout
+        assert "Traceback" not in result.stderr

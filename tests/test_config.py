@@ -1,0 +1,84 @@
+"""Tests for cache/hierarchy configuration."""
+
+import pytest
+
+from repro.cache import CacheConfig, CoreConfig, HierarchyConfig
+
+
+class TestCacheConfig:
+    def test_num_sets_and_lines(self):
+        config = CacheConfig("c", 2 * 1024 * 1024, 16, latency=26)
+        assert config.num_sets == 2048
+        assert config.num_lines == 32768
+
+    def test_set_index_masks_low_bits(self):
+        config = CacheConfig("c", 64 * 1024, 16, latency=1)  # 64 sets
+        assert config.set_index(0) == 0
+        assert config.set_index(63) == 63
+        assert config.set_index(64) == 0
+        assert config.set_index(65) == 1
+
+    def test_tag_excludes_set_bits(self):
+        config = CacheConfig("c", 64 * 1024, 16, latency=1)  # 64 sets
+        assert config.tag(64) == 1
+        assert config.tag(63) == 0
+        # Two line addresses mapping to the same set have different tags.
+        assert config.set_index(5) == config.set_index(5 + 64)
+        assert config.tag(5) != config.tag(5 + 64)
+
+    def test_single_set_cache(self):
+        config = CacheConfig("c", 16 * 64, 16, latency=1)
+        assert config.num_sets == 1
+        assert config.set_index(12345) == 0
+        assert config.tag(12345) == 12345
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", 1000, 16, latency=1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig("c", 3 * 16 * 64, 16, latency=1)  # 3 sets
+
+
+class TestHierarchyConfig:
+    def test_paper_matches_table3(self):
+        config = HierarchyConfig.paper()
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l1d.ways == 8
+        assert config.l1d.latency == 4
+        assert config.l2.size_bytes == 256 * 1024
+        assert config.l2.latency == 12
+        assert config.llc.size_bytes == 2 * 1024 * 1024
+        assert config.llc.ways == 16
+        assert config.llc.latency == 26
+        assert config.l1_prefetcher == "next_line"
+        assert config.l2_prefetcher == "ip_stride"
+        assert config.llc_prefetcher == "none"
+
+    def test_paper_multicore_llc_scales_per_core(self):
+        config = HierarchyConfig.paper(num_cores=4)
+        assert config.llc.size_bytes == 8 * 1024 * 1024  # 8MB for 4 cores
+
+    def test_scaled_preserves_associativity_and_latency(self):
+        scaled = HierarchyConfig.scaled(factor=16)
+        paper = HierarchyConfig.paper()
+        assert scaled.llc.ways == paper.llc.ways
+        assert scaled.llc.latency == paper.llc.latency
+        assert scaled.llc.size_bytes == paper.llc.size_bytes // 16
+        assert scaled.l2.size_bytes == paper.l2.size_bytes // 16
+
+    def test_scaled_factor_one_is_paper_sized(self):
+        assert HierarchyConfig.scaled(factor=1).llc.size_bytes == 2 * 1024 * 1024
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig.scaled(factor=0)
+
+
+class TestCoreConfig:
+    def test_table3_defaults(self):
+        core = CoreConfig()
+        assert core.issue_width == 3
+        assert core.rob_size == 256
+        assert 0 < core.overlap <= 1

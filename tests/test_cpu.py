@@ -1,0 +1,103 @@
+"""Tests for the timing model and system simulator."""
+
+import pytest
+
+from repro.cache import CacheConfig, CoreConfig, HierarchyConfig, L1, L2, LLC, MEMORY
+from repro.cache.replacement import make_policy
+from repro.cpu.core_model import CoreTimer, TimingModel
+from repro.cpu.system import System
+from repro.traces.record import AccessType, Trace, TraceRecord
+
+from tests.conftest import load
+
+
+@pytest.fixture
+def hierarchy_config():
+    return HierarchyConfig.scaled(factor=64)
+
+
+class TestTimingModel:
+    def test_l1_hits_are_pipelined(self, hierarchy_config):
+        timing = TimingModel(hierarchy_config, CoreConfig(issue_width=2))
+        timer = CoreTimer()
+        timing.charge(timer, instr_delta=4, level=L1)
+        assert timer.cycles == pytest.approx(2.0)  # 4 / width only
+
+    def test_deeper_levels_cost_more(self, hierarchy_config):
+        timing = TimingModel(hierarchy_config, CoreConfig())
+        costs = {}
+        for level in (L1, L2, LLC, MEMORY):
+            timer = CoreTimer()
+            timing.charge(timer, 1, level)
+            costs[level] = timer.cycles
+        assert costs[L1] < costs[L2] < costs[LLC] < costs[MEMORY]
+
+    def test_overlap_scales_stall(self, hierarchy_config):
+        low = TimingModel(hierarchy_config, CoreConfig(overlap=0.2))
+        high = TimingModel(hierarchy_config, CoreConfig(overlap=0.8))
+        t_low, t_high = CoreTimer(), CoreTimer()
+        low.charge(t_low, 0, MEMORY)
+        high.charge(t_high, 0, MEMORY)
+        assert t_high.cycles == pytest.approx(4 * t_low.cycles)
+
+    def test_ipc_computation(self):
+        timer = CoreTimer(instructions=300, cycles=100.0)
+        assert timer.ipc == pytest.approx(3.0)
+        assert CoreTimer().ipc == 0.0
+
+
+class TestSystem:
+    def _trace(self, count=2000, footprint=600):
+        import random
+
+        rng = random.Random(2)
+        return Trace(
+            "t",
+            [
+                TraceRecord(
+                    address=rng.randrange(footprint) * 64,
+                    pc=rng.randrange(16) * 4,
+                    access_type=AccessType.LOAD,
+                    instr_delta=5,
+                )
+                for _ in range(count)
+            ],
+        )
+
+    def test_run_produces_ipc_and_stats(self, hierarchy_config):
+        system = System(hierarchy_config, make_policy("lru"))
+        result = system.run(self._trace())
+        assert result.single_ipc > 0
+        assert result.llc_stats["accesses"] > 0
+        assert 0 <= result.llc_hit_rate <= 1
+
+    def test_warmup_excluded_from_measurement(self, hierarchy_config):
+        trace = self._trace()
+        full = System(hierarchy_config, make_policy("lru")).run(
+            trace, warmup_fraction=0.0
+        )
+        warmed = System(hierarchy_config, make_policy("lru")).run(
+            trace, warmup_fraction=0.5
+        )
+        assert warmed.instructions[0] < full.instructions[0]
+        # Warmed measurement excludes compulsory-miss-heavy prefix.
+        assert warmed.llc_hit_rate >= full.llc_hit_rate - 0.05
+
+    def test_policy_name_reported(self, hierarchy_config):
+        system = System(hierarchy_config, make_policy("drrip"))
+        result = system.run(self._trace(500))
+        assert result.policy_name == "drrip"
+
+    def test_better_policy_means_higher_ipc(self):
+        # Thrashing loop: MRU-like retention must beat LRU in IPC, not
+        # just hit rate.
+        config = HierarchyConfig.scaled(factor=64)
+        lines = config.llc.num_lines * 2
+        records = [
+            TraceRecord(address=(i % lines) * 64, instr_delta=3)
+            for i in range(30000)
+        ]
+        trace = Trace("cyclic", records)
+        lru = System(config, make_policy("lru")).run(trace)
+        mru = System(config, make_policy("mru")).run(trace)
+        assert mru.single_ipc > lru.single_ipc

@@ -1,0 +1,209 @@
+"""Tests for the related-work policies: LIP/BIP/DIP, NRU, IRG, counter-based."""
+
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.counter_based import CounterBasedPolicy, _table_index
+from repro.cache.replacement.dip import BIPPolicy, DIPPolicy, LIPPolicy
+from repro.cache.replacement.irg import IRGPolicy
+from repro.cache.replacement.nru import NRUPolicy
+
+from tests.conftest import load
+
+
+def one_set(ways=4):
+    return CacheConfig("c", ways * 64, ways, latency=1)
+
+
+def run_pattern(policy, config, lines):
+    policy.bind(config)
+    cache = Cache(config, policy)
+    for line in lines:
+        cache.access(load(line, pc=(line % 5) * 4))
+    return cache
+
+
+class TestLIP:
+    def test_thrash_protection(self):
+        # Cyclic 6 lines in 4 ways: LIP retains a stable subset; LRU gets 0.
+        config = one_set()
+        lip = run_pattern(LIPPolicy(), config, [i % 6 for i in range(240)])
+        lru = run_pattern(make_policy("lru"), one_set(), [i % 6 for i in range(240)])
+        assert lru.stats.hit_rate < 0.01
+        assert lip.stats.hit_rate > 0.3
+
+    def test_lru_insertion_is_immediate_victim(self):
+        config = one_set()
+        policy = LIPPolicy()
+        cache = run_pattern(policy, config, [0, 1, 2, 3, 4])
+        # Line 4 was inserted at LRU; the next miss evicts it.
+        cache.access(load(9))
+        assert not cache.contains(4)
+
+    def test_hit_promotes(self):
+        config = one_set()
+        policy = LIPPolicy()
+        cache = run_pattern(policy, config, [0, 1, 2, 3, 3])
+        # Line 3 was LRU-inserted, then hit -> promoted; next victim isn't 3.
+        cache.access(load(9))
+        assert cache.contains(3)
+
+
+class TestBIP:
+    def test_mostly_lru_insertion(self):
+        config = CacheConfig("c", 64 * 4 * 64, 4, latency=1)
+        policy = BIPPolicy(seed=3)
+        policy.bind(config)
+        cache = Cache(config, policy)
+        mru_inserts = 0
+        for line in range(1000):
+            cache.access(load(line))
+            set_index = config.set_index(line)
+            way = cache.sets[set_index].find(config.tag(line))
+            if policy._recency[set_index][way] == config.ways - 1:
+                mru_inserts += 1
+        assert mru_inserts < 100  # ~ 1/32 expected
+
+
+class TestDIP:
+    def test_leaders_disjoint(self, small_config):
+        policy = DIPPolicy()
+        policy.bind(small_config)
+        assert not (policy._lru_leaders & policy._bip_leaders)
+
+    def test_adapts_to_thrash(self):
+        # On a thrash pattern DIP should converge toward BIP behaviour.
+        config = CacheConfig("c", 16 * 4 * 64, 4, latency=1)
+        policy = DIPPolicy(seed=1)
+        policy.bind(config)
+        cache = Cache(config, policy)
+        for repeat in range(30):
+            for line in range(16 * 6):  # 6 lines/set in 4 ways
+                cache.access(load(line))
+        lru = run_pattern(
+            make_policy("lru"),
+            CacheConfig("c2", 16 * 4 * 64, 4, latency=1),
+            [line for _ in range(30) for line in range(16 * 6)],
+        )
+        assert cache.stats.hit_rate > lru.stats.hit_rate
+
+    def test_recency_stack_stays_permutation(self, rng):
+        config = one_set()
+        policy = DIPPolicy(seed=2)
+        policy.bind(config)
+        cache = Cache(config, policy)
+        for _ in range(500):
+            cache.access(load(rng.randrange(9)))
+            stack = policy._recency[0]
+            assert sorted(stack) == list(range(config.ways))
+
+
+class TestNRU:
+    def test_victim_has_clear_bit(self):
+        config = one_set()
+        policy = NRUPolicy()
+        cache = run_pattern(policy, config, [0, 1, 2])
+        victim_candidates = [
+            way for way in range(4) if not policy._referenced[0][way]
+        ]
+        cache.access(load(3))
+        cache.access(load(9))
+        assert cache.stats.evictions == 1
+
+    def test_all_set_bits_reset_except_latest(self):
+        config = one_set()
+        policy = NRUPolicy()
+        cache = run_pattern(policy, config, [0, 1, 2, 3])
+        bits = policy._referenced[0]
+        assert bits.count(True) == 1  # reset happened on the 4th mark
+
+    def test_one_bit_overhead(self):
+        config = CacheConfig("llc", 2 * 1024 * 1024, 16, latency=26)
+        assert NRUPolicy.overhead_bits(config) == config.num_lines
+
+    def test_approximates_lru_on_random_reuse(self, rng):
+        lines = [rng.randrange(160) for _ in range(4000)]
+        config = CacheConfig("c", 16 * 4 * 64, 4, latency=1)
+        nru = run_pattern(NRUPolicy(), config, lines)
+        lru = run_pattern(
+            make_policy("lru"), CacheConfig("c2", 16 * 4 * 64, 4, latency=1), lines
+        )
+        assert nru.stats.hit_rate == pytest.approx(lru.stats.hit_rate, abs=0.15)
+
+
+class TestIRG:
+    def test_learns_short_gap_lines(self):
+        config = one_set()
+        policy = IRGPolicy()
+        policy.bind(config)
+        cache = Cache(config, policy)
+        # Line 0 re-referenced every other access; 1-3 once.
+        for i in range(40):
+            cache.access(load(0))
+            cache.access(load(1 + i % 3))
+        assert policy._gap_ema[0][cache.sets[0].find(config.tag(0))] < 8
+
+    def test_evicts_cold_line_first(self):
+        config = one_set()
+        policy = IRGPolicy()
+        policy.bind(config)
+        cache = Cache(config, policy)
+        for line in (0, 1, 2, 3):
+            cache.access(load(line))
+        for _ in range(6):  # give 0..2 short observed gaps
+            for line in (0, 1, 2):
+                cache.access(load(line))
+        cache.access(load(9))  # line 3 has no observed reuse -> cold -> out
+        assert not cache.contains(3)
+        assert cache.contains(0)
+
+
+class TestCounterBased:
+    def test_expired_line_evicted(self):
+        config = one_set()
+        policy = CounterBasedPolicy(use_prediction_table=False)
+        policy.bind(config)
+        cache = Cache(config, policy)
+        for line in (0, 1, 2, 3):
+            cache.access(load(line))
+        # Give lines 1-3 recent hits (threshold learns small gaps); line 0
+        # never re-referenced and its counter grows past any threshold.
+        for _ in range(30):
+            for line in (1, 2, 3):
+                cache.access(load(line))
+        # Force line 0 to expire: default threshold is COUNTER_MAX, so
+        # lower it as the prediction table would have.
+        way0 = cache.sets[0].find(config.tag(0))
+        policy._threshold[0][way0] = 3
+        cache.access(load(9))
+        assert not cache.contains(0)
+
+    def test_prediction_table_learns_on_eviction(self):
+        config = one_set()
+        policy = CounterBasedPolicy()
+        policy.bind(config)
+        cache = Cache(config, policy)
+        dead_pc = 0x400
+        for line in range(12):  # stream of dead lines from one PC
+            cache.access(load(line, pc=dead_pc))
+        learned = policy._table[_table_index(dead_pc)]
+        assert learned < 255  # trained down from the cold default
+
+    def test_hit_resets_counter(self):
+        config = one_set()
+        policy = CounterBasedPolicy()
+        policy.bind(config)
+        cache = Cache(config, policy)
+        cache.access(load(0))
+        cache.access(load(1))
+        cache.access(load(0))
+        assert policy._counter[0][cache.sets[0].find(config.tag(0))] == 0
+
+    def test_registry_name(self):
+        assert make_policy("counter").name == "counter"
+        assert make_policy("nru").name == "nru"
+        assert make_policy("irg").name == "irg"
+        assert make_policy("lip").name == "lip"
+        assert make_policy("bip").name == "bip"
+        assert make_policy("dip").name == "dip"

@@ -1,0 +1,108 @@
+"""Tests for the per-figure experiment functions (small configurations)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    ablation_age_bits,
+    ablation_priorities,
+    fig1_hit_rates,
+    fig4_preuse_vs_reuse,
+    mpki_comparison,
+    multicore_speedups,
+    single_core_speedups,
+    table1_overhead,
+    table4_overall,
+)
+from repro.eval.workloads import EvalConfig
+
+
+@pytest.fixture(scope="module")
+def eval_config():
+    return EvalConfig(scale=64, trace_length=4000, seed=3)
+
+
+WORKLOADS = ["471.omnetpp", "450.soplex"]
+
+
+class TestTable1:
+    def test_rows_and_order(self):
+        rows = table1_overhead()
+        names = [row.policy for row in rows]
+        assert names[0] == "lru"
+        assert "rlr" in names and "rlr_unopt" in names
+        assert all(row.kib > 0 for row in rows)
+
+    def test_pc_flags(self):
+        by_name = {row.policy: row for row in table1_overhead()}
+        assert not by_name["rlr"].uses_pc
+        assert by_name["ship"].uses_pc
+        assert by_name["hawkeye"].uses_pc
+
+
+class TestFig1:
+    def test_hit_rates_bounded_and_belady_top(self, eval_config):
+        results = fig1_hit_rates(
+            eval_config, workloads=WORKLOADS, policies=("lru", "rlr")
+        )
+        for workload, row in results.items():
+            assert set(row) == {"lru", "rlr", "belady"}
+            for rate in row.values():
+                assert 0.0 <= rate <= 1.0
+            assert row["belady"] == max(row.values())
+
+
+class TestFig4:
+    def test_buckets_sum_to_one(self, eval_config):
+        results = fig4_preuse_vs_reuse(eval_config, WORKLOADS)
+        for workload, buckets in results.items():
+            assert set(buckets) == {"<10", "10-50", ">50"}
+            assert sum(buckets.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSingleCore:
+    def test_speedups_structure(self, eval_config):
+        results = single_core_speedups(
+            eval_config, "cloudsuite", policies=("drrip", "rlr")
+        )
+        assert len(results) == 5
+        for row in results.values():
+            assert set(row) == {"drrip", "rlr"}
+            assert all(value > 0 for value in row.values())
+
+
+class TestMPKI:
+    def test_threshold_filtering(self, eval_config):
+        results = mpki_comparison(
+            eval_config, policies=("rlr",), min_mpki=3.0
+        )
+        for row in results.values():
+            assert row["lru"] > 3.0
+            assert row["rlr"] >= 0
+
+
+class TestMulticore:
+    def test_mix_speedups(self):
+        eval_config = EvalConfig(scale=64, trace_length=2500, seed=3)
+        results = multicore_speedups(
+            eval_config, num_mixes=2, policies=("drrip", "rlr")
+        )
+        assert len(results) == 2
+        for row in results.values():
+            assert all(value > 0 for value in row.values())
+
+
+class TestTable4:
+    def test_one_core_only(self, eval_config):
+        table = table4_overall(eval_config, None, policies=("rlr",))
+        assert set(table) == {"rlr"}
+        assert set(table["rlr"]) == {"1-core spec2006", "1-core cloudsuite"}
+
+
+class TestAblations:
+    def test_priority_variants(self, eval_config):
+        results = ablation_priorities(eval_config, WORKLOADS)
+        assert set(results) == {"rlr", "rlr_no_hit", "rlr_no_type", "rlr_age_only"}
+
+    def test_age_bits_sweep(self, eval_config):
+        results = ablation_age_bits(eval_config, WORKLOADS, bit_widths=(2, 5))
+        assert set(results) == {2, 5}

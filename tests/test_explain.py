@@ -1,0 +1,74 @@
+"""Tests for decision saliency / explanation."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.rl.explain import (
+    explain_decision,
+    qvalue_gradient,
+    render_explanation,
+    saliency,
+)
+from repro.rl.network import MLP
+from repro.rl.trainer import TrainerConfig, train_on_stream
+
+from tests.conftest import load
+
+
+class TestGradient:
+    def test_matches_finite_differences(self):
+        network = MLP(6, 5, 3, seed=2)
+        rng = np.random.default_rng(0)
+        state = rng.normal(size=6)
+        action = 1
+        grad = qvalue_gradient(network, state, action)
+        epsilon = 1e-6
+        for index in range(6):
+            bumped = state.copy()
+            bumped[index] += epsilon
+            numeric = (
+                network.predict_one(bumped)[action]
+                - network.predict_one(state)[action]
+            ) / epsilon
+            assert grad[index] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_saliency_is_grad_times_input(self):
+        network = MLP(4, 3, 2, seed=1)
+        state = np.array([1.0, 0.5, 0.0, -1.0])
+        expected = qvalue_gradient(network, state, 0) * state
+        assert np.allclose(saliency(network, state, 0), expected)
+
+    def test_zero_input_has_zero_saliency(self):
+        network = MLP(4, 3, 2, seed=1)
+        assert np.allclose(saliency(network, np.zeros(4), 1), 0.0)
+
+
+class TestExplainDecision:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        config = CacheConfig("c", 4 * 4 * 64, 4, latency=1)
+        records = [load(i % 12, pc=4) for i in range(1200)]
+        return config, train_on_stream(
+            config, records, TrainerConfig(hidden_size=8, epochs=1, seed=3)
+        )
+
+    def test_top_attributions_labeled(self, trained):
+        config, agent = trained
+        state = np.random.default_rng(1).uniform(0, 1, agent.extractor.size)
+        attributions = explain_decision(agent, state, action=0, top=5)
+        assert len(attributions) == 5
+        labels = [label for label, _, _ in attributions]
+        assert all(isinstance(label, str) for label in labels)
+        magnitudes = [abs(a) for _, _, a in attributions]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_render(self, trained):
+        config, agent = trained
+        state = np.zeros(agent.extractor.size)
+        state[0] = 1.0
+        text = render_explanation(explain_decision(agent, state, 0, top=3))
+        assert "value=" in text
+
+    def test_render_empty(self):
+        assert render_explanation([]) == "(no attributions)"

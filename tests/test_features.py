@@ -1,0 +1,110 @@
+"""Tests for Table II feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.replacement import make_policy
+from repro.rl.features import ALL_FEATURE_NAMES, FeatureExtractor
+
+from tests.conftest import load, prefetch, rfo
+
+
+def filled_set(config, accesses):
+    policy = make_policy("lru")
+    policy.bind(config)
+    cache = Cache(config, policy, detailed=True)
+    for record in accesses:
+        cache.access(record)
+    return cache.sets[0]
+
+
+class TestVectorSize:
+    def test_full_vector_is_334_for_16_ways(self):
+        """The paper's headline state-vector dimensionality."""
+        extractor = FeatureExtractor(ways=16, num_sets=2048)
+        assert extractor.size == 334
+
+    def test_access_and_set_portions(self):
+        # 6 + 1 + 4 (access) + 3 (set) + 20 per way.
+        extractor = FeatureExtractor(ways=4, num_sets=16)
+        assert extractor.size == 11 + 3 + 4 * 20
+
+    def test_subset_of_features(self):
+        extractor = FeatureExtractor(
+            ways=16, num_sets=16, enabled=["line_preuse", "line_recency"]
+        )
+        assert extractor.size == 32
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(ways=4, num_sets=4, enabled=["bogus"])
+
+    def test_all_feature_names_count(self):
+        assert len(ALL_FEATURE_NAMES) == 18  # Table II rows
+
+
+class TestVectorContent:
+    def test_vector_matches_layout_size(self, tiny_config):
+        extractor = FeatureExtractor(ways=4, num_sets=4)
+        cache_set = filled_set(tiny_config, [load(0), load(4), prefetch(8)])
+        vector = extractor.vector(load(12), 5, cache_set)
+        assert vector.shape == (extractor.size,)
+
+    def test_access_type_one_hot(self, tiny_config):
+        extractor = FeatureExtractor(ways=4, num_sets=4, enabled=["access_type"])
+        cache_set = filled_set(tiny_config, [load(0)])
+        vector = extractor.vector(prefetch(4), 0, cache_set)
+        assert list(vector) == [0.0, 0.0, 1.0, 0.0]
+
+    def test_access_offset_binary(self, tiny_config):
+        from repro.traces import AccessType, TraceRecord
+
+        extractor = FeatureExtractor(ways=4, num_sets=4, enabled=["access_offset"])
+        cache_set = filled_set(tiny_config, [load(0)])
+        access = TraceRecord(address=4 * 64 + 0b101101, access_type=AccessType.LOAD)
+        vector = extractor.vector(access, 0, cache_set)
+        assert list(vector) == [1.0, 0.0, 1.0, 1.0, 0.0, 1.0]
+
+    def test_normalization_by_running_max(self, tiny_config):
+        extractor = FeatureExtractor(ways=4, num_sets=4, enabled=["access_preuse"])
+        cache_set = filled_set(tiny_config, [load(0)])
+        first = extractor.vector(load(4), 10, cache_set)
+        assert first[0] == 1.0  # 10 / max(10)
+        second = extractor.vector(load(4), 5, cache_set)
+        assert second[0] == 0.5  # 5 / max(10)
+
+    def test_invalid_ways_are_zero(self, tiny_config):
+        extractor = FeatureExtractor(ways=4, num_sets=4, enabled=["line_recency"])
+        cache_set = filled_set(tiny_config, [load(0)])  # 1 of 4 ways valid
+        vector = extractor.vector(load(4), 0, cache_set)
+        assert list(vector[1:]) == [0.0, 0.0, 0.0]
+
+    def test_dirty_bit(self, tiny_config):
+        extractor = FeatureExtractor(ways=4, num_sets=4, enabled=["line_dirty"])
+        cache_set = filled_set(tiny_config, [rfo(0)])
+        vector = extractor.vector(load(4), 0, cache_set)
+        assert vector[0] == 1.0
+
+    def test_values_bounded(self, tiny_config, rng):
+        extractor = FeatureExtractor(ways=4, num_sets=4)
+        accesses = [load(rng.randrange(16)) for _ in range(300)]
+        cache_set = filled_set(tiny_config, accesses)
+        vector = extractor.vector(load(0), 3, cache_set)
+        assert np.all(vector >= 0.0)
+        assert np.all(vector <= 1.0)
+
+
+class TestSpans:
+    def test_feature_spans_cover_vector(self):
+        extractor = FeatureExtractor(ways=4, num_sets=4)
+        covered = 0
+        for spans in extractor.feature_spans().values():
+            covered += sum(end - start for start, end in spans)
+        assert covered == extractor.size
+
+    def test_per_way_features_have_way_spans(self):
+        extractor = FeatureExtractor(ways=4, num_sets=4)
+        spans = extractor.feature_spans()
+        assert len(spans["line_preuse"]) == 4
+        assert len(spans["access_preuse"]) == 1

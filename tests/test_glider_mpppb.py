@@ -1,0 +1,175 @@
+"""Tests for Glider (ISVM) and MPPPB (multiperspective perceptron)."""
+
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.glider import (
+    ISVMTable,
+    GliderPolicy,
+    HISTORY,
+    PREDICT_THRESHOLD,
+    WEIGHT_MAX,
+    WEIGHT_MIN,
+    _pc_hash,
+)
+from repro.cache.replacement.mpppb import (
+    DEAD_THRESHOLD,
+    MPPPBPolicy,
+    _features,
+    _Perceptron,
+)
+
+from tests.conftest import load, writeback
+
+
+class TestISVM:
+    def test_prediction_sums_history_weights(self):
+        table = ISVMTable()
+        history = (1, 2, 3)
+        for _ in range(4):
+            table.train(7, history, positive=True)
+        assert table.predict(7, history) >= 4 * len(history) * 0  # grew
+        assert table.predict(7, history) > 0
+
+    def test_negative_training(self):
+        table = ISVMTable()
+        history = (5, 9)
+        for _ in range(4):
+            table.train(7, history, positive=False)
+        assert table.predict(7, history) < 0
+
+    def test_weights_saturate(self):
+        table = ISVMTable()
+        history = (1,)
+        for _ in range(1000):
+            table.train(3, history, positive=False)
+        assert table.predict(3, history) >= WEIGHT_MIN
+
+    def test_tables_are_per_pc(self):
+        table = ISVMTable()
+        history = (4,)
+        table.train(1, history, positive=True)
+        assert table.predict(2, history) == 0
+
+
+class TestGliderPolicy:
+    def test_runs_and_stays_consistent(self, small_config, rng):
+        policy = GliderPolicy()
+        policy.bind(small_config)
+        cache = Cache(small_config, policy)
+        for _ in range(3000):
+            cache.access(load(rng.randrange(500), pc=rng.randrange(8) * 4))
+        assert cache.stats.total_accesses == 3000
+
+    def test_pchr_depth(self, small_config):
+        policy = GliderPolicy()
+        policy.bind(small_config)
+        cache = Cache(small_config, policy)
+        for i in range(20):
+            cache.access(load(i, pc=i * 4))
+        assert len(policy._pchr) == HISTORY
+
+    def test_averse_prediction_inserts_distant(self, small_config):
+        policy = GliderPolicy()
+        policy.bind(small_config)
+        cache = Cache(small_config, policy)
+        averse_pc = 0x40
+        history_snapshot = tuple(policy._pchr)
+        # Force the ISVM negative for this PC across all histories.
+        for weights_row in [policy._isvm._row(_pc_hash(averse_pc))]:
+            for index in range(len(weights_row)):
+                weights_row[index] = WEIGHT_MIN
+        cache.access(load(0, pc=averse_pc))
+        way = cache.sets[0].find(small_config.tag(0))
+        assert not policy._friendly[0][way]
+
+    def test_overhead_near_paper(self):
+        config = CacheConfig("llc", 2 * 1024 * 1024, 16, latency=26)
+        assert GliderPolicy.overhead_kib(config) == pytest.approx(61.6, rel=0.05)
+
+    def test_registered(self):
+        assert make_policy("glider").name == "glider"
+
+
+class TestPerceptron:
+    def test_margin_moves_with_training(self):
+        perceptron = _Perceptron(3)
+        indices = (1, 2, 3)
+        for _ in range(10):
+            perceptron.train(indices, dead=True)
+        assert perceptron.margin(indices) > 0
+        for _ in range(30):
+            perceptron.train(indices, dead=False)
+        assert perceptron.margin(indices) < 0
+
+    def test_training_stops_past_margin(self):
+        perceptron = _Perceptron(1)
+        indices = (5,)
+        for _ in range(1000):
+            perceptron.train(indices, dead=True)
+        # 6-bit saturation plus the margin rule keep weights bounded.
+        assert perceptron.margin(indices) <= 31
+
+
+class TestMPPPB:
+    def test_features_arity_stable(self):
+        assert len(_features(load(1, pc=0x400))) == 6
+
+    def test_dead_prediction_inserts_distant(self, small_config):
+        policy = MPPPBPolicy()
+        policy.bind(small_config)
+        cache = Cache(small_config, policy)
+        dead_pc = 0x80
+        # Stream never-reused lines from one PC: the perceptron learns dead.
+        for i in range(600):
+            cache.access(load(i * 16, pc=dead_pc))
+        sample = _features(load(12345 * 16, pc=dead_pc))
+        assert policy._perceptron.margin(sample) > 0
+
+    def test_writebacks_insert_distant(self, small_config):
+        policy = MPPPBPolicy()
+        policy.bind(small_config)
+        cache = Cache(small_config, policy)
+        cache.access(writeback(0))
+        way = cache.sets[0].find(small_config.tag(0))
+        assert policy._rrpv[0][way] == 3
+
+    def test_hit_trains_alive_once(self, small_config):
+        policy = MPPPBPolicy()
+        policy.bind(small_config)
+        cache = Cache(small_config, policy)
+        pc = 0x44
+        cache.access(load(0, pc=pc))
+        sample = policy._line_features[0][cache.sets[0].find(small_config.tag(0))]
+        margin_before = policy._perceptron.margin(sample)
+        cache.access(load(0, pc=pc))
+        assert policy._perceptron.margin(sample) <= margin_before
+
+    def test_scan_resistance(self, rng):
+        config = CacheConfig("c", 16 * 4 * 64, 4, latency=1)
+        mpppb = MPPPBPolicy()
+        mpppb.bind(config)
+        cache = Cache(config, mpppb)
+        lru = make_policy("lru")
+        lru.bind(CacheConfig("c2", 16 * 4 * 64, 4, latency=1))
+        lru_cache = Cache(lru.config, lru)
+        scan = 0
+        for _ in range(8000):
+            if rng.random() < 0.5:
+                record = load(rng.randrange(32), pc=0x10)
+            else:
+                record = load(100 + scan, pc=0x20)
+                scan += 1
+            cache.access(record)
+            lru_cache.access(record)
+        assert cache.stats.hit_rate > lru_cache.stats.hit_rate
+
+    def test_overhead_of_reduced_build(self):
+        # The full publication design (16 perspectives) is 28KB; this
+        # reduced 6-perspective build costs 17KB (6 x 2048 x 6b + 2b/line).
+        config = CacheConfig("llc", 2 * 1024 * 1024, 16, latency=26)
+        assert MPPPBPolicy.overhead_kib(config) == pytest.approx(17.0)
+
+    def test_registered(self):
+        assert make_policy("mpppb").name == "mpppb"

@@ -1,0 +1,105 @@
+"""Tests for Hawkeye (OPTgen + PC predictor)."""
+
+from repro.cache import CacheConfig
+from repro.cache.replacement.hawkeye import (
+    MAX_RRPV,
+    PREDICTOR_INIT,
+    PREDICTOR_MAX,
+    HawkeyePolicy,
+    _hash_pc,
+    _OPTgen,
+)
+
+from tests.conftest import load
+
+
+class TestOPTgen:
+    def test_reuse_within_capacity_is_opt_hit(self):
+        optgen = _OPTgen(ways=2)
+        optgen.access(10, pc_hash=1)
+        outcome = optgen.access(10, pc_hash=1)
+        assert outcome == (1, True)
+
+    def test_over_capacity_interval_is_opt_miss(self):
+        optgen = _OPTgen(ways=1)
+        optgen.access(10, pc_hash=1)
+        # Two other lines reuse across the same interval, filling capacity.
+        optgen.access(20, pc_hash=2)
+        optgen.access(20, pc_hash=2)  # occupies the quantum
+        outcome = optgen.access(10, pc_hash=1)
+        assert outcome == (1, False)
+
+    def test_first_access_returns_none(self):
+        optgen = _OPTgen(ways=4)
+        assert optgen.access(10, pc_hash=1) is None
+
+    def test_reuse_beyond_window_is_ignored(self):
+        optgen = _OPTgen(ways=1, history=2)  # window = 2
+        optgen.access(10, pc_hash=1)
+        optgen.access(11, pc_hash=1)
+        optgen.access(12, pc_hash=1)
+        optgen.access(13, pc_hash=1)
+        assert optgen.access(10, pc_hash=1) is None
+
+    def test_occupancy_expires(self):
+        optgen = _OPTgen(ways=1, history=2)
+        for i in range(100):
+            optgen.access(i, pc_hash=1)
+        assert len(optgen.occupancy) <= optgen.window + 1
+
+
+class TestPredictor:
+    def test_training_saturates(self, small_config):
+        policy = HawkeyePolicy()
+        policy.bind(small_config)
+        for _ in range(20):
+            policy._train(5, positive=True)
+        assert policy._predictor[5] == PREDICTOR_MAX
+        for _ in range(20):
+            policy._train(5, positive=False)
+        assert policy._predictor[5] == 0
+
+    def test_initial_prediction_is_friendly(self, small_config):
+        policy = HawkeyePolicy()
+        policy.bind(small_config)
+        assert policy._predict_friendly(_hash_pc(0x1234))
+
+
+class TestReplacement:
+    def test_averse_line_evicted_first(self, tiny_config, make_cache):
+        policy = HawkeyePolicy()
+        cache = make_cache(tiny_config, policy)
+        averse_pc = 0x666
+        policy._predictor[_hash_pc(averse_pc)] = 0
+        for i, line in enumerate((0, 4, 8)):
+            cache.access(load(line, pc=0x10))
+        cache.access(load(12, pc=averse_pc))  # averse line
+        cache.access(load(16, pc=0x10))  # needs a victim
+        assert not cache.contains(12)
+
+    def test_all_friendly_evicts_oldest_and_detrains(self, tiny_config, make_cache):
+        policy = HawkeyePolicy()
+        cache = make_cache(tiny_config, policy)
+        for line in (0, 4, 8, 12):
+            cache.access(load(line, pc=0x10))
+        before = policy._predictor[_hash_pc(0x10)]
+        cache.access(load(16, pc=0x20))
+        assert policy._predictor[_hash_pc(0x10)] == before - 1
+
+    def test_friendly_insertion_is_mru(self, tiny_config, make_cache):
+        policy = HawkeyePolicy()
+        cache = make_cache(tiny_config, policy)
+        cache.access(load(0, pc=0x10))
+        assert policy._rrpv[0][0] == 0
+        assert policy._friendly[0][0]
+
+    def test_averse_insertion_is_distant(self, tiny_config, make_cache):
+        policy = HawkeyePolicy()
+        cache = make_cache(tiny_config, policy)
+        policy._predictor[_hash_pc(0x666)] = 0
+        cache.access(load(0, pc=0x666))
+        assert policy._rrpv[0][0] == MAX_RRPV
+
+    def test_overhead_near_paper_value(self):
+        config = CacheConfig("llc", 2 * 1024 * 1024, 16, latency=26)
+        assert abs(HawkeyePolicy.overhead_kib(config) - 28.0) < 1.0

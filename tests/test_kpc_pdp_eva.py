@@ -1,0 +1,148 @@
+"""Tests for KPC-R, PDP, and EVA."""
+
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.replacement.eva import EVAPolicy
+from repro.cache.replacement.kpc import KPCRPolicy
+from repro.cache.replacement.pdp import PDPPolicy
+from repro.cache.replacement.rrip import RRPV_LONG, RRPV_MAX
+
+from tests.conftest import load, prefetch
+
+
+class TestKPCR:
+    def test_prefetch_inserts_distant(self, tiny_config, make_cache):
+        policy = KPCRPolicy()
+        cache = make_cache(tiny_config, policy)
+        cache.access(prefetch(0))
+        assert policy._rrpv[0][0] == RRPV_MAX
+
+    def test_prefetch_hit_does_not_promote(self, tiny_config, make_cache):
+        policy = KPCRPolicy()
+        cache = make_cache(tiny_config, policy)
+        cache.access(load(0))
+        rrpv_before = policy._rrpv[0][0]
+        cache.access(prefetch(0))
+        assert policy._rrpv[0][0] == rrpv_before
+
+    def test_demand_hit_promotes(self, tiny_config, make_cache):
+        policy = KPCRPolicy()
+        cache = make_cache(tiny_config, policy)
+        cache.access(load(0))
+        cache.access(load(0))
+        assert policy._rrpv[0][0] == 0
+
+    def test_leader_sets_disjoint(self, small_config):
+        policy = KPCRPolicy()
+        policy.bind(small_config)
+        assert not (policy._near_leaders & policy._far_leaders)
+        assert policy._near_leaders and policy._far_leaders
+
+    def test_near_leader_inserts_long(self, small_config):
+        policy = KPCRPolicy()
+        policy.bind(small_config)
+        leader = next(iter(policy._near_leaders))
+        assert policy._insertion_rrpv(leader, load(0)) == RRPV_LONG
+
+    def test_counters_only_track_demand(self, small_config):
+        policy = KPCRPolicy()
+        policy.bind(small_config)
+        leader = next(iter(policy._near_leaders))
+        before = policy._psel
+        policy.on_miss(leader, prefetch(0))
+        assert policy._psel == before
+        policy.on_miss(leader, load(0))
+        assert policy._psel == before + 1
+
+    def test_overhead_matches_paper(self):
+        config = CacheConfig("llc", 2 * 1024 * 1024, 16, latency=26)
+        assert KPCRPolicy.overhead_kib(config) == pytest.approx(8.57, abs=0.01)
+
+
+class TestPDP:
+    def test_protected_lines_survive(self, make_cache):
+        config = CacheConfig("c", 1 * 4 * 64, 4, latency=1)
+        policy = PDPPolicy()
+        policy.protecting_distance = 10
+        cache = make_cache(config, policy)
+        for line in range(4):
+            cache.access(load(line))
+        cache.access(load(10))  # all protected: falls back to oldest age
+        assert cache.stats.evictions == 1
+
+    def test_unprotected_line_evicted(self, make_cache):
+        config = CacheConfig("c", 1 * 4 * 64, 4, latency=1)
+        policy = PDPPolicy()
+        policy.protecting_distance = 2
+        cache = make_cache(config, policy)
+        for line in range(4):
+            cache.access(load(line))
+        # line 0 has age 4 > PD=2 and the largest age -> evicted.
+        cache.access(load(10))
+        assert not cache.contains(0)
+
+    def test_pd_recomputation_tracks_reuse_distance(self):
+        policy = PDPPolicy()
+        policy._histogram[8] = 1000  # all reuses at distance 8
+        policy._recompute_pd()
+        assert policy.protecting_distance >= 8
+
+    def test_histogram_decays(self):
+        policy = PDPPolicy()
+        policy._histogram[8] = 1000
+        policy._recompute_pd()
+        assert policy._histogram[8] == 500
+
+    def test_bypass_mode(self, make_cache):
+        config = CacheConfig("c", 1 * 4 * 64, 4, latency=1)
+        policy = PDPPolicy(enable_bypass=True)
+        policy.protecting_distance = 100  # everything protected
+        cache = Cache(config, policy, allow_bypass=True)
+        policy.bind(config)
+        cache.policy = policy
+        for line in range(4):
+            cache.access(load(line))
+        cache.access(load(10))
+        assert cache.stats.bypasses == 1
+
+
+class TestEVA:
+    def test_default_curve_prefers_older_lines(self, make_cache):
+        config = CacheConfig("c", 1 * 4 * 64, 4, latency=1)
+        policy = EVAPolicy()
+        cache = make_cache(config, policy)
+        for line in range(4):
+            cache.access(load(line))
+        cache.access(load(10))  # default EVA curve evicts the oldest
+        assert not cache.contains(0)
+
+    def test_event_recording_and_recompute(self):
+        policy = EVAPolicy()
+        policy.bind(CacheConfig("c", 4 * 4 * 64, 4, latency=1))
+        # Hits at age 2, evictions at age 50: EVA(2) should beat EVA(50).
+        for _ in range(500):
+            policy._record_event(2, hit=True)
+            policy._record_event(50, hit=False)
+        policy._recompute()
+        assert policy._eva[2] > policy._eva[50]
+
+    def test_tracks_lru_on_mixed_pattern(self, make_cache, rng):
+        # Without the original's reused/non-reused classification, this
+        # simplified EVA behaves close to LRU on hot+scan mixes — consistent
+        # with the paper's §V-B observation that EVA showed no gain (-0.11%)
+        # in their setup.  Guard against it being *much worse* than LRU.
+        config = CacheConfig("c", 16 * 4 * 64, 4, latency=1)
+        policy = EVAPolicy()
+        eva = make_cache(config, policy)
+        lru = make_cache(config, "lru")
+        scan = 0
+        for _ in range(30000):
+            if rng.random() < 0.6:
+                record = load(rng.randrange(32))
+            else:
+                record = load(100 + scan % 3000)
+                scan += 1
+            eva.access(record)
+            lru.access(record)
+        assert eva.stats.hit_rate > lru.stats.hit_rate - 0.02

@@ -1,0 +1,114 @@
+"""Tests for the detailed (MSHR/bandwidth) timing model."""
+
+import pytest
+
+from repro.cache.hierarchy import L1, L2, LLC, MEMORY
+from repro.cpu.memory_model import (
+    DetailedTimingModel,
+    MemoryModelConfig,
+    run_detailed,
+)
+
+
+class TestCharging:
+    def test_l1_hits_are_free_of_stall(self):
+        model = DetailedTimingModel(MemoryModelConfig(issue_width=2))
+        model.charge(4, L1)
+        assert model.cycles == pytest.approx(2.0)
+
+    def test_levels_cost_increasing(self):
+        costs = {}
+        for level in (L1, L2, LLC, MEMORY):
+            model = DetailedTimingModel()
+            model.charge(1, level)
+            costs[level] = model.cycles
+        assert costs[L1] < costs[L2] < costs[LLC] < costs[MEMORY]
+
+    def test_ipc(self):
+        model = DetailedTimingModel()
+        model.charge(30, L1)
+        assert model.ipc == pytest.approx(3.0)
+        assert DetailedTimingModel().ipc == 0.0
+
+
+class TestBandwidth:
+    def test_back_to_back_misses_queue(self):
+        config = MemoryModelConfig(memory_cycle_per_line=50, memory_latency=100)
+        model = DetailedTimingModel(config)
+        for _ in range(10):
+            model.charge(0, MEMORY)
+        assert model.bandwidth_queue_cycles > 0
+
+    def test_spaced_misses_do_not_queue(self):
+        config = MemoryModelConfig(memory_cycle_per_line=4, memory_latency=100)
+        model = DetailedTimingModel(config)
+        for _ in range(5):
+            model.charge(3000, MEMORY)  # long compute gaps
+        assert model.bandwidth_queue_cycles == 0.0
+
+    def test_writebacks_consume_bandwidth(self):
+        config = MemoryModelConfig(memory_cycle_per_line=50)
+        with_wb = DetailedTimingModel(config)
+        without_wb = DetailedTimingModel(config)
+        for _ in range(8):
+            with_wb.charge(0, MEMORY, writeback=True)
+            without_wb.charge(0, MEMORY, writeback=False)
+        assert with_wb.cycles > without_wb.cycles
+
+
+class TestMSHR:
+    def test_full_mshrs_stall(self):
+        config = MemoryModelConfig(
+            mshr_entries=2, memory_latency=500, memory_cycle_per_line=1
+        )
+        model = DetailedTimingModel(config)
+        for _ in range(6):
+            model.charge(0, MEMORY)
+        assert model.mshr_stall_cycles > 0
+
+    def test_large_mshr_file_avoids_stall(self):
+        config = MemoryModelConfig(
+            mshr_entries=64, memory_latency=500, memory_cycle_per_line=1
+        )
+        model = DetailedTimingModel(config)
+        for _ in range(6):
+            model.charge(0, MEMORY)
+        assert model.mshr_stall_cycles == 0.0
+
+
+class TestRunDetailed:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        from repro.eval.runner import prepare_workload
+        from repro.eval.workloads import EvalConfig
+
+        eval_config = EvalConfig(scale=64, trace_length=4000, seed=3)
+        trace = eval_config.trace("471.omnetpp")
+        return prepare_workload(eval_config, trace)
+
+    def test_produces_ipc_and_stats(self, prepared):
+        model, stats = run_detailed(prepared, "lru")
+        assert model.ipc > 0
+        assert stats.total_accesses > 0
+
+    def test_better_policy_still_wins(self, prepared):
+        lru_model, _ = run_detailed(prepared, "lru")
+        ship_model, _ = run_detailed(prepared, "ship++")
+        assert ship_model.ipc >= lru_model.ipc
+
+    def test_bandwidth_limit_amplifies_miss_cost(self, prepared):
+        """A congested DRAM queue makes each avoided miss worth MORE.
+
+        Queueing delay grows with load, so a policy that removes misses
+        relieves the queue superlinearly: the hit-rate gain's IPC value
+        must not shrink when bandwidth tightens, and absolute IPC drops.
+        """
+        fast = MemoryModelConfig(memory_cycle_per_line=1)
+        slow = MemoryModelConfig(memory_cycle_per_line=200)
+        lru_fast = run_detailed(prepared, "lru", fast)[0]
+        lru_slow = run_detailed(prepared, "lru", slow)[0]
+        gain_fast = run_detailed(prepared, "ship++", fast)[0].ipc / lru_fast.ipc
+        gain_slow = run_detailed(prepared, "ship++", slow)[0].ipc / lru_slow.ipc
+        assert gain_fast >= 1.0
+        assert lru_slow.ipc < lru_fast.ipc
+        assert gain_slow >= gain_fast - 0.02

@@ -1,0 +1,68 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.eval.metrics import (
+    geomean,
+    ipc_speedup,
+    mix_speedup,
+    overall_speedup_percent,
+    speedup_percent,
+)
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_one(self):
+        assert geomean([]) == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([-1.0])
+
+    def test_le_arithmetic_mean(self):
+        values = [1.1, 0.9, 1.3, 1.02]
+        assert geomean(values) <= sum(values) / len(values)
+
+    def test_accepts_generator(self):
+        assert geomean(x for x in (1.0, 1.0)) == 1.0
+
+
+class TestSpeedups:
+    def test_ipc_speedup(self):
+        assert ipc_speedup(1.2, 1.0) == pytest.approx(1.2)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            ipc_speedup(1.0, 0.0)
+
+    def test_speedup_percent(self):
+        assert speedup_percent(1.05, 1.0) == pytest.approx(5.0)
+        assert speedup_percent(0.95, 1.0) == pytest.approx(-5.0)
+
+    def test_overall_speedup_percent(self):
+        assert overall_speedup_percent([1.0, 1.0]) == pytest.approx(0.0)
+        assert overall_speedup_percent([1.1, 1.1]) == pytest.approx(10.0, abs=1e-6)
+
+
+class TestMixSpeedup:
+    def test_paper_formula(self):
+        # (prod IPC_i / IPC_LRU_i) ** (1/4)
+        ipcs = [1.1, 1.2, 0.9, 1.0]
+        baseline = [1.0, 1.0, 1.0, 1.0]
+        expected = (1.1 * 1.2 * 0.9 * 1.0) ** 0.25
+        assert mix_speedup(ipcs, baseline) == pytest.approx(expected)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            mix_speedup([1.0, 1.0], [1.0])
+
+    def test_identity(self):
+        assert mix_speedup([1.5, 2.0], [1.5, 2.0]) == pytest.approx(1.0)

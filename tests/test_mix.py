@@ -1,0 +1,78 @@
+"""Tests for multicore mix construction and interleaving."""
+
+import pytest
+
+from repro.traces.mix import interleave, random_mixes
+from repro.traces.record import Trace, TraceRecord
+
+
+def make_trace(name, count, instr_delta, core=0, base=0):
+    return Trace(
+        name,
+        [
+            TraceRecord(address=(base + i) * 64, instr_delta=instr_delta, core=core)
+            for i in range(count)
+        ],
+    )
+
+
+class TestRandomMixes:
+    def test_count_and_size(self):
+        names = [f"w{i}" for i in range(10)]
+        mixes = random_mixes(names, num_mixes=7, mix_size=4, seed=1)
+        assert len(mixes) == 7
+        assert all(len(mix) == 4 for mix in mixes)
+
+    def test_no_duplicates_within_mix(self):
+        names = [f"w{i}" for i in range(10)]
+        for mix in random_mixes(names, 20, 4, seed=2):
+            assert len(set(mix)) == 4
+
+    def test_deterministic(self):
+        names = [f"w{i}" for i in range(10)]
+        assert random_mixes(names, 5, 4, seed=3) == random_mixes(names, 5, 4, seed=3)
+
+    def test_too_few_workloads_raises(self):
+        with pytest.raises(ValueError):
+            random_mixes(["a", "b"], 1, mix_size=4)
+
+
+class TestInterleave:
+    def test_core_ids_assigned_by_position(self):
+        traces = [make_trace(f"t{i}", 10, 1, base=1000 * i) for i in range(4)]
+        merged = interleave(traces)
+        cores = {record.core for record in merged}
+        assert cores == {0, 1, 2, 3}
+
+    def test_progress_balanced_by_instructions(self):
+        # Core 0 retires 1 instr/access, core 1 retires 10 -> core 0 should
+        # contribute ~10x the records.
+        fast = make_trace("fast", 1000, 1)
+        slow = make_trace("slow", 1000, 10, base=5000)
+        merged = interleave([fast, slow], target_instructions_per_core=400)
+        count0 = sum(1 for record in merged if record.core == 0)
+        count1 = sum(1 for record in merged if record.core == 1)
+        assert count0 > 5 * count1
+
+    def test_short_trace_wraps_around(self):
+        short = make_trace("short", 5, 1)
+        long = make_trace("long", 100, 1, base=5000)
+        merged = interleave([short, long], target_instructions_per_core=50)
+        short_records = [record for record in merged if record.core == 0]
+        assert len(short_records) > 5  # wrapped
+
+    def test_name_joins_components(self):
+        traces = [make_trace("a", 5, 1), make_trace("b", 5, 1, base=100)]
+        assert interleave(traces).name == "a+b"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            interleave([])
+
+    def test_every_core_reaches_target(self):
+        traces = [make_trace(f"t{i}", 50, i + 1, base=1000 * i) for i in range(3)]
+        merged = interleave(traces, target_instructions_per_core=40)
+        progress = {}
+        for record in merged:
+            progress[record.core] = progress.get(record.core, 0) + record.instr_delta
+        assert all(value >= 40 for value in progress.values())

@@ -1,0 +1,108 @@
+"""Tests for the numpy MLP."""
+
+import numpy as np
+import pytest
+
+from repro.rl.network import MLP
+
+
+class TestForward:
+    def test_output_shape(self):
+        network = MLP(10, hidden_size=8, output_size=4)
+        states = np.zeros((5, 10))
+        assert network.forward(states).shape == (5, 4)
+
+    def test_predict_one_is_flat(self):
+        network = MLP(10, hidden_size=8, output_size=4)
+        assert network.predict_one(np.zeros(10)).shape == (4,)
+
+    def test_deterministic_given_seed(self):
+        a = MLP(10, 8, 4, seed=7).predict_one(np.ones(10))
+        b = MLP(10, 8, 4, seed=7).predict_one(np.ones(10))
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = MLP(10, 8, 4, seed=1).predict_one(np.ones(10))
+        b = MLP(10, 8, 4, seed=2).predict_one(np.ones(10))
+        assert not np.allclose(a, b)
+
+    def test_paper_architecture(self):
+        # 334 inputs, 175 tanh hidden, 16 linear outputs.
+        network = MLP(334, hidden_size=175, output_size=16)
+        assert network.w1.shape == (334, 175)
+        assert network.w2.shape == (175, 16)
+
+
+class TestMaskedTraining:
+    def test_loss_decreases_on_fixed_batch(self):
+        rng = np.random.default_rng(0)
+        network = MLP(6, 16, 3, learning_rate=1e-2, seed=0)
+        states = rng.normal(size=(32, 6))
+        actions = rng.integers(0, 3, size=32)
+        targets = rng.normal(size=32)
+        first = network.train_batch(states, actions, targets)
+        for _ in range(200):
+            last = network.train_batch(states, actions, targets)
+        assert last < first / 5
+
+    def test_gradient_matches_numeric(self):
+        """Finite-difference check of the masked-MSE backward pass."""
+        network = MLP(4, 5, 3, learning_rate=0.0, seed=3)
+        rng = np.random.default_rng(1)
+        states = rng.normal(size=(2, 4))
+        actions = np.array([0, 2])
+        targets = np.array([0.5, -0.5])
+
+        def loss():
+            outputs = network.forward(states)
+            predicted = outputs[np.arange(2), actions]
+            return float(np.mean((predicted - targets) ** 2))
+
+        epsilon = 1e-6
+        base = loss()
+        network.w1[1, 2] += epsilon
+        numeric = (loss() - base) / epsilon
+        network.w1[1, 2] -= epsilon
+
+        # Analytic gradient via a zero-lr "training" step is not directly
+        # exposed; recompute it manually the way train_batch does.
+        pre_hidden = states @ network.w1 + network.b1
+        hidden = np.tanh(pre_hidden)
+        outputs = hidden @ network.w2 + network.b2
+        rows = np.arange(2)
+        errors = outputs[rows, actions] - targets
+        grad_outputs = np.zeros_like(outputs)
+        grad_outputs[rows, actions] = 2.0 * errors / 2
+        grad_hidden = (grad_outputs @ network.w2.T) * (1.0 - hidden**2)
+        grad_w1 = states.T @ grad_hidden
+        assert grad_w1[1, 2] == pytest.approx(numeric, rel=1e-3, abs=1e-8)
+
+
+class TestFullTraining:
+    def test_full_vector_regression_converges(self):
+        rng = np.random.default_rng(0)
+        network = MLP(6, 24, 4, learning_rate=3e-3, seed=0)
+        states = rng.normal(size=(64, 6))
+        targets = rng.normal(size=(64, 4)) * 0.5
+        first = network.train_batch_full(states, targets)
+        for _ in range(400):
+            last = network.train_batch_full(states, targets)
+        assert last < first / 5
+
+
+class TestUtilities:
+    def test_copy_weights(self):
+        a = MLP(5, 4, 3, seed=1)
+        b = MLP(5, 4, 3, seed=2)
+        b.copy_weights_from(a)
+        x = np.ones(5)
+        assert np.allclose(a.predict_one(x), b.predict_one(x))
+        # Copies, not views.
+        a.w1 += 1.0
+        assert not np.allclose(a.predict_one(x), b.predict_one(x))
+
+    def test_input_weight_magnitudes_shape(self):
+        network = MLP(7, 4, 3)
+        magnitudes = network.input_weight_magnitudes()
+        assert magnitudes.shape == (7,)
+        assert np.all(magnitudes >= 0)

@@ -1,0 +1,123 @@
+"""Tests for network / agent persistence (.npz save/load)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.rl.network import MLP
+from repro.rl.trainer import (
+    TrainedAgent,
+    TrainerConfig,
+    load_agent,
+    make_extractor,
+    save_agent,
+    train_on_stream,
+)
+
+from tests.conftest import load
+
+
+class TestNetworkPersistence:
+    def test_round_trip_preserves_outputs(self, tmp_path):
+        network = MLP(12, 8, 4, seed=5)
+        path = tmp_path / "net.npz"
+        network.save(path)
+        loaded = MLP.load(path)
+        x = np.linspace(-1, 1, 12)
+        assert np.allclose(network.predict_one(x), loaded.predict_one(x))
+
+    def test_geometry_restored(self, tmp_path):
+        network = MLP(20, 6, 3)
+        path = tmp_path / "net.npz"
+        network.save(path)
+        loaded = MLP.load(path)
+        assert loaded.input_size == 20
+        assert loaded.hidden_size == 6
+        assert loaded.output_size == 3
+
+    def test_loaded_network_is_trainable(self, tmp_path):
+        network = MLP(4, 6, 2, seed=1)
+        path = tmp_path / "net.npz"
+        network.save(path)
+        loaded = MLP.load(path, learning_rate=1e-2)
+        states = np.random.default_rng(0).normal(size=(8, 4))
+        targets = np.zeros((8, 2))
+        first = loaded.train_batch_full(states, targets)
+        for _ in range(100):
+            last = loaded.train_batch_full(states, targets)
+        assert last < first
+
+
+class TestAgentPersistence:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        config = CacheConfig("c", 8 * 4 * 64, 4, latency=1)
+        records = [load(i % 20, pc=(i % 3) * 4) for i in range(1500)]
+        trainer_config = TrainerConfig(hidden_size=8, epochs=1, seed=2)
+        return config, train_on_stream(config, records, trainer_config)
+
+    def test_round_trip(self, tmp_path, trained):
+        config, agent = trained
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        loaded = load_agent(path)
+        assert isinstance(loaded, TrainedAgent)
+        assert loaded.extractor.size == agent.extractor.size
+        x = np.zeros(agent.extractor.size)
+        assert np.allclose(
+            agent.agent.network.predict_one(x),
+            loaded.agent.network.predict_one(x),
+        )
+
+    def test_feature_subset_restored(self, tmp_path):
+        config = CacheConfig("c", 8 * 4 * 64, 4, latency=1)
+        extractor = make_extractor(config, ["line_preuse", "line_recency"])
+        records = [load(i % 20) for i in range(800)]
+        trainer_config = TrainerConfig(hidden_size=4, epochs=1, seed=2)
+        agent = train_on_stream(config, records, trainer_config,
+                                extractor=extractor)
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        loaded = load_agent(path)
+        assert loaded.extractor.enabled == frozenset(
+            ["line_preuse", "line_recency"]
+        )
+        assert loaded.extractor.size == extractor.size
+
+    def test_loaded_agent_usable_as_policy(self, tmp_path, trained):
+        from repro.cache import Cache
+        from repro.rl.policy_adapter import AgentReplacementPolicy
+
+        config, agent = trained
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        loaded = load_agent(path)
+        adapter = AgentReplacementPolicy(loaded.agent, loaded.extractor,
+                                         train=False)
+        adapter.bind(config)
+        cache = Cache(config, adapter, detailed=True)
+        for i in range(300):
+            cache.access(load(i % 20))
+        assert cache.stats.total_accesses == 300
+
+
+class TestExtensionlessPaths:
+    def test_network_save_load_without_npz_suffix(self, tmp_path):
+        network = MLP(5, 4, 2, seed=9)
+        path = tmp_path / "weights"  # no .npz
+        network.save(path)
+        assert path.exists()  # written to the exact path given
+        loaded = MLP.load(path)
+        x = np.ones(5)
+        assert np.allclose(network.predict_one(x), loaded.predict_one(x))
+
+    def test_agent_save_load_without_npz_suffix(self, tmp_path):
+        config = CacheConfig("c", 4 * 4 * 64, 4, latency=1)
+        records = [load(i % 10) for i in range(600)]
+        trained = train_on_stream(
+            config, records, TrainerConfig(hidden_size=4, epochs=1)
+        )
+        path = tmp_path / "agent"  # no .npz
+        save_agent(trained, path)
+        loaded = load_agent(path)
+        assert loaded.extractor.size == trained.extractor.size

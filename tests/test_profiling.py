@@ -1,0 +1,81 @@
+"""Tests for trace profiling."""
+
+import pytest
+
+from repro.traces.profiling import REUSE_BUCKETS, compare_profiles, profile_trace
+from repro.traces.record import AccessType, Trace, TraceRecord
+
+from tests.conftest import load, rfo
+
+
+def make_trace(records, name="t"):
+    return Trace(name, records)
+
+
+class TestProfileTrace:
+    def test_basic_counts(self):
+        trace = make_trace([load(0), load(1), rfo(2), load(0)])
+        profile = profile_trace(trace, num_sets=4)
+        assert profile.references == 4
+        assert profile.footprint_lines == 3
+        assert profile.access_type_counts["LD"] == 3
+        assert profile.access_type_counts["RFO"] == 1
+        assert profile.write_fraction == pytest.approx(0.25)
+
+    def test_cold_fraction(self):
+        trace = make_trace([load(0), load(1), load(0), load(1)])
+        profile = profile_trace(trace, num_sets=4)
+        assert profile.cold_fraction == pytest.approx(0.5)
+
+    def test_sequential_fraction(self):
+        trace = make_trace([load(0), load(1), load(2), load(9)])
+        profile = profile_trace(trace, num_sets=4)
+        assert profile.sequential_fraction == pytest.approx(2 / 4)
+
+    def test_reuse_histogram_normalized(self):
+        records = [load(i % 5) for i in range(100)]
+        profile = profile_trace(make_trace(records), num_sets=2)
+        assert sum(profile.reuse_distance_histogram.values()) == pytest.approx(1.0)
+
+    def test_short_reuse_lands_in_first_bucket(self):
+        # Same line back to back: per-set distance 1 -> bucket "0-8".
+        records = [load(0), load(0), load(0)]
+        profile = profile_trace(make_trace(records), num_sets=2)
+        assert profile.reuse_distance_histogram.get("0-8") == pytest.approx(1.0)
+
+    def test_instructions_per_reference(self):
+        records = [TraceRecord(address=0, instr_delta=10) for _ in range(4)]
+        profile = profile_trace(make_trace(records), num_sets=2)
+        assert profile.mean_instructions_per_reference == pytest.approx(10.0)
+
+    def test_empty_trace(self):
+        profile = profile_trace(make_trace([]), num_sets=2)
+        assert profile.references == 0
+        assert profile.cold_fraction == 0.0
+
+
+class TestWorkloadModels:
+    def test_streaming_model_is_cold_heavy(self):
+        from repro.traces.spec_models import build_trace, get_workload
+
+        lbm = profile_trace(
+            build_trace(get_workload("470.lbm"), 512, 4000, seed=1), num_sets=32
+        )
+        gamess = profile_trace(
+            build_trace(get_workload("416.gamess"), 512, 4000, seed=1), num_sets=32
+        )
+        # lbm streams (large cold footprint); gamess loops over a tiny set.
+        assert lbm.footprint_lines > 5 * gamess.footprint_lines
+        assert lbm.write_fraction > gamess.write_fraction
+
+    def test_compare_profiles_renders(self):
+        from repro.traces.spec_models import build_trace, get_workload
+
+        profiles = [
+            profile_trace(
+                build_trace(get_workload(name), 512, 1000, seed=1), num_sets=32
+            )
+            for name in ("429.mcf", "470.lbm")
+        ]
+        text = compare_profiles(profiles)
+        assert "429.mcf" in text and "470.lbm" in text

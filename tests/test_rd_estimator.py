@@ -1,0 +1,60 @@
+"""Tests for the RD estimator (paper §IV-B, Figure 9)."""
+
+import pytest
+
+from repro.core import ReuseDistanceEstimator
+
+
+class TestEpochArithmetic:
+    def test_rd_is_double_the_average(self):
+        estimator = ReuseDistanceEstimator(log2_hits=5)  # 32-hit epochs
+        for _ in range(32):
+            estimator.record_demand_hit(10)
+        assert estimator.rd == 20  # 2 * avg(10)
+
+    def test_single_shift_equals_average_then_double(self):
+        # Hardware: right shift by (log2_hits - 1).  Check against the
+        # two-step computation for non-uniform inputs.
+        estimator = ReuseDistanceEstimator(log2_hits=3)  # 8-hit epochs
+        values = [3, 9, 1, 7, 5, 2, 8, 4]
+        for value in values:
+            estimator.record_demand_hit(value)
+        assert estimator.rd == sum(values) >> 2  # >> (3-1)
+
+    def test_no_update_before_epoch_completes(self):
+        estimator = ReuseDistanceEstimator(log2_hits=5, initial_rd=7)
+        for _ in range(31):
+            estimator.record_demand_hit(100)
+        assert estimator.rd == 7
+        estimator.record_demand_hit(100)
+        assert estimator.rd != 7
+
+    def test_accumulator_resets_between_epochs(self):
+        estimator = ReuseDistanceEstimator(log2_hits=2)  # 4-hit epochs
+        for _ in range(4):
+            estimator.record_demand_hit(8)
+        assert estimator.rd == 16
+        for _ in range(4):
+            estimator.record_demand_hit(0)
+        assert estimator.rd == 0
+
+    def test_epoch_counter(self):
+        estimator = ReuseDistanceEstimator(log2_hits=2)
+        for _ in range(12):
+            estimator.record_demand_hit(1)
+        assert estimator.epochs_completed == 3
+
+
+class TestBounds:
+    def test_max_rd_saturation(self):
+        estimator = ReuseDistanceEstimator(log2_hits=2, max_rd=3)
+        for _ in range(4):
+            estimator.record_demand_hit(100)
+        assert estimator.rd == 3
+
+    def test_rejects_zero_epoch(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceEstimator(log2_hits=0)
+
+    def test_initial_rd(self):
+        assert ReuseDistanceEstimator(initial_rd=5).rd == 5

@@ -1,0 +1,50 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.eval.report import generate_report, write_report
+from repro.eval.workloads import EvalConfig
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    eval_config = EvalConfig(scale=64, trace_length=1500, seed=3)
+    return generate_report(
+        eval_config,
+        policies=("drrip", "rlr"),
+        suites=("cloudsuite",),
+    )
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self, report_text):
+        assert "# RLR reproduction report" in report_text
+        assert "## Table I" in report_text
+        assert "Single-core speedups over LRU (cloudsuite)" in report_text
+        assert "Demand MPKI" in report_text
+        assert "preuse" in report_text
+
+    def test_configuration_header(self, report_text):
+        assert "Table III / 64" in report_text
+        assert "1500 references" in report_text
+
+    def test_geomean_line_present(self, report_text):
+        assert "Geomean:" in report_text
+        assert "drrip" in report_text and "rlr" in report_text
+
+    def test_multicore_section_optional(self):
+        eval_config = EvalConfig(scale=64, trace_length=1200, seed=3)
+        with_mc = generate_report(
+            eval_config,
+            policies=("rlr",),
+            suites=(),
+            include_multicore=True,
+            num_mixes=1,
+        )
+        assert "4-core mixes" in with_mc
+
+    def test_write_report(self, tmp_path):
+        eval_config = EvalConfig(scale=64, trace_length=1200, seed=3)
+        path = tmp_path / "r.md"
+        write_report(path, eval_config, policies=("rlr",), suites=())
+        assert path.read_text().startswith("# RLR reproduction report")

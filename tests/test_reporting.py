@@ -1,0 +1,49 @@
+"""Tests for report formatting."""
+
+from repro.eval.reporting import (
+    format_percent_matrix,
+    format_speedup_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_list_rows(self):
+        text = format_table([[1, 2.5], [3, 4.0]], headers=["a", "b"])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.50" in text
+
+    def test_dict_rows(self):
+        text = format_table([{"a": 1, "b": 2}], headers=["a", "b"])
+        assert "1" in text and "2" in text
+
+    def test_title(self):
+        text = format_table([[1]], headers=["x"], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_missing_dict_keys_blank(self):
+        text = format_table([{"a": 1}], headers=["a", "b"])
+        assert text  # does not raise
+
+    def test_empty_rows(self):
+        text = format_table([], headers=["a"])
+        assert "a" in text
+
+
+class TestMatrices:
+    def test_percent_matrix(self):
+        matrix = {"w1": {"lru": 0.5, "rlr": 0.75}}
+        text = format_percent_matrix(matrix, ["lru", "rlr"])
+        assert "50.0" in text
+        assert "75.0" in text
+
+    def test_speedup_series(self):
+        series = {"w1": {"rlr": 1.0325}}
+        text = format_speedup_series(series, ["rlr"])
+        assert "+3.25%" in text
+
+    def test_missing_policy_dash(self):
+        series = {"w1": {}}
+        text = format_speedup_series(series, ["rlr"])
+        assert "-" in text

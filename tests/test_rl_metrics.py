@@ -1,0 +1,61 @@
+"""Tests for RL training diagnostics."""
+
+import random
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.rl.metrics import TrainingCurve, TrainingMonitor, train_with_monitor
+from repro.rl.reward import NEGATIVE_REWARD, NEUTRAL_REWARD, POSITIVE_REWARD
+from repro.rl.trainer import TrainerConfig
+
+from tests.conftest import load
+
+
+class TestMonitor:
+    def test_window_flush(self):
+        monitor = TrainingMonitor(window=4)
+        for reward in (POSITIVE_REWARD, POSITIVE_REWARD, NEGATIVE_REWARD,
+                       NEUTRAL_REWARD):
+            monitor.record_decision(reward)
+        assert monitor.curve.windows == 1
+        assert monitor.curve.optimal_rates[0] == pytest.approx(0.5)
+        assert monitor.curve.harmful_rates[0] == pytest.approx(0.25)
+
+    def test_losses_averaged_per_window(self):
+        monitor = TrainingMonitor(window=2)
+        monitor.record_loss(1.0)
+        monitor.record_loss(3.0)
+        monitor.record_decision(POSITIVE_REWARD)
+        monitor.record_decision(POSITIVE_REWARD)
+        assert monitor.curve.mean_losses[0] == pytest.approx(2.0)
+
+    def test_curve_improved(self):
+        curve = TrainingCurve(window=2, optimal_rates=[0.2, 0.5])
+        assert curve.improved()
+        assert not TrainingCurve(window=2, optimal_rates=[0.5]).improved()
+        assert curve.final_optimal_rate == 0.5
+
+
+class TestTrainWithMonitor:
+    def test_produces_curve_and_agent(self):
+        config = CacheConfig("c", 8 * 8 * 64, 8, latency=1)
+        rng = random.Random(0)
+        records = []
+        scan = 0
+        for _ in range(3000):
+            if rng.random() < 0.55:
+                records.append(load(rng.randrange(32), pc=4))
+            else:
+                records.append(load(100 + scan % 900, pc=8))
+                scan += 1
+        trained, curve = train_with_monitor(
+            config, records,
+            TrainerConfig(hidden_size=16, epochs=1, seed=1),
+            window=300,
+        )
+        assert trained.agent.decisions > 0
+        assert curve.windows >= 2
+        assert all(0.0 <= rate <= 1.0 for rate in curve.optimal_rates)
+        assert all(0.0 <= rate <= 1.0 for rate in curve.harmful_rates)
+        assert curve.mean_losses

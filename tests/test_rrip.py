@@ -1,0 +1,113 @@
+"""Tests for SRRIP / BRRIP / DRRIP."""
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.rrip import (
+    BRRIPPolicy,
+    DRRIPPolicy,
+    RRPV_LONG,
+    RRPV_MAX,
+    SRRIPPolicy,
+)
+
+from tests.conftest import load
+
+
+def one_set_config(ways=4):
+    return CacheConfig("c", 1 * ways * 64, ways, latency=1)
+
+
+class TestSRRIP:
+    def test_inserts_at_long_rrpv(self, tiny_config, make_cache):
+        policy = make_policy("srrip")
+        cache = make_cache(tiny_config, policy)
+        cache.access(load(0))
+        assert policy._rrpv[0][0] == RRPV_LONG
+
+    def test_hit_promotes_to_zero(self, tiny_config, make_cache):
+        policy = make_policy("srrip")
+        cache = make_cache(tiny_config, policy)
+        cache.access(load(0))
+        cache.access(load(0))
+        assert policy._rrpv[0][0] == 0
+
+    def test_victim_is_distant_line(self, make_cache):
+        config = one_set_config()
+        policy = make_policy("srrip")
+        cache = make_cache(config, policy)
+        for line in range(4):
+            cache.access(load(line))
+        cache.access(load(0))  # promote line 0 to RRPV 0
+        cache.access(load(10))  # someone at RRPV 3 after aging gets evicted
+        assert cache.contains(0)
+
+    def test_aging_terminates(self, make_cache):
+        # All lines at RRPV 0: victim search must age until one reaches 3.
+        config = one_set_config()
+        policy = make_policy("srrip")
+        cache = make_cache(config, policy)
+        for line in range(4):
+            cache.access(load(line))
+        for line in range(4):
+            cache.access(load(line))  # all promoted to 0
+        cache.access(load(9))  # must not hang
+        assert cache.stats.evictions == 1
+
+    def test_overhead_is_two_bits_per_line(self):
+        config = CacheConfig("llc", 2 * 1024 * 1024, 16, latency=26)
+        assert SRRIPPolicy.overhead_kib(config) == 8.0
+
+
+class TestBRRIP:
+    def test_mostly_inserts_distant(self, make_cache):
+        config = CacheConfig("c", 64 * 64 * 4, 4, latency=1)
+        policy = BRRIPPolicy(seed=1)
+        cache = make_cache(config, policy)
+        distant = 0
+        for line in range(256):
+            cache.access(load(line))
+            set_index = config.set_index(line)
+            way = cache.sets[set_index].find(config.tag(line))
+            distant += policy._rrpv[set_index][way] == RRPV_MAX
+        assert distant > 200  # ~ 31/32 of insertions
+
+
+class TestDRRIP:
+    def test_leader_sets_are_disjoint(self, small_config):
+        policy = DRRIPPolicy()
+        policy.bind(small_config)
+        assert not (policy._srrip_leaders & policy._brrip_leaders)
+        assert policy._srrip_leaders and policy._brrip_leaders
+
+    def test_psel_moves_on_leader_misses(self, small_config):
+        policy = DRRIPPolicy()
+        policy.bind(small_config)
+        start = policy._psel
+        leader = next(iter(policy._srrip_leaders))
+        policy.on_miss(leader, load(0))
+        assert policy._psel == start + 1
+        leader = next(iter(policy._brrip_leaders))
+        policy.on_miss(leader, load(0))
+        policy.on_miss(leader, load(0))
+        assert policy._psel == start - 1
+
+    def test_psel_saturates(self, small_config):
+        policy = DRRIPPolicy()
+        policy.bind(small_config)
+        leader = next(iter(policy._brrip_leaders))
+        for _ in range(5000):
+            policy.on_miss(leader, load(0))
+        assert policy._psel == 0
+
+    def test_beats_lru_on_thrash(self, make_cache):
+        # Cyclic set slightly over capacity: LRU gets 0%, DRRIP's BRRIP
+        # mode retains a subset.
+        config = CacheConfig("c", 64 * 4 * 64, 4, latency=1)  # 64 sets
+        lru = make_cache(config, "lru")
+        drrip = make_cache(config, DRRIPPolicy(seed=2))
+        for rep in range(25):
+            for line in range(64 * 6):  # 6 lines per set in 4 ways
+                lru.access(load(line))
+                drrip.access(load(line))
+        assert lru.stats.hit_rate < 0.01
+        assert drrip.stats.hit_rate > 0.15

@@ -1,0 +1,116 @@
+"""Tests for the evaluation runner — above all, replay == full-system."""
+
+import pytest
+
+from repro.cache.config import CoreConfig
+from repro.cpu.system import System
+from repro.eval.runner import (
+    compare_policies,
+    prepare_workload,
+    record_llc_stream,
+    replay,
+    run_belady,
+    run_workload,
+)
+from repro.eval.workloads import EvalConfig
+from repro.traces.record import Trace
+from repro.traces.spec_models import build_trace, get_workload
+
+
+@pytest.fixture(scope="module")
+def eval_config():
+    return EvalConfig(scale=64, trace_length=4000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def trace(eval_config):
+    return eval_config.trace("471.omnetpp")
+
+
+class TestReplayEquivalence:
+    """Replay must be bit-identical to a full-system simulation."""
+
+    @pytest.mark.parametrize("policy", ["lru", "drrip", "ship", "rlr", "hawkeye"])
+    def test_ipc_and_stats_match_full_system(self, eval_config, trace, policy):
+        fast = run_workload(eval_config, trace, policy)
+        system = System(
+            hierarchy_config=eval_config.hierarchy(num_cores=1),
+            llc_policy=__import__("repro.cache.replacement", fromlist=["make_policy"]).make_policy(policy),
+        )
+        slow = system.run(trace, warmup_fraction=eval_config.warmup_fraction)
+        assert fast.single_ipc == pytest.approx(slow.single_ipc, rel=1e-12)
+        assert fast.llc_stats["hits"] == slow.llc_stats["hits"]
+        assert fast.llc_stats["misses"] == slow.llc_stats["misses"]
+        assert fast.demand_mpki == pytest.approx(slow.demand_mpki)
+
+
+class TestPreparedWorkload:
+    def test_preparation_is_cached(self, eval_config, trace):
+        from repro.eval.runner import _prepared
+
+        first = _prepared(eval_config, trace, 1, None)
+        second = _prepared(eval_config, trace, 1, None)
+        assert first is second
+        assert record_llc_stream(eval_config, trace) == record_llc_stream(
+            eval_config, trace
+        )
+
+    def test_warmup_index_within_stream(self, eval_config, trace):
+        prepared = prepare_workload(eval_config, trace)
+        assert 0 < prepared.warmup_index < len(prepared.llc_records)
+
+    def test_base_cycles_positive(self, eval_config, trace):
+        prepared = prepare_workload(eval_config, trace)
+        assert prepared.base_cycles[0] > 0
+        assert prepared.instructions[0] > 0
+
+    def test_stall_ordering(self, eval_config, trace):
+        prepared = prepare_workload(eval_config, trace)
+        assert prepared.stall_mem > prepared.stall_llc > 0
+
+
+class TestBelady:
+    def test_belady_dominates_total_hit_rate(self, eval_config, trace):
+        results = compare_policies(
+            eval_config,
+            trace,
+            ["lru", "drrip", "ship", "rlr"],
+            include_belady=True,
+        )
+        belady_rate = results["belady"].llc_hit_rate
+        for name, result in results.items():
+            assert belady_rate >= result.llc_hit_rate - 1e-9, name
+
+    def test_run_belady_equals_compare_entry(self, eval_config, trace):
+        direct = run_belady(eval_config, trace)
+        via_compare = compare_policies(
+            eval_config, trace, [], include_belady=True
+        )["belady"]
+        assert direct.llc_hit_rate == via_compare.llc_hit_rate
+
+
+class TestMulticoreRunner:
+    def test_mix_replay_matches_full_system(self):
+        eval_config = EvalConfig(scale=64, trace_length=3000, seed=5)
+        mix = ("429.mcf", "470.lbm", "403.gcc", "483.xalancbmk")
+        trace = eval_config.mix_trace(mix)
+        fast = run_workload(eval_config, trace, "lru", num_cores=4)
+        from repro.cache.replacement import make_policy
+
+        system = System(
+            hierarchy_config=eval_config.hierarchy(num_cores=4),
+            llc_policy=make_policy("lru"),
+        )
+        slow = system.run(trace, warmup_fraction=eval_config.warmup_fraction)
+        for fast_ipc, slow_ipc in zip(fast.ipc, slow.ipc):
+            assert fast_ipc == pytest.approx(slow_ipc, rel=1e-12)
+
+    def test_multicore_rlr_gets_core_wiring(self):
+        eval_config = EvalConfig(scale=64, trace_length=2000, seed=5)
+        mix = ("429.mcf", "470.lbm", "403.gcc", "483.xalancbmk")
+        trace = eval_config.mix_trace(mix)
+        prepared = prepare_workload(eval_config, trace, num_cores=4)
+        from repro.eval.runner import _instantiate
+
+        policy = _instantiate("rlr", 4)
+        assert policy.num_cores == 4

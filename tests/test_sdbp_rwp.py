@@ -1,0 +1,166 @@
+"""Tests for SDBP (dead-block prediction) and RWP (read-write partitioning)."""
+
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.rwp import RWPPolicy
+from repro.cache.replacement.sdbp import (
+    DEAD_THRESHOLD,
+    SDBPPolicy,
+    _SamplerSet,
+    _SkewedPredictor,
+)
+
+from tests.conftest import load, rfo
+
+
+def one_set(ways=4):
+    return CacheConfig("c", ways * 64, ways, latency=1)
+
+
+class TestSkewedPredictor:
+    def test_dead_training_raises_confidence(self):
+        predictor = _SkewedPredictor()
+        for _ in range(5):
+            predictor.train(0x400, dead=True)
+        assert predictor.is_dead(0x400)
+
+    def test_alive_training_lowers_confidence(self):
+        predictor = _SkewedPredictor()
+        for _ in range(5):
+            predictor.train(0x400, dead=True)
+        for _ in range(5):
+            predictor.train(0x400, dead=False)
+        assert not predictor.is_dead(0x400)
+
+    def test_counters_saturate(self):
+        predictor = _SkewedPredictor()
+        for _ in range(100):
+            predictor.train(0x400, dead=True)
+        assert predictor.confidence(0x400) == 9  # 3 tables x max 3
+
+    def test_distinct_pcs_mostly_independent(self):
+        predictor = _SkewedPredictor()
+        for _ in range(5):
+            predictor.train(0x400, dead=True)
+        assert predictor.confidence(0x99999) < DEAD_THRESHOLD
+
+
+class TestSampler:
+    def test_eviction_without_reuse_trains_dead(self):
+        predictor = _SkewedPredictor()
+        sampler = _SamplerSet(ways=2)
+        for tag in range(10):  # stream: every entry evicted unreused
+            sampler.access(tag, pc=0x40, predictor=predictor)
+        assert predictor.is_dead(0x40)
+
+    def test_reuse_trains_alive(self):
+        predictor = _SkewedPredictor()
+        sampler = _SamplerSet(ways=4)
+        for _ in range(12):
+            sampler.access(7, pc=0x40, predictor=predictor)
+        assert not predictor.is_dead(0x40)
+
+
+class TestSDBPPolicy:
+    def test_predicted_dead_lines_evicted_first(self):
+        config = one_set()
+        policy = SDBPPolicy()
+        policy.bind(config)
+        cache = Cache(config, policy)
+        dead_pc = 0x666
+        for _ in range(6):
+            policy.predictor.train(dead_pc, dead=True)
+        cache.access(load(0, pc=0x10))
+        cache.access(load(1, pc=dead_pc))
+        cache.access(load(2, pc=0x10))
+        cache.access(load(3, pc=0x10))
+        cache.access(load(9, pc=0x10))
+        assert not cache.contains(1)
+        assert cache.contains(0)
+
+    def test_bypass_mode(self):
+        config = one_set()
+        policy = SDBPPolicy(enable_bypass=True)
+        policy.bind(config)
+        cache = Cache(config, policy, allow_bypass=True)
+        dead_pc = 0x666
+        for _ in range(6):
+            policy.predictor.train(dead_pc, dead=True)
+        for line in range(4):
+            cache.access(load(line, pc=0x10))
+        cache.access(load(9, pc=dead_pc))  # dead incoming, no dead resident
+        assert cache.stats.bypasses == 1
+
+    def test_learns_streaming_pc_on_workload(self, rng):
+        config = CacheConfig("c", 32 * 4 * 64, 4, latency=1)
+        policy = SDBPPolicy()
+        policy.bind(config)
+        cache = Cache(config, policy)
+        scan = 0
+        for _ in range(8000):
+            if rng.random() < 0.5:
+                cache.access(load(rng.randrange(64), pc=0x10))
+            else:
+                cache.access(load(1000 + scan, pc=0x20))
+                scan += 1
+        assert policy.predictor.confidence(0x20) > policy.predictor.confidence(0x10)
+
+    def test_registered(self):
+        assert make_policy("sdbp").name == "sdbp"
+
+
+class TestRWP:
+    def test_over_quota_dirty_partition_supplies_victim(self):
+        config = one_set()
+        policy = RWPPolicy()
+        policy.bind(config)
+        policy.dirty_quota = 1
+        cache = Cache(config, policy)
+        cache.access(rfo(0))
+        cache.access(rfo(1))  # two dirty lines > quota 1
+        cache.access(load(2))
+        cache.access(load(3))
+        cache.access(load(9))  # victim from the dirty partition (LRU: 0)
+        assert not cache.contains(0)
+        assert cache.contains(2)
+
+    def test_clean_partition_supplies_victim_when_dirty_within_quota(self):
+        config = one_set()
+        policy = RWPPolicy()
+        policy.bind(config)
+        policy.dirty_quota = 3
+        cache = Cache(config, policy)
+        cache.access(rfo(0))
+        cache.access(load(1))
+        cache.access(load(2))
+        cache.access(load(3))
+        cache.access(load(9))  # clean LRU (line 1) evicted, dirty kept
+        assert cache.contains(0)
+        assert not cache.contains(1)
+
+    def test_quota_adapts_toward_dirty_read_yield(self):
+        policy = RWPPolicy()
+        policy.bind(one_set(ways=8))
+        start = policy.dirty_quota
+        policy._read_hits_dirty = 1000
+        policy._read_hits_clean = 10
+        policy._events = policy.ADAPT_INTERVAL
+        policy._adapt()
+        assert policy.dirty_quota == start + 1
+
+    def test_quota_bounded(self):
+        policy = RWPPolicy()
+        policy.bind(one_set(ways=4))
+        for _ in range(20):
+            policy._read_hits_dirty = 1000
+            policy._adapt()
+        assert policy.dirty_quota <= 3
+        for _ in range(20):
+            policy._read_hits_clean = 1000
+            policy._adapt()
+        assert policy.dirty_quota >= 1
+
+    def test_registered(self):
+        assert make_policy("rwp").name == "rwp"

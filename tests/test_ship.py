@@ -1,0 +1,128 @@
+"""Tests for SHiP and SHiP++."""
+
+from repro.cache import CacheConfig
+from repro.cache.replacement.rrip import RRPV_LONG, RRPV_MAX
+from repro.cache.replacement.ship import (
+    SHCT_MAX,
+    SHiPPolicy,
+    SHiPPPPolicy,
+    pc_signature,
+)
+
+from tests.conftest import load, prefetch, writeback
+
+
+class TestSignature:
+    def test_signature_in_table_range(self):
+        for pc in (0, 0x400812, 0xFFFFFFFFFF):
+            assert 0 <= pc_signature(pc) < 16 * 1024
+
+    def test_signature_deterministic(self):
+        assert pc_signature(0x1234) == pc_signature(0x1234)
+
+
+class TestSHiP:
+    def test_dead_pc_trains_to_distant_insertion(self, tiny_config, make_cache):
+        policy = SHiPPolicy()
+        cache = make_cache(tiny_config, policy)
+        dead_pc = 0x100
+        # Stream never-reused lines from one PC through one set.
+        for i in range(40):
+            cache.access(load(i * 4, pc=dead_pc))  # all map to set 0
+        assert policy._shct[pc_signature(dead_pc)] == 0
+        cache.access(load(999 * 4, pc=dead_pc))
+        set_index = tiny_config.set_index(999 * 4 >> 0)
+        way = cache.sets[0].find(tiny_config.tag(999 * 4))
+        assert policy._rrpv[0][way] == RRPV_MAX
+
+    def test_reused_pc_trains_positive(self, tiny_config, make_cache):
+        policy = SHiPPolicy()
+        cache = make_cache(tiny_config, policy)
+        hot_pc = 0x200
+        for _ in range(10):
+            cache.access(load(0, pc=hot_pc))
+        assert policy._shct[pc_signature(hot_pc)] > 1
+
+    def test_hot_insertion_is_long_not_distant(self, tiny_config, make_cache):
+        policy = SHiPPolicy()
+        cache = make_cache(tiny_config, policy)
+        hot_pc = 0x200
+        for _ in range(10):
+            cache.access(load(0, pc=hot_pc))
+        cache.access(load(4, pc=hot_pc))
+        way = cache.sets[0].find(tiny_config.tag(4))
+        assert policy._rrpv[0][way] == RRPV_LONG
+
+    def test_overhead_matches_table1(self):
+        config = CacheConfig("llc", 2 * 1024 * 1024, 16, latency=26)
+        assert SHiPPolicy.overhead_kib(config) == 14.0
+
+
+class TestSHiPPP:
+    def test_max_counter_inserts_at_mru(self, tiny_config, make_cache):
+        policy = SHiPPPPolicy()
+        cache = make_cache(tiny_config, policy)
+        hot_pc = 0x40
+        signature = pc_signature(hot_pc)
+        policy._shct[signature] = SHCT_MAX
+        cache.access(load(0, pc=hot_pc))
+        way = cache.sets[0].find(tiny_config.tag(0))
+        assert policy._rrpv[0][way] == 0
+
+    def test_writeback_inserts_distant(self, tiny_config, make_cache):
+        policy = SHiPPPPolicy()
+        cache = make_cache(tiny_config, policy)
+        cache.access(writeback(0))
+        way = cache.sets[0].find(tiny_config.tag(0))
+        assert policy._rrpv[0][way] == RRPV_MAX
+
+    def test_trains_only_on_first_rereference(self, tiny_config, make_cache):
+        policy = SHiPPPPolicy()
+        cache = make_cache(tiny_config, policy)
+        pc = 0x30
+        signature = pc_signature(pc)
+        before = policy._shct[signature]
+        cache.access(load(0, pc=pc))
+        for _ in range(5):
+            cache.access(load(0, pc=pc))
+        assert policy._shct[signature] == before + 1
+
+    def test_prefetch_hit_does_not_fully_promote(self, tiny_config, make_cache):
+        policy = SHiPPPPolicy()
+        cache = make_cache(tiny_config, policy)
+        cache.access(load(0, pc=0x10))
+        cache.access(prefetch(0, pc=0x10))
+        way = cache.sets[0].find(tiny_config.tag(0))
+        assert policy._rrpv[0][way] > 0  # not promoted to MRU
+
+    def test_prefetch_signature_space_is_separate(self, tiny_config, make_cache):
+        policy = SHiPPPPolicy()
+        cache = make_cache(tiny_config, policy)
+        pc = 0x50
+        cache.access(load(0, pc=pc))
+        cache.access(prefetch(4, pc=pc))
+        assert policy._signature[0][cache.sets[0].find(tiny_config.tag(0))] != (
+            policy._signature[0][cache.sets[0].find(tiny_config.tag(4))]
+        )
+
+    def test_overhead_matches_table1(self):
+        config = CacheConfig("llc", 2 * 1024 * 1024, 16, latency=26)
+        assert SHiPPPPolicy.overhead_kib(config) == 20.0
+
+    def test_scan_resistance_beats_lru(self, make_cache):
+        config = CacheConfig("c", 16 * 4 * 64, 4, latency=1)
+        ship = make_cache(config, SHiPPPPolicy())
+        lru = make_cache(config, "lru")
+        import random
+
+        rng = random.Random(7)
+        scan = 0
+        for _ in range(6000):
+            if rng.random() < 0.5:
+                record = load(rng.randrange(32), pc=0x11)  # hot, fits
+            else:
+                record = load(100 + scan, pc=0x22)  # infinite scan
+                scan += 1
+            ship.access(record)
+            lru.access(record)
+        assert ship.stats.hit_rate > lru.stats.hit_rate + 0.1

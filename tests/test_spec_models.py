@@ -1,0 +1,87 @@
+"""Tests for the SPEC/CloudSuite workload models."""
+
+import pytest
+
+from repro.traces.record import AccessType
+from repro.traces.spec_models import (
+    ALL_WORKLOADS,
+    CLOUDSUITE,
+    SPEC2006,
+    build_trace,
+    get_workload,
+)
+
+
+class TestCatalog:
+    def test_29_spec_workloads(self):
+        assert len(SPEC2006) == 29
+
+    def test_5_cloudsuite_workloads(self):
+        assert len(CLOUDSUITE) == 5
+
+    def test_all_names_unique(self):
+        assert len(ALL_WORKLOADS) == 34
+
+    def test_training_benchmarks_exist(self):
+        from repro.eval.workloads import RL_TRAINING_BENCHMARKS
+
+        for name in RL_TRAINING_BENCHMARKS:
+            assert name in ALL_WORKLOADS
+
+    def test_get_workload_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            get_workload("999.bogus")
+
+    def test_pattern_weights_positive(self):
+        for spec in ALL_WORKLOADS.values():
+            assert all(p.weight > 0 for p in spec.patterns)
+            assert spec.mean_instr_delta >= 1
+            assert 0 <= spec.write_fraction < 1
+
+
+class TestBuildTrace:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_every_model_builds(self, name):
+        trace = build_trace(get_workload(name), llc_lines=512, length=300, seed=1)
+        assert len(trace) == 300
+        assert trace.name == name
+        assert all(r.instr_delta >= 1 for r in trace)
+
+    def test_deterministic_given_seed(self):
+        a = build_trace(get_workload("429.mcf"), 512, 200, seed=9)
+        b = build_trace(get_workload("429.mcf"), 512, 200, seed=9)
+        assert [r.address for r in a] == [r.address for r in b]
+
+    def test_different_seeds_differ(self):
+        a = build_trace(get_workload("429.mcf"), 512, 200, seed=1)
+        b = build_trace(get_workload("429.mcf"), 512, 200, seed=2)
+        assert [r.address for r in a] != [r.address for r in b]
+
+    def test_working_sets_scale_with_llc(self):
+        small = build_trace(get_workload("429.mcf"), 256, 3000, seed=1)
+        large = build_trace(get_workload("429.mcf"), 2048, 3000, seed=1)
+        assert large.footprint_lines() > small.footprint_lines()
+
+    def test_core_stamps_records_and_separates_addresses(self):
+        core0 = build_trace(get_workload("470.lbm"), 512, 100, seed=1, core=0)
+        core2 = build_trace(get_workload("470.lbm"), 512, 100, seed=1, core=2)
+        assert all(r.core == 2 for r in core2)
+        addresses0 = {r.line_address for r in core0}
+        addresses2 = {r.line_address for r in core2}
+        assert not (addresses0 & addresses2)
+
+    def test_write_heavy_model_generates_rfos(self):
+        trace = build_trace(get_workload("470.lbm"), 512, 2000, seed=1)
+        rfos = sum(1 for r in trace if r.access_type is AccessType.RFO)
+        assert rfos > 400  # lbm writes ~45%
+
+    def test_patterns_use_disjoint_regions(self):
+        # gcc has cyclic + zipf + stream patterns; their PCs are distinct
+        # (cyclic/stream stable, zipf in the shared pool) and regions must
+        # not overlap.
+        trace = build_trace(get_workload("403.gcc"), 512, 4000, seed=1)
+        by_pc = {}
+        for record in trace:
+            by_pc.setdefault(record.pc, []).append(record.line_address)
+        stable_pcs = [pc for pc in by_pc if (pc >> 2) % 256 < 16]
+        assert len(by_pc) >= 2

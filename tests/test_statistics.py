@@ -1,0 +1,49 @@
+"""Tests for seed-robustness statistics."""
+
+import pytest
+
+from repro.eval.statistics import SpeedupEstimate, seed_sweep
+
+
+class TestSpeedupEstimate:
+    def test_mean_and_bounds(self):
+        estimate = SpeedupEstimate("rlr", "w", [1.02, 1.04, 1.06])
+        assert estimate.mean_percent == pytest.approx(4.0)
+        assert estimate.min_percent == pytest.approx(2.0)
+        assert estimate.max_percent == pytest.approx(6.0)
+
+    def test_stdev(self):
+        estimate = SpeedupEstimate("rlr", "w", [1.0, 1.02])
+        assert estimate.stdev_percent == pytest.approx(1.4142, abs=1e-3)
+        assert SpeedupEstimate("rlr", "w", [1.0]).stdev_percent == 0.0
+
+    def test_sign_robustness(self):
+        assert SpeedupEstimate("p", "w", [1.01, 1.05]).sign_is_robust()
+        assert SpeedupEstimate("p", "w", [0.99, 0.95]).sign_is_robust()
+        assert not SpeedupEstimate("p", "w", [0.95, 1.05]).sign_is_robust()
+
+
+class TestSeedSweep:
+    def test_sweep_produces_estimates(self):
+        estimates = seed_sweep(
+            "471.omnetpp",
+            policies=("drrip", "rlr"),
+            seeds=(3, 5),
+            scale=64,
+            trace_length=2500,
+        )
+        assert set(estimates) == {"drrip", "rlr"}
+        for estimate in estimates.values():
+            assert len(estimate.samples) == 2
+            assert all(sample > 0 for sample in estimate.samples)
+
+    def test_different_seeds_give_different_samples(self):
+        estimates = seed_sweep(
+            "471.omnetpp",
+            policies=("rlr",),
+            seeds=(3, 5),
+            scale=64,
+            trace_length=2500,
+        )
+        samples = estimates["rlr"].samples
+        assert samples[0] != samples[1]

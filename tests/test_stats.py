@@ -1,0 +1,82 @@
+"""Tests for CacheStats."""
+
+import pytest
+
+from repro.cache import CacheStats
+from repro.traces import AccessType
+
+
+class TestCounters:
+    def test_per_type_hits_and_misses(self):
+        stats = CacheStats()
+        stats.record_hit(AccessType.LOAD)
+        stats.record_hit(AccessType.PREFETCH)
+        stats.record_miss(AccessType.RFO)
+        assert stats.hits[AccessType.LOAD] == 1
+        assert stats.hits[AccessType.PREFETCH] == 1
+        assert stats.misses[AccessType.RFO] == 1
+        assert stats.total_hits == 2
+        assert stats.total_misses == 1
+        assert stats.total_accesses == 3
+
+    def test_demand_counts_exclude_prefetch_and_writeback(self):
+        stats = CacheStats()
+        stats.record_hit(AccessType.LOAD)
+        stats.record_hit(AccessType.RFO)
+        stats.record_hit(AccessType.PREFETCH)
+        stats.record_hit(AccessType.WRITEBACK)
+        stats.record_miss(AccessType.LOAD)
+        stats.record_miss(AccessType.PREFETCH)
+        assert stats.demand_hits == 2
+        assert stats.demand_misses == 1
+        assert stats.demand_accesses == 3
+
+    def test_compulsory_flag(self):
+        stats = CacheStats()
+        stats.record_miss(AccessType.LOAD, compulsory=True)
+        stats.record_miss(AccessType.LOAD, compulsory=False)
+        assert stats.compulsory_misses == 1
+
+
+class TestRates:
+    def test_hit_rate_empty_cache_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+        assert CacheStats().demand_hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = CacheStats()
+        stats.record_hit(AccessType.LOAD)
+        stats.record_miss(AccessType.LOAD)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_demand_mpki(self):
+        stats = CacheStats()
+        for _ in range(5):
+            stats.record_miss(AccessType.LOAD)
+        stats.record_miss(AccessType.PREFETCH)  # not demand
+        assert stats.demand_mpki(1000) == pytest.approx(5.0)
+
+    def test_demand_mpki_zero_instructions(self):
+        assert CacheStats().demand_mpki(0) == 0.0
+
+
+class TestReset:
+    def test_reset_zeroes_everything(self):
+        stats = CacheStats()
+        stats.record_hit(AccessType.LOAD)
+        stats.record_miss(AccessType.RFO, compulsory=True)
+        stats.evictions = 3
+        stats.dirty_evictions = 2
+        stats.bypasses = 1
+        stats.reset()
+        assert stats.total_accesses == 0
+        assert stats.evictions == 0
+        assert stats.dirty_evictions == 0
+        assert stats.bypasses == 0
+        assert stats.compulsory_misses == 0
+
+    def test_summary_keys(self):
+        summary = CacheStats().summary()
+        for key in ("accesses", "hits", "misses", "hit_rate", "demand_hits",
+                    "demand_misses", "evictions", "bypasses"):
+            assert key in summary

@@ -1,0 +1,122 @@
+"""Tests for the timeline/phase analysis and the phased generator."""
+
+import random
+
+import pytest
+
+from repro.eval.timeline import (
+    Timeline,
+    TimelineCollector,
+    policy_timeline,
+    render_sparkline,
+)
+from repro.eval.workloads import EvalConfig
+from repro.traces import synthetic
+
+from tests.conftest import load, prefetch
+
+
+@pytest.fixture(scope="module")
+def eval_config():
+    return EvalConfig(scale=64, trace_length=6000, seed=3)
+
+
+class TestCollector:
+    def test_windows_flush_at_boundary(self):
+        collector = TimelineCollector(window=10)
+        for i in range(25):
+            collector(load(i), hit=(i % 2 == 0))
+        assert collector.timeline.windows == 2
+        assert collector.timeline.hit_rates[0] == pytest.approx(0.5)
+
+    def test_demand_rate_excludes_prefetch(self):
+        collector = TimelineCollector(window=4)
+        collector(load(0), hit=True)
+        collector(load(1), hit=False)
+        collector(prefetch(2), hit=True)
+        collector(prefetch(3), hit=True)
+        assert collector.timeline.demand_hit_rates[0] == pytest.approx(0.5)
+        assert collector.timeline.hit_rates[0] == pytest.approx(0.75)
+
+    def test_rd_tracked_for_rlr(self):
+        from repro.core.rlr import RLRPolicy
+
+        collector = TimelineCollector(window=2, policy=RLRPolicy())
+        collector(load(0), hit=False)
+        collector(load(1), hit=False)
+        assert collector.timeline.rd_values == [0]
+
+
+class TestPolicyTimeline:
+    def test_series_produced(self, eval_config):
+        timeline = policy_timeline(eval_config, "471.omnetpp", "lru", window=500)
+        assert timeline.windows >= 3
+        assert all(0.0 <= rate <= 1.0 for rate in timeline.hit_rates)
+
+    def test_rlr_rd_series(self, eval_config):
+        timeline = policy_timeline(eval_config, "471.omnetpp", "rlr", window=500)
+        assert len(timeline.rd_values) == timeline.windows
+        assert all(0 <= rd <= 3 for rd in timeline.rd_values)
+
+    def test_phase_shift_magnitude(self):
+        timeline = Timeline(window=10, hit_rates=[0.2, 0.9, 0.8])
+        assert timeline.phase_shift_magnitude() == pytest.approx(0.7)
+
+
+class TestSparkline:
+    def test_renders_extremes(self):
+        line = render_sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_downsamples_long_series(self):
+        line = render_sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+
+class TestPhasedGenerator:
+    def test_cycles_through_phases(self):
+        rng = random.Random(0)
+        phases = [
+            lambda r: synthetic.cyclic_working_set(10**9, 4),
+            lambda r: synthetic.sequential_stream(10**9, 100, start=1000),
+        ]
+        lines = [l for l, _, _ in synthetic.phased(rng, 40, phases, phase_length=10)]
+        assert len(lines) == 40
+        assert max(lines[:10]) < 4  # phase 1: the small loop
+        assert min(lines[10:20]) >= 0  # phase 2 content differs
+        assert lines[10:20] != lines[:10]
+
+    def test_total_length_respected(self):
+        rng = random.Random(0)
+        phases = [lambda r: synthetic.cyclic_working_set(10**9, 8)]
+        lines = list(synthetic.phased(rng, 37, phases))
+        assert len(lines) == 37
+
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            list(synthetic.phased(random.Random(0), 10, []))
+
+    def test_phase_change_visible_in_policy_timeline(self):
+        # A fits-loop phase followed by a thrash phase: the windowed hit
+        # rate must shift markedly at the boundary.
+        from repro.cache import Cache, CacheConfig
+        from repro.cache.replacement import make_policy
+        from repro.eval.timeline import TimelineCollector
+
+        rng = random.Random(1)
+        phases = [
+            lambda r: synthetic.cyclic_working_set(10**9, 32),   # fits
+            lambda r: synthetic.cyclic_working_set(10**9, 400),  # thrash
+        ]
+        config = CacheConfig("c", 16 * 4 * 64, 4, latency=1)
+        policy = make_policy("lru")
+        policy.bind(config)
+        cache = Cache(config, policy)
+        collector = TimelineCollector(window=400)
+        cache.add_access_observer(collector)
+        for line, _, _ in synthetic.phased(rng, 6000, phases, phase_length=3000):
+            cache.access(load(line))
+        assert collector.timeline.phase_shift_magnitude() > 0.5

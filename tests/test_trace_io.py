@@ -1,0 +1,118 @@
+"""Tests for trace file I/O."""
+
+import pytest
+
+from repro.traces.record import AccessType, Trace, TraceRecord
+from repro.traces.trace_io import load_trace, save_trace
+
+
+@pytest.fixture
+def sample_trace():
+    records = [
+        TraceRecord(address=0x4000, pc=0x400812, access_type=AccessType.LOAD,
+                    instr_delta=7, core=0),
+        TraceRecord(address=0x4040, pc=0x400816, access_type=AccessType.RFO,
+                    instr_delta=1, core=1),
+        TraceRecord(address=0x8000, pc=0, access_type=AccessType.WRITEBACK,
+                    instr_delta=0, core=0),
+        TraceRecord(address=0xC000, pc=0x40081A, access_type=AccessType.PREFETCH,
+                    instr_delta=0, core=2),
+    ]
+    return Trace("sample", records)
+
+
+class TestRoundTrip:
+    def test_plain_csv(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.csv"
+        save_trace(sample_trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "sample"
+        assert loaded.records == sample_trace.records
+
+    def test_gzip(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.csv.gz"
+        save_trace(sample_trace, path)
+        loaded = load_trace(path)
+        assert loaded.records == sample_trace.records
+
+    def test_name_override(self, tmp_path, sample_trace):
+        path = tmp_path / "t.csv"
+        save_trace(sample_trace, path)
+        assert load_trace(path, name="other").name == "other"
+
+
+class TestFormat:
+    def test_paper_record_layout(self, tmp_path, sample_trace):
+        path = tmp_path / "t.csv"
+        save_trace(sample_trace, path)
+        lines = path.read_text().splitlines()
+        assert lines[1].startswith("pc,access_type,address")
+        first = lines[2].split(",")
+        assert first[0] == "0x400812"
+        assert first[1] == "LD"
+        assert first[2] == "0x4000"
+
+    def test_three_column_traces_accepted(self, tmp_path):
+        # The paper's own format has no instr_delta/core columns.
+        path = tmp_path / "t.csv"
+        path.write_text("0x400812,LD,0x4000\n0x0,WB,0x8000\n")
+        trace = load_trace(path)
+        assert len(trace) == 2
+        assert trace[0].instr_delta == 1
+        assert trace[1].access_type is AccessType.WRITEBACK
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0x400812,LD\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# a comment\n\n0x4,LD,0x40,2,0\n")
+        trace = load_trace(path)
+        assert len(trace) == 1
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, tmp_path, sample_trace):
+        from repro.traces.trace_io import load_trace_binary, save_trace_binary
+
+        path = tmp_path / "trace.bin"
+        save_trace_binary(sample_trace, path)
+        loaded = load_trace_binary(path)
+        assert loaded.name == sample_trace.name
+        assert loaded.records == sample_trace.records
+
+    def test_smaller_than_csv(self, tmp_path):
+        from repro.traces.record import Trace, TraceRecord
+        from repro.traces.trace_io import save_trace, save_trace_binary
+
+        records = [
+            TraceRecord(address=i * 64, pc=0x400812, instr_delta=5)
+            for i in range(2000)
+        ]
+        trace = Trace("big", records)
+        csv_path = tmp_path / "t.csv"
+        bin_path = tmp_path / "t.bin"
+        save_trace(trace, csv_path)
+        save_trace_binary(trace, bin_path)
+        assert bin_path.stat().st_size < csv_path.stat().st_size
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        from repro.traces.trace_io import load_trace_binary
+
+        path = tmp_path / "bogus.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError):
+            load_trace_binary(path)
+
+    def test_rejects_truncated_file(self, tmp_path, sample_trace):
+        from repro.traces.trace_io import load_trace_binary, save_trace_binary
+
+        path = tmp_path / "trace.bin"
+        save_trace_binary(sample_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(ValueError):
+            load_trace_binary(path)

@@ -1,0 +1,80 @@
+"""Tests for the generalized victim-profile analysis."""
+
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.cache.replacement import make_policy
+from repro.eval.victim_analysis import (
+    VictimCollector,
+    compare_victim_profiles,
+    policy_victim_statistics,
+)
+from repro.eval.workloads import EvalConfig
+
+from tests.conftest import load, prefetch
+
+
+@pytest.fixture(scope="module")
+def eval_config():
+    return EvalConfig(scale=64, trace_length=4000, seed=3)
+
+
+class TestCollector:
+    def test_accumulates_victims(self):
+        config = CacheConfig("c", 1 * 2 * 64, 2, latency=1)
+        policy = make_policy("lru")
+        policy.bind(config)
+        cache = Cache(config, policy, detailed=True)
+        collector = VictimCollector()
+        cache.add_eviction_observer(collector)
+        for line in range(6):
+            cache.access(load(line))
+        stats = collector.statistics()
+        assert stats.victims == 4
+        assert stats.hits_histogram["0"] == 1.0  # nothing was ever hit
+
+    def test_age_by_type_tracks_last_access(self):
+        config = CacheConfig("c", 1 * 2 * 64, 2, latency=1)
+        policy = make_policy("lru")
+        policy.bind(config)
+        cache = Cache(config, policy, detailed=True)
+        collector = VictimCollector()
+        cache.add_eviction_observer(collector)
+        cache.access(prefetch(0))
+        cache.access(load(1))
+        cache.access(load(2))  # evicts the prefetched line 0 (LRU)
+        stats = collector.statistics()
+        assert "PR" in stats.avg_age_by_type
+
+    def test_empty_statistics(self):
+        stats = VictimCollector().statistics()
+        assert stats.victims == 0
+        assert stats.zero_hit_fraction == 0.0
+
+
+class TestPolicyStatistics:
+    def test_lru_evicts_low_recency_victims(self, eval_config):
+        stats = policy_victim_statistics(eval_config, "471.omnetpp", "lru")
+        ways = eval_config.hierarchy(num_cores=1).llc.ways
+        # LRU victims are by definition at recency 0.
+        assert stats.recency_histogram.get(0, 0.0) == pytest.approx(1.0)
+        assert stats.upper_half_recency_fraction(ways) == 0.0
+
+    def test_rlr_prefers_recent_victims_vs_lru(self, eval_config):
+        profiles = compare_victim_profiles(
+            eval_config, "471.omnetpp", ["lru", "rlr_unopt"]
+        )
+        ways = eval_config.hierarchy(num_cores=1).llc.ways
+        assert (
+            profiles["rlr_unopt"].upper_half_recency_fraction(ways)
+            > profiles["lru"].upper_half_recency_fraction(ways)
+        )
+
+    def test_victims_mostly_unhit_on_thrashy_workload(self, eval_config):
+        stats = policy_victim_statistics(eval_config, "429.mcf", "rlr")
+        assert stats.zero_hit_fraction > 0.5
+
+    def test_histograms_normalized(self, eval_config):
+        stats = policy_victim_statistics(eval_config, "450.soplex", "drrip")
+        assert sum(stats.hits_histogram.values()) == pytest.approx(1.0)
+        assert sum(stats.recency_histogram.values()) == pytest.approx(1.0)

@@ -1,0 +1,99 @@
+"""Tests for the evaluation-workload layer (EvalConfig, suites, mixes)."""
+
+import pytest
+
+from repro.eval.workloads import (
+    EvalConfig,
+    RL_TRAINING_BENCHMARKS,
+    high_mpki_names,
+    spec_mixes,
+    suite_names,
+)
+
+
+class TestEvalConfig:
+    def test_default_scale_shrinks_table3(self):
+        config = EvalConfig()
+        assert config.hierarchy().llc.size_bytes == 2 * 1024 * 1024 // 16
+        assert config.hierarchy().llc.ways == 16
+
+    def test_scale_one_is_paper_config(self):
+        config = EvalConfig(scale=1)
+        assert config.hierarchy().llc.size_bytes == 2 * 1024 * 1024
+
+    def test_llc_lines(self):
+        config = EvalConfig(scale=16)
+        assert config.llc_lines == (2 * 1024 * 1024 // 16) // 64
+
+    def test_trace_caching(self):
+        config = EvalConfig(scale=64, trace_length=500)
+        first = config.trace("429.mcf")
+        second = config.trace("429.mcf")
+        assert first is second
+
+    def test_per_core_traces_distinct(self):
+        config = EvalConfig(scale=64, trace_length=500)
+        base = config.trace("429.mcf", core=0)
+        other = config.trace("429.mcf", core=1)
+        assert base is not other
+        assert all(record.core == 1 for record in other)
+
+    def test_mix_trace_interleaves_four_cores(self):
+        config = EvalConfig(scale=64, trace_length=800)
+        trace = config.mix_trace(
+            ("429.mcf", "470.lbm", "403.gcc", "483.xalancbmk")
+        )
+        assert {record.core for record in trace} == {0, 1, 2, 3}
+
+    def test_multicore_hierarchy_scales_llc(self):
+        config = EvalConfig(scale=16)
+        assert (
+            config.hierarchy(num_cores=4).llc.size_bytes
+            == 4 * config.hierarchy(num_cores=1).llc.size_bytes
+        )
+
+
+class TestSuites:
+    def test_suite_sizes(self):
+        assert len(suite_names("spec2006")) == 29
+        assert len(suite_names("cloudsuite")) == 5
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValueError):
+            suite_names("spec2017")
+
+    def test_high_mpki_subset(self):
+        high = high_mpki_names("spec2006")
+        assert 0 < len(high) < 29
+        assert "429.mcf" in high
+        assert "416.gamess" not in high
+
+    def test_rl_training_benchmarks_are_eight(self):
+        # The paper trains on eight SPEC applications (§V-A).
+        assert len(RL_TRAINING_BENCHMARKS) == 8
+
+
+class TestMixes:
+    def test_spec_mixes_draw_from_suite(self):
+        config = EvalConfig(seed=11)
+        mixes = spec_mixes(config, num_mixes=10)
+        names = set(suite_names("spec2006"))
+        assert len(mixes) == 10
+        for mix in mixes:
+            assert len(mix) == 4
+            assert set(mix) <= names
+
+    def test_mixes_deterministic_per_seed(self):
+        assert spec_mixes(EvalConfig(seed=1), 5) == spec_mixes(EvalConfig(seed=1), 5)
+        assert spec_mixes(EvalConfig(seed=1), 5) != spec_mixes(EvalConfig(seed=2), 5)
+
+
+class TestAssociativityOverride:
+    def test_llc_ways_override(self):
+        config = EvalConfig(scale=16, llc_ways=8)
+        assert config.hierarchy().llc.ways == 8
+        # Capacity unchanged: more sets instead.
+        assert config.hierarchy().llc.size_bytes == 2 * 1024 * 1024 // 16
+
+    def test_default_is_16_way(self):
+        assert EvalConfig().hierarchy().llc.ways == 16
