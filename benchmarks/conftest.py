@@ -3,14 +3,21 @@
 Each benchmark regenerates one paper artifact (see DESIGN.md §4) and prints
 it in the paper's format; run with ``pytest benchmarks/ --benchmark-only -s``
 to see the tables.  A session-scoped EvalConfig caches trace generation and
-the pass-1 LLC streams across benchmarks.
+the pass-1 LLC streams across benchmarks, and a session prepared-workload
+disk cache (:mod:`repro.eval.prep_cache`) persists pass-1 artifacts so
+every runner entry point — including the parallel sweep engine — shares
+them.  Set ``REPRO_PREP_CACHE`` to a directory to persist the cache across
+benchmark sessions.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.eval import EvalConfig
+from repro.eval.prep_cache import attach_prep_cache
 from repro.rl.trainer import TrainerConfig
 
 #: Workloads used by the RL-centric benchmarks (training is expensive).
@@ -18,15 +25,28 @@ RL_BENCH_WORKLOADS = ["450.soplex", "471.omnetpp", "403.gcc"]
 
 
 @pytest.fixture(scope="session")
-def eval_config():
-    """Single-core evaluation configuration shared by all benchmarks."""
-    return EvalConfig(scale=16, trace_length=20_000, seed=7)
+def prep_cache_dir(tmp_path_factory):
+    """Prepared-workload cache directory (override via REPRO_PREP_CACHE)."""
+    configured = os.environ.get("REPRO_PREP_CACHE")
+    if configured:
+        return configured
+    return tmp_path_factory.mktemp("prep-cache")
 
 
 @pytest.fixture(scope="session")
-def eval_config_4core():
+def eval_config(prep_cache_dir):
+    """Single-core evaluation configuration shared by all benchmarks."""
+    config = EvalConfig(scale=16, trace_length=20_000, seed=7)
+    attach_prep_cache(config, prep_cache_dir)
+    return config
+
+
+@pytest.fixture(scope="session")
+def eval_config_4core(prep_cache_dir):
     """Shorter traces for the 4-core benchmarks (4x the simulation work)."""
-    return EvalConfig(scale=16, trace_length=8_000, seed=7, num_cores=4)
+    config = EvalConfig(scale=16, trace_length=8_000, seed=7, num_cores=4)
+    attach_prep_cache(config, prep_cache_dir)
+    return config
 
 
 @pytest.fixture(scope="session")

@@ -6,6 +6,8 @@ Commands:
 * ``simulate``  — one workload under one policy, full result summary
 * ``compare``   — one workload under several policies (+ optional Belady)
 * ``sweep``     — a whole suite, Figure-10-style speedup table + geomean
+  (``--jobs N`` parallelizes over processes; ``--cache-dir`` persists
+  prepared workloads so repeat sweeps skip pass 1; ``--no-cache`` opts out)
 * ``mpki``      — Figure-12-style demand-MPKI table
 * ``mix``       — a 4-core workload mix (Figure 13 / §IV-D)
 * ``table1``    — the hardware-overhead table
@@ -100,23 +102,48 @@ def cmd_compare(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.eval.parallel import parallel_sweep
+
     eval_config = _eval_config(args)
+    lineup = ["lru"] + [policy for policy in args.policies if policy != "lru"]
+    report = parallel_sweep(
+        eval_config,
+        suite_names(args.suite),
+        lineup,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    table = report.table()
     series = {}
     for name in suite_names(args.suite):
-        trace = eval_config.trace(name)
-        results = compare_policies(eval_config, trace, ["lru"] + args.policies)
-        baseline = results["lru"].single_ipc
+        row = table.get(name, {})
+        if "lru" not in row:
+            continue
+        baseline = row["lru"].single_ipc
         series[name] = {
-            policy: results[policy].single_ipc / baseline
+            policy: row[policy].single_ipc / baseline
             for policy in args.policies
+            if policy in row
         }
-        print(f"finished {name}", file=sys.stderr)
     print(format_speedup_series(series, args.policies,
                                 title=f"IPC speedup over LRU ({args.suite})"))
     print("\nsuite geomean:")
     for policy in args.policies:
-        overall = geomean(row[policy] for row in series.values())
-        print(f"  {policy:10s} {(overall - 1) * 100:+.2f}%")
+        values = [row[policy] for row in series.values() if policy in row]
+        if values:
+            overall = geomean(values)
+            print(f"  {policy:10s} {(overall - 1) * 100:+.2f}%")
+        else:
+            print(f"  {policy:10s} (no results)")
+    failures = report.failures()
+    if failures:
+        print(f"\n{len(failures)} cell(s) failed:")
+        for cell in failures:
+            last = cell.error.strip().splitlines()[-1] if cell.error else "?"
+            print(f"  {cell.workload}/{cell.policy}: {last}")
+        return 1
     return 0
 
 
@@ -276,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--suite", choices=("spec2006", "cloudsuite"),
                        default="spec2006")
     _policies_argument(sweep, ("drrip", "ship++", "rlr"))
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep (default 1)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persist prepared workloads to this directory "
+                            "(repeat sweeps skip pass 1)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore any prepared-workload cache")
     _add_eval_arguments(sweep)
 
     mpki = commands.add_parser("mpki", help="Figure-12-style MPKI table")

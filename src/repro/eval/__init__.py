@@ -16,6 +16,12 @@ from repro.eval.metrics import (
     overall_speedup_percent,
     speedup_percent,
 )
+from repro.eval.parallel import CellResult, SweepReport, parallel_sweep
+from repro.eval.prep_cache import (
+    PrepCache,
+    attach_prep_cache,
+    workload_cache_key,
+)
 from repro.eval.runner import (
     compare_policies,
     record_llc_stream,
@@ -32,8 +38,14 @@ from repro.eval.workloads import (
 )
 
 __all__ = [
+    "CellResult",
     "EvalConfig",
+    "PrepCache",
     "SpeedupEstimate",
+    "SweepReport",
+    "attach_prep_cache",
+    "parallel_sweep",
+    "workload_cache_key",
     "belady_agreement",
     "generate_report",
     "seed_sweep",

@@ -14,6 +14,7 @@ from repro.core.overhead import table1 as _table1_rows
 from repro.core.priority import PriorityWeights
 from repro.core.rlr import RLRPolicy
 from repro.eval.metrics import geomean, mix_speedup
+from repro.eval.parallel import parallel_sweep
 from repro.eval.runner import _prepared, replay
 from repro.eval.workloads import EvalConfig, spec_mixes, suite_names
 from repro.rl.trainer import (
@@ -194,17 +195,34 @@ def agent_victim_statistics(
 
 
 def single_core_speedups(
-    eval_config: EvalConfig, suite: str, policies=FIGURE_POLICIES
+    eval_config: EvalConfig,
+    suite: str,
+    policies=FIGURE_POLICIES,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
-    """IPC speedup over LRU per workload (Figure 10 = spec2006, 11 = cloud)."""
+    """IPC speedup over LRU per workload (Figure 10 = spec2006, 11 = cloud).
+
+    Routed through :func:`repro.eval.parallel.parallel_sweep`; ``jobs`` > 1
+    fans the sweep out over worker processes and ``cache_dir`` enables the
+    on-disk prepared-workload cache.
+    """
+    names = suite_names(suite)
+    lineup = ["lru"] + [policy for policy in policies if policy != "lru"]
+    report = parallel_sweep(
+        eval_config, names, lineup, jobs=jobs, cache_dir=cache_dir
+    )
+    table = report.table()
     results = {}
-    for name in suite_names(suite):
-        trace = eval_config.trace(name)
-        prepared = _prepared(eval_config, trace, 1, None)
-        baseline = replay(prepared, "lru").single_ipc
+    for name in names:
+        row = table.get(name, {})
+        if "lru" not in row:
+            continue
+        baseline = row["lru"].single_ipc
         results[name] = {
-            policy: replay(prepared, policy).single_ipc / baseline
+            policy: row[policy].single_ipc / baseline
             for policy in policies
+            if policy in row
         }
     return results
 
@@ -217,18 +235,36 @@ def mpki_comparison(
     policies=FIGURE_POLICIES,
     min_mpki: float = 3.0,
     suite: str = "spec2006",
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
-    """Demand MPKI per policy for workloads with LRU MPKI > ``min_mpki``."""
+    """Demand MPKI per policy for workloads with LRU MPKI > ``min_mpki``.
+
+    Two sweeps through the parallel engine: an LRU-only pass filters the
+    suite, then the full policy lineup runs on the surviving workloads
+    (prepared workloads are shared between the passes via the caches).
+    """
+    names = suite_names(suite)
+    lru_report = parallel_sweep(
+        eval_config, names, ["lru"], jobs=jobs, cache_dir=cache_dir
+    )
+    lru_table = lru_report.table()
+    kept = [
+        name
+        for name in names
+        if "lru" in lru_table.get(name, {})
+        and lru_table[name]["lru"].demand_mpki > min_mpki
+    ]
+    report = parallel_sweep(
+        eval_config, kept, list(policies), jobs=jobs, cache_dir=cache_dir
+    )
+    table = report.table()
     results = {}
-    for name in suite_names(suite):
-        trace = eval_config.trace(name)
-        prepared = _prepared(eval_config, trace, 1, None)
-        baseline = replay(prepared, "lru")
-        if baseline.demand_mpki <= min_mpki:
-            continue
-        row = {"lru": baseline.demand_mpki}
+    for name in kept:
+        row = {"lru": lru_table[name]["lru"].demand_mpki}
         for policy in policies:
-            row[policy] = replay(prepared, policy).demand_mpki
+            if policy in table.get(name, {}):
+                row[policy] = table[name][policy].demand_mpki
         results[name] = row
     return results
 
@@ -241,27 +277,37 @@ def multicore_speedups(
     num_mixes: int = 10,
     policies=FIGURE_POLICIES,
     suite: str = "spec2006",
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """4-core mix speedups over LRU (paper: 100 random SPEC mixes).
 
     Returns {mix_name: {policy: speedup}}; each speedup is the geometric
-    mean of the four cores' IPC ratios.
+    mean of the four cores' IPC ratios.  Mix traces are built in the parent
+    and swept through the parallel engine.
     """
     if suite == "spec2006":
         mixes = spec_mixes(eval_config, num_mixes)
     else:
         names = suite_names(suite)
         mixes = [tuple(names[:4])]
+    traces = [eval_config.mix_trace(mix) for mix in mixes]
+    lineup = ["lru"] + [policy for policy in policies if policy != "lru"]
+    report = parallel_sweep(
+        eval_config, traces, lineup, jobs=jobs, num_cores=4, cache_dir=cache_dir
+    )
+    table = report.table()
     results = {}
-    for mix in mixes:
-        trace = eval_config.mix_trace(mix)
-        prepared = _prepared(eval_config, trace, 4, None)
-        baseline = replay(prepared, "lru").ipc
-        row = {}
-        for policy in policies:
-            result = replay(prepared, policy)
-            row[policy] = mix_speedup(result.ipc, baseline)
-        results[trace.name] = row
+    for trace in traces:
+        row_results = table.get(trace.name, {})
+        if "lru" not in row_results:
+            continue
+        baseline = row_results["lru"].ipc
+        results[trace.name] = {
+            policy: mix_speedup(row_results[policy].ipc, baseline)
+            for policy in policies
+            if policy in row_results
+        }
     return results
 
 
@@ -270,11 +316,12 @@ def table4_overall(
     eval_config_4core: EvalConfig = None,
     policies=FIGURE_POLICIES,
     num_mixes: int = 10,
+    jobs: int = 1,
 ) -> dict:
     """Table IV: overall % speedup for 1-core/4-core, SPEC and CloudSuite."""
     table = {}
     for suite in ("spec2006", "cloudsuite"):
-        single = single_core_speedups(eval_config_1core, suite, policies)
+        single = single_core_speedups(eval_config_1core, suite, policies, jobs=jobs)
         for policy in policies:
             table.setdefault(policy, {})[f"1-core {suite}"] = (
                 geomean(row[policy] for row in single.values()) - 1
@@ -282,7 +329,8 @@ def table4_overall(
     if eval_config_4core is not None:
         for suite in ("spec2006", "cloudsuite"):
             multi = multicore_speedups(
-                eval_config_4core, num_mixes=num_mixes, policies=policies, suite=suite
+                eval_config_4core, num_mixes=num_mixes, policies=policies,
+                suite=suite, jobs=jobs,
             )
             for policy in policies:
                 table[policy][f"4-core {suite}"] = (

@@ -1,0 +1,350 @@
+"""Process-parallel (workload x policy) sweep engine.
+
+The serial runner already splits every simulation into a policy-independent
+pass 1 (:func:`~repro.eval.runner.prepare_workload`) and a cheap per-policy
+pass 2 (:func:`~repro.eval.runner.replay`).  Both passes are embarrassingly
+parallel across their work items, so :func:`parallel_sweep` fans them out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* pass 1 runs once per workload (misses only — prepared workloads are
+  served from the in-memory cache and, when a cache directory is given,
+  from the on-disk :class:`~repro.eval.prep_cache.PrepCache`);
+* pass 2 runs once per (workload, policy) cell, submitted as soon as that
+  workload's pass 1 finishes (no barrier between the passes).
+
+Determinism: every cell is a pure function of its inputs, and results are
+merged sorted by ``(workload, policy)``, so ``jobs=1`` and ``jobs=N``
+produce byte-identical reports (:meth:`SweepReport.to_csv` /
+:meth:`SweepReport.format` — the differential test asserts this).
+
+Fault isolation: a policy that raises during replay is captured as a
+per-cell failure (:attr:`CellResult.error` holds the traceback) instead of
+killing the sweep; pass-1 failures fail every cell of that workload.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cache.config import CoreConfig
+from repro.cache.replacement.belady import BeladyPolicy
+from repro.cpu.system import SystemResult
+from repro.eval.prep_cache import PrepCache, workload_cache_key
+from repro.eval.runner import (
+    PreparedWorkload,
+    _memory_cache,
+    _memory_key,
+    prepare_workload,
+    replay,
+)
+from repro.eval.workloads import EvalConfig
+from repro.traces.record import Trace
+
+#: Policy name handled specially: the recorded stream is its future input.
+BELADY = "belady"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one (workload, policy) cell: a result or a failure."""
+
+    workload: str
+    policy: str
+    result: Optional[SystemResult] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepReport:
+    """Deterministically merged sweep outcome.
+
+    ``cells`` is sorted by ``(workload, policy)`` regardless of completion
+    order, so two runs over the same inputs — serial or parallel, cold or
+    warm cache — render identically.
+    """
+
+    cells: list  #: CellResult, sorted by (workload, policy)
+    workloads: list  #: workload names in sweep order
+    policies: list  #: policy names in sweep order
+    jobs: int = 1
+    cached_workloads: tuple = ()  #: workloads served from the prep cache
+
+    def cell(self, workload: str, policy: str) -> CellResult:
+        for cell in self.cells:
+            if cell.workload == workload and cell.policy == policy:
+                return cell
+        raise KeyError((workload, policy))
+
+    def table(self) -> dict:
+        """``{workload: {policy: SystemResult}}`` over successful cells."""
+        table = {}
+        for cell in self.cells:
+            if cell.ok:
+                table.setdefault(cell.workload, {})[cell.policy] = cell.result
+        return table
+
+    def failures(self) -> list:
+        """Cells whose policy raised (pass-1 or pass-2 failures)."""
+        return [cell for cell in self.cells if not cell.ok]
+
+    def to_csv(self) -> str:
+        """Full-precision deterministic serialization (byte-comparable)."""
+        lines = ["workload,policy,status,ipc,llc_hit_rate,demand_hit_rate,demand_mpki"]
+        for cell in self.cells:
+            if cell.ok:
+                result = cell.result
+                lines.append(
+                    f"{cell.workload},{cell.policy},ok,"
+                    f"{result.single_ipc!r},{result.llc_hit_rate!r},"
+                    f"{result.llc_demand_hit_rate!r},{result.demand_mpki!r}"
+                )
+            else:
+                first = cell.error.strip().splitlines()[-1] if cell.error else ""
+                lines.append(
+                    f"{cell.workload},{cell.policy},failed,"
+                    f"{first.replace(',', ';')},,,"
+                )
+        return "\n".join(lines) + "\n"
+
+    def format(self) -> str:
+        """Human-readable per-cell table (also deterministic)."""
+        from repro.eval.reporting import format_table
+
+        rows = []
+        for cell in self.cells:
+            if cell.ok:
+                rows.append({
+                    "workload": cell.workload,
+                    "policy": cell.policy,
+                    "ipc": round(cell.result.single_ipc, 4),
+                    "hit%": round(100 * cell.result.llc_hit_rate, 2),
+                    "mpki": round(cell.result.demand_mpki, 2),
+                    "status": "ok",
+                })
+            else:
+                last = cell.error.strip().splitlines()[-1] if cell.error else "?"
+                rows.append({
+                    "workload": cell.workload,
+                    "policy": cell.policy,
+                    "ipc": "-", "hit%": "-", "mpki": "-",
+                    "status": f"FAILED: {last}",
+                })
+        return format_table(
+            rows,
+            headers=["workload", "policy", "ipc", "hit%", "mpki", "status"],
+            title=f"sweep: {len(self.workloads)} workloads x "
+                  f"{len(self.policies)} policies",
+        )
+
+
+def _policy_name(policy) -> str:
+    return policy if isinstance(policy, str) else policy.name
+
+
+def _prepare_task(eval_config, trace, num_cores, l2_prefetcher, core_config):
+    """Pass-1 work item (runs in a worker process)."""
+    return prepare_workload(
+        eval_config,
+        trace,
+        num_cores=num_cores,
+        l2_prefetcher=l2_prefetcher,
+        core_config=core_config,
+    )
+
+
+def _replay_task(prepared, workload, policy, allow_bypass) -> CellResult:
+    """Pass-2 work item; never raises (fault isolation per cell)."""
+    name = _policy_name(policy)
+    try:
+        if name == BELADY:
+            policy = BeladyPolicy(
+                prepared.llc_line_stream, allow_bypass=allow_bypass
+            )
+        result = replay(prepared, policy, allow_bypass=allow_bypass)
+        return CellResult(workload, name, result=result)
+    except Exception:
+        return CellResult(workload, name, error=traceback.format_exc())
+
+
+def _worker_config(eval_config: EvalConfig) -> EvalConfig:
+    """A pickling-light copy of the config (traces travel separately)."""
+    return replace(eval_config, _trace_cache={})
+
+
+def parallel_sweep(
+    eval_config: EvalConfig,
+    workloads,
+    policies,
+    *,
+    jobs: int = 1,
+    include_belady: bool = False,
+    num_cores: int = 1,
+    l2_prefetcher: Optional[str] = None,
+    core_config: Optional[CoreConfig] = None,
+    cache_dir=None,
+    use_cache: bool = True,
+    allow_bypass: bool = False,
+    progress=None,
+) -> SweepReport:
+    """Run a (workload x policy) sweep, parallel over ``jobs`` processes.
+
+    ``workloads`` are workload-model names (resolved via
+    ``eval_config.trace``) or pre-built :class:`Trace` objects (e.g.
+    multicore mixes).  ``policies`` are registry names or picklable policy
+    instances; ``include_belady`` appends the offline-optimal policy.
+    ``cache_dir`` (with ``use_cache=True``) enables the on-disk prepared-
+    workload cache; an existing ``eval_config.prep_cache`` attachment is
+    honoured when ``cache_dir`` is not given.  ``progress`` is an optional
+    ``callable(str)`` for status lines.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    policies = list(policies)
+    if include_belady and BELADY not in [_policy_name(p) for p in policies]:
+        policies.append(BELADY)
+    policy_names = [_policy_name(p) for p in policies]
+
+    disk = None
+    if use_cache:
+        if cache_dir is not None:
+            disk = PrepCache(cache_dir)
+        else:
+            disk = getattr(eval_config, "prep_cache", None)
+
+    traces = [
+        workload if isinstance(workload, Trace) else eval_config.trace(workload)
+        for workload in workloads
+    ]
+    workload_names = [trace.name for trace in traces]
+    notify = progress or (lambda message: None)
+
+    # Resolve pass 1 from the in-memory and on-disk caches (parent side).
+    memory = _memory_cache(eval_config)
+    prepared_map = {}  # workload name -> PreparedWorkload
+    cached = []
+    pending = []  # (trace, disk_key)
+    for trace in traces:
+        memory_key = _memory_key(trace, num_cores, l2_prefetcher)
+        disk_key = None
+        if core_config is None and memory_key in memory:
+            prepared_map[trace.name] = memory[memory_key]
+            cached.append(trace.name)
+            continue
+        if disk is not None:
+            disk_key = workload_cache_key(
+                eval_config,
+                trace,
+                num_cores=num_cores,
+                l2_prefetcher=l2_prefetcher,
+                core_config=core_config,
+            )
+            hit = disk.load(disk_key)
+            if hit is not None:
+                prepared_map[trace.name] = hit
+                if core_config is None:
+                    memory[memory_key] = hit
+                cached.append(trace.name)
+                notify(f"prepared {trace.name} (cache hit)")
+                continue
+        pending.append((trace, disk_key))
+
+    def adopt(trace, disk_key, prepared) -> None:
+        prepared_map[trace.name] = prepared
+        if core_config is None:
+            memory[_memory_key(trace, num_cores, l2_prefetcher)] = prepared
+        if disk is not None and disk_key is not None:
+            disk.store(disk_key, prepared)
+        notify(f"prepared {trace.name}")
+
+    results = []
+    if jobs == 1:
+        for trace, disk_key in pending:
+            try:
+                prepared = prepare_workload(
+                    eval_config,
+                    trace,
+                    num_cores=num_cores,
+                    l2_prefetcher=l2_prefetcher,
+                    core_config=core_config,
+                )
+            except Exception:
+                error = traceback.format_exc()
+                results.extend(
+                    CellResult(trace.name, name, error=error)
+                    for name in policy_names
+                )
+                notify(f"prepare FAILED for {trace.name}")
+                continue
+            adopt(trace, disk_key, prepared)
+        for name in workload_names:
+            prepared = prepared_map.get(name)
+            if prepared is None:
+                continue
+            for policy in policies:
+                results.append(
+                    _replay_task(prepared, name, policy, allow_bypass)
+                )
+            notify(f"finished {name}")
+    else:
+        worker_config = _worker_config(eval_config)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            replay_futures = []
+
+            def submit_replays(workload: str, prepared: PreparedWorkload):
+                for policy in policies:
+                    replay_futures.append(
+                        pool.submit(
+                            _replay_task, prepared, workload, policy, allow_bypass
+                        )
+                    )
+
+            prep_futures = {
+                pool.submit(
+                    _prepare_task,
+                    worker_config,
+                    trace,
+                    num_cores,
+                    l2_prefetcher,
+                    core_config,
+                ): (trace, disk_key)
+                for trace, disk_key in pending
+            }
+            for name, prepared in list(prepared_map.items()):
+                submit_replays(name, prepared)
+            for future in as_completed(prep_futures):
+                trace, disk_key = prep_futures[future]
+                try:
+                    prepared = future.result()
+                except Exception:
+                    error = traceback.format_exc()
+                    results.extend(
+                        CellResult(trace.name, name, error=error)
+                        for name in policy_names
+                    )
+                    notify(f"prepare FAILED for {trace.name}")
+                    continue
+                adopt(trace, disk_key, prepared)
+                submit_replays(trace.name, prepared)
+            for future in as_completed(replay_futures):
+                try:
+                    results.append(future.result())
+                except Exception:
+                    results.append(
+                        CellResult("?", "?", error=traceback.format_exc())
+                    )
+
+    results.sort(key=lambda cell: (cell.workload, cell.policy))
+    return SweepReport(
+        cells=results,
+        workloads=workload_names,
+        policies=policy_names,
+        jobs=jobs,
+        cached_workloads=tuple(cached),
+    )

@@ -1,0 +1,132 @@
+"""On-disk cache for pass-1 :class:`~repro.eval.runner.PreparedWorkload`s.
+
+Pass 1 of the record-once/replay-per-policy runner simulates the full
+hierarchy and is by far the most expensive stage of a sweep — and its output
+depends only on the trace and the policy-independent configuration.  This
+module caches those artifacts on disk, keyed by a SHA-256 content hash of
+
+* the trace's canonical byte encoding (:func:`repro.traces.trace_io.trace_to_bytes`),
+* the derived hierarchy configuration (cache geometries, latencies,
+  prefetchers — so e.g. changing the LLC associativity changes the key),
+* the warm-up fraction, core count, L2 prefetcher override, and
+  :class:`~repro.cache.config.CoreConfig` timing parameters.
+
+Any perturbation of the simulated inputs therefore produces a different key
+and a cache miss; identical inputs skip pass 1 entirely.  Entries are
+pickles written atomically (temp file + rename); corrupted, truncated, or
+version-mismatched entries are treated as misses and silently re-simulated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+from repro.cache.config import CoreConfig
+from repro.traces.record import Trace
+from repro.traces.trace_io import trace_to_bytes
+
+#: Bump to invalidate every existing cache entry (layout changes).
+FORMAT_VERSION = 1
+
+
+def workload_cache_key(
+    eval_config,
+    trace: Trace,
+    num_cores: int = 1,
+    l2_prefetcher: Optional[str] = None,
+    core_config: Optional[CoreConfig] = None,
+) -> str:
+    """Content hash of everything :func:`prepare_workload` depends on."""
+    hierarchy = eval_config.hierarchy(num_cores=num_cores)
+    hasher = hashlib.sha256()
+    hasher.update(b"repro-prep-v%d\0" % FORMAT_VERSION)
+    hasher.update(trace_to_bytes(trace))
+    configuration = "\0".join(
+        (
+            f"warmup={eval_config.warmup_fraction!r}",
+            f"hierarchy={hierarchy!r}",
+            f"num_cores={num_cores!r}",
+            f"l2_prefetcher={l2_prefetcher!r}",
+            f"core={(core_config or CoreConfig())!r}",
+        )
+    )
+    hasher.update(configuration.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class PrepCache:
+    """A directory of content-addressed ``PreparedWorkload`` pickles.
+
+    ``load`` returns ``None`` on any miss *or* unreadable entry — callers
+    always fall back to re-simulating, so a corrupt cache can degrade
+    performance but never correctness.  ``hits``/``misses`` counters make
+    cache behaviour observable in tests and reports.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        """Filesystem path of the entry for ``key``."""
+        return self.directory / f"{key}.pkl"
+
+    def load(self, key: str):
+        """The cached ``PreparedWorkload`` for ``key``, or ``None``."""
+        try:
+            with open(self.path(key), "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated pickle, bad bytes, missing class, wrong permissions:
+            # treat as a miss and let the caller re-simulate.
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != FORMAT_VERSION
+            or payload.get("key") != key
+        ):
+            self.misses += 1
+            return None
+        prepared = payload.get("prepared")
+        if prepared is None or not hasattr(prepared, "llc_records"):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return prepared
+
+    def store(self, key: str, prepared) -> None:
+        """Persist ``prepared`` under ``key`` (atomic write)."""
+        payload = {"version": FORMAT_VERSION, "key": key, "prepared": prepared}
+        target = self.path(key)
+        temporary = target.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(temporary, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temporary, target)
+        except OSError:
+            # Caching is best-effort; a full disk must not fail the sweep.
+            try:
+                temporary.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+
+def attach_prep_cache(eval_config, directory) -> PrepCache:
+    """Attach a :class:`PrepCache` to ``eval_config``.
+
+    Every runner entry point that goes through ``_prepared`` (and the
+    parallel sweep engine) will consult and populate it.
+    """
+    cache = PrepCache(directory)
+    eval_config.prep_cache = cache
+    return cache

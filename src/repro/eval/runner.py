@@ -19,6 +19,7 @@ OPT's future knowledge.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cache.cache import Cache
 from repro.cache.config import CoreConfig
@@ -51,19 +52,25 @@ class PreparedWorkload:
         return [record.line_address for record in self.llc_records]
 
 
+def _core_config(core_config: Optional[CoreConfig]) -> CoreConfig:
+    """Normalize an optional core configuration (the one place it happens)."""
+    return CoreConfig() if core_config is None else core_config
+
+
 def prepare_workload(
     eval_config: EvalConfig,
     trace: Trace,
     num_cores: int = 1,
-    l2_prefetcher: str = None,
-    core_config: CoreConfig = None,
+    l2_prefetcher: Optional[str] = None,
+    core_config: Optional[CoreConfig] = None,
 ) -> PreparedWorkload:
     """Run the full hierarchy once (LRU LLC) and record the LLC stream."""
+    core_config = _core_config(core_config)
     hierarchy_config = eval_config.hierarchy(num_cores=num_cores)
     hierarchy = CacheHierarchy(
         hierarchy_config, make_policy("lru"), l2_prefetcher=l2_prefetcher
     )
-    timing = TimingModel(hierarchy_config, core_config or CoreConfig())
+    timing = TimingModel(hierarchy_config, core_config)
     llc_records = []
     hierarchy.llc.add_access_observer(
         lambda access, hit: llc_records.append(access)
@@ -113,8 +120,8 @@ def replay(
     prepared: PreparedWorkload,
     policy,
     allow_bypass: bool = False,
-    detailed: bool = None,
-    observers: list = None,
+    detailed: Optional[bool] = None,
+    observers: Optional[list] = None,
 ) -> SystemResult:
     """Replay the recorded LLC stream under ``policy``; compute IPC/stats.
 
@@ -157,17 +164,47 @@ def replay(
     )
 
 
-def _prepared(eval_config, trace, num_cores, l2_prefetcher) -> PreparedWorkload:
-    """Cache pass-1 artifacts on the EvalConfig (keyed by trace identity)."""
+def _memory_cache(eval_config) -> dict:
+    """The per-EvalConfig in-memory pass-1 cache (created on first use)."""
     cache = getattr(eval_config, "_prepared_cache", None)
     if cache is None:
         cache = {}
         eval_config._prepared_cache = cache
-    key = (trace.name, num_cores, l2_prefetcher, len(trace.records))
+    return cache
+
+
+def _memory_key(trace, num_cores, l2_prefetcher):
+    return (trace.name, num_cores, l2_prefetcher, len(trace.records))
+
+
+def _prepared(eval_config, trace, num_cores, l2_prefetcher) -> PreparedWorkload:
+    """Cache pass-1 artifacts on the EvalConfig (keyed by trace identity).
+
+    If a :class:`repro.eval.prep_cache.PrepCache` is attached to the
+    EvalConfig (``eval_config.prep_cache``), it is consulted before
+    simulating and populated after, so prepared workloads persist across
+    processes and sessions.
+    """
+    cache = _memory_cache(eval_config)
+    key = _memory_key(trace, num_cores, l2_prefetcher)
     if key not in cache:
-        cache[key] = prepare_workload(
-            eval_config, trace, num_cores=num_cores, l2_prefetcher=l2_prefetcher
-        )
+        disk = getattr(eval_config, "prep_cache", None)
+        prepared = None
+        disk_key = None
+        if disk is not None:
+            from repro.eval.prep_cache import workload_cache_key
+
+            disk_key = workload_cache_key(
+                eval_config, trace, num_cores=num_cores, l2_prefetcher=l2_prefetcher
+            )
+            prepared = disk.load(disk_key)
+        if prepared is None:
+            prepared = prepare_workload(
+                eval_config, trace, num_cores=num_cores, l2_prefetcher=l2_prefetcher
+            )
+            if disk is not None:
+                disk.store(disk_key, prepared)
+        cache[key] = prepared
     return cache[key]
 
 
@@ -177,7 +214,7 @@ def run_workload(
     policy,
     num_cores: int = 1,
     allow_bypass: bool = False,
-    l2_prefetcher: str = None,
+    l2_prefetcher: Optional[str] = None,
 ) -> SystemResult:
     """Simulate one trace under one policy at the evaluation scale."""
     prepared = _prepared(eval_config, trace, num_cores, l2_prefetcher)
@@ -188,7 +225,7 @@ def record_llc_stream(
     eval_config: EvalConfig,
     trace: Trace,
     num_cores: int = 1,
-    l2_prefetcher: str = None,
+    l2_prefetcher: Optional[str] = None,
 ) -> list:
     """The LLC line-address stream for ``trace`` (Belady's future input)."""
     prepared = _prepared(eval_config, trace, num_cores, l2_prefetcher)
@@ -199,7 +236,7 @@ def run_belady(
     eval_config: EvalConfig,
     trace: Trace,
     num_cores: int = 1,
-    l2_prefetcher: str = None,
+    l2_prefetcher: Optional[str] = None,
     allow_bypass: bool = False,
 ) -> SystemResult:
     """Exact Belady OPT using the recorded stream as future knowledge."""
@@ -214,7 +251,7 @@ def compare_policies(
     policies,
     num_cores: int = 1,
     include_belady: bool = False,
-    l2_prefetcher: str = None,
+    l2_prefetcher: Optional[str] = None,
 ) -> dict:
     """Run one trace under several policies; returns {name: SystemResult}."""
     prepared = _prepared(eval_config, trace, num_cores, l2_prefetcher)
@@ -233,7 +270,7 @@ def sweep(
     workload_names,
     policies,
     include_belady: bool = False,
-    l2_prefetcher: str = None,
+    l2_prefetcher: Optional[str] = None,
 ) -> dict:
     """Run a suite sweep; returns {workload: {policy: SystemResult}}."""
     table = {}

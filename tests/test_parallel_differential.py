@@ -1,0 +1,127 @@
+"""Differential tests: the parallel sweep engine vs the serial runner.
+
+Three synthetic workloads x five policies (including Belady): every
+per-cell metric from :func:`repro.eval.parallel.parallel_sweep` must be
+*exactly* equal to the serial :func:`run_workload` result, ``--jobs 1`` and
+``--jobs 4`` must render byte-identical reports, and a warm prepared-
+workload cache must serve a repeat sweep with zero ``prepare_workload``
+calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.eval.parallel as parallel_module
+import repro.eval.runner as runner_module
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.eval.parallel import parallel_sweep
+from repro.eval.runner import run_belady, run_workload
+from repro.eval.workloads import EvalConfig
+
+WORKLOADS = ["429.mcf", "403.gcc", "471.omnetpp"]
+POLICIES = ["lru", "srrip", "ship", "rlr", "belady"]
+
+
+def _fresh_config() -> EvalConfig:
+    return EvalConfig(scale=64, trace_length=4000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def serial_cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("prep-serial"))
+
+
+@pytest.fixture(scope="module")
+def parallel_cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("prep-parallel"))
+
+
+@pytest.fixture(scope="module")
+def serial_report(serial_cache_dir):
+    return parallel_sweep(
+        _fresh_config(), WORKLOADS, POLICIES, jobs=1, cache_dir=serial_cache_dir
+    )
+
+
+@pytest.fixture(scope="module")
+def parallel_report(parallel_cache_dir):
+    return parallel_sweep(
+        _fresh_config(), WORKLOADS, POLICIES, jobs=4, cache_dir=parallel_cache_dir
+    )
+
+
+class TestDifferential:
+    def test_every_cell_succeeded(self, parallel_report):
+        assert parallel_report.failures() == []
+        assert len(parallel_report.cells) == len(WORKLOADS) * len(POLICIES)
+
+    def test_parallel_equals_serial_run_workload(self, parallel_report):
+        """Per-cell hit rates, MPKI, and IPC exactly match the serial path."""
+        config = _fresh_config()
+        for workload in WORKLOADS:
+            trace = config.trace(workload)
+            for policy in POLICIES:
+                if policy == "belady":
+                    expected = run_belady(config, trace)
+                else:
+                    expected = run_workload(config, trace, policy)
+                cell = parallel_report.cell(workload, policy)
+                assert cell.ok, cell.error
+                result = cell.result
+                assert result.llc_hit_rate == expected.llc_hit_rate
+                assert result.llc_demand_hit_rate == expected.llc_demand_hit_rate
+                assert result.demand_mpki == expected.demand_mpki
+                assert result.ipc == expected.ipc
+                assert result.llc_stats == expected.llc_stats
+
+    def test_jobs_1_vs_jobs_4_byte_identical(self, serial_report, parallel_report):
+        assert serial_report.to_csv().encode() == parallel_report.to_csv().encode()
+        assert serial_report.format().encode() == parallel_report.format().encode()
+
+
+class TestWarmCache:
+    def test_warm_cache_skips_prepare_entirely(
+        self, serial_report, serial_cache_dir, monkeypatch
+    ):
+        """A repeat sweep over a warm cache never calls prepare_workload."""
+        calls = []
+
+        def counting_prepare(*args, **kwargs):
+            calls.append((args, kwargs))
+            raise AssertionError("prepare_workload must not run on a warm cache")
+
+        monkeypatch.setattr(parallel_module, "prepare_workload", counting_prepare)
+        monkeypatch.setattr(runner_module, "prepare_workload", counting_prepare)
+        report = parallel_sweep(
+            _fresh_config(), WORKLOADS, POLICIES, jobs=1,
+            cache_dir=serial_cache_dir,
+        )
+        assert calls == []
+        assert sorted(report.cached_workloads) == sorted(WORKLOADS)
+        assert report.failures() == []
+        assert report.to_csv() == serial_report.to_csv()
+
+
+class ExplodingPolicy(ReplacementPolicy):
+    """Raises on the first eviction decision (module-level: picklable)."""
+
+    name = "exploding"
+
+    def victim(self, set_index, cache_set, access):
+        raise RuntimeError("synthetic policy failure")
+
+
+class TestFaultIsolation:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_policy_failure_is_per_cell(self, jobs):
+        config = _fresh_config()
+        report = parallel_sweep(
+            config, ["429.mcf"], ["lru", ExplodingPolicy()], jobs=jobs
+        )
+        good = report.cell("429.mcf", "lru")
+        bad = report.cell("429.mcf", "exploding")
+        assert good.ok and good.result.llc_hit_rate > 0
+        assert not bad.ok
+        assert "synthetic policy failure" in bad.error
+        assert [cell.policy for cell in report.failures()] == ["exploding"]

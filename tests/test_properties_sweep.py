@@ -1,0 +1,92 @@
+"""Property-based sweep invariants (hypothesis) over random small traces.
+
+For arbitrary short LOAD streams replayed at the LLC:
+
+* per-set occupancy never exceeds the associativity;
+* hits + misses == accesses for every policy;
+* Belady's hit rate dominates every online policy's on the same stream.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.belady import BeladyPolicy
+from repro.eval.runner import PreparedWorkload, replay
+from repro.traces.record import TraceRecord
+
+WAYS = 4
+SETS = 4
+POLICIES = ["lru", "srrip", "ship", "rlr", "random"]
+
+
+def _llc_config() -> CacheConfig:
+    return CacheConfig("prop-llc", SETS * WAYS * 64, WAYS, latency=26)
+
+
+def _records(line_numbers):
+    return [TraceRecord(address=line * 64) for line in line_numbers]
+
+
+def _prepared(line_numbers) -> PreparedWorkload:
+    records = _records(line_numbers)
+    return PreparedWorkload(
+        trace_name="prop",
+        num_cores=1,
+        llc_config=_llc_config(),
+        llc_records=records,
+        warmup_index=0,
+        base_cycles=[0.0],
+        instructions=[len(records)],
+        stall_llc=26.0,
+        stall_mem=200.0,
+    )
+
+
+#: Streams over a footprint of up to 4x the cache capacity.
+line_streams = st.lists(
+    st.integers(min_value=0, max_value=4 * SETS * WAYS - 1),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(line_streams)
+@settings(max_examples=30, deadline=None)
+def test_occupancy_never_exceeds_associativity(stream):
+    for policy_name in ("lru", "rlr"):
+        policy = make_policy(policy_name)
+        config = _llc_config()
+        policy.bind(config)
+        cache = Cache(config, policy)
+        for record in _records(stream):
+            cache.access(record)
+            for cache_set in cache.sets:
+                valid = sum(1 for line in cache_set.lines if line.valid)
+                assert valid <= config.ways
+        assert 0.0 <= cache.occupancy() <= 1.0
+
+
+@given(line_streams)
+@settings(max_examples=30, deadline=None)
+def test_hits_plus_misses_equals_accesses(stream):
+    for policy_name in POLICIES:
+        result = replay(_prepared(stream), policy_name)
+        stats = result.llc_stats
+        assert stats["hits"] + stats["misses"] == stats["accesses"]
+        assert stats["accesses"] == len(stream)
+
+
+@given(line_streams)
+@settings(max_examples=30, deadline=None)
+def test_belady_dominates_every_policy(stream):
+    prepared = _prepared(stream)
+    belady = BeladyPolicy(prepared.llc_line_stream)
+    belady_rate = replay(prepared, belady).llc_hit_rate
+    for policy_name in POLICIES:
+        rate = replay(prepared, policy_name).llc_hit_rate
+        assert belady_rate >= rate - 1e-12, policy_name

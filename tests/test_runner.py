@@ -89,6 +89,31 @@ class TestBelady:
         assert direct.llc_hit_rate == via_compare.llc_hit_rate
 
 
+class TestOptionalDefaults:
+    """Regression: ``None`` defaults are Optional and normalized once."""
+
+    def test_explicit_none_equals_omitted(self, eval_config, trace):
+        omitted = prepare_workload(eval_config, trace)
+        explicit = prepare_workload(
+            eval_config, trace, l2_prefetcher=None, core_config=None
+        )
+        assert explicit == omitted
+
+    def test_core_config_normalized_in_one_place(self):
+        from repro.eval.runner import _core_config
+
+        assert _core_config(None) == CoreConfig()
+        custom = CoreConfig(issue_width=4)
+        assert _core_config(custom) is custom
+
+    def test_replay_none_arguments_equal_omitted(self, eval_config, trace):
+        prepared = prepare_workload(eval_config, trace)
+        omitted = replay(prepared, "lru")
+        explicit = replay(prepared, "lru", detailed=None, observers=None)
+        assert explicit.llc_stats == omitted.llc_stats
+        assert explicit.ipc == omitted.ipc
+
+
 class TestMulticoreRunner:
     def test_mix_replay_matches_full_system(self):
         eval_config = EvalConfig(scale=64, trace_length=3000, seed=5)
