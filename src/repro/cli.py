@@ -7,7 +7,9 @@ Commands:
 * ``compare``   — one workload under several policies (+ optional Belady)
 * ``sweep``     — a whole suite, Figure-10-style speedup table + geomean
   (``--jobs N`` parallelizes over processes; ``--cache-dir`` persists
-  prepared workloads so repeat sweeps skip pass 1; ``--no-cache`` opts out)
+  prepared workloads so repeat sweeps skip pass 1; ``--no-cache`` opts out;
+  every sweep journals completed cells to a run directory and
+  ``--resume RUN_ID`` continues an interrupted run — see docs/reliability.md)
 * ``mpki``      — Figure-12-style demand-MPKI table
 * ``mix``       — a 4-core workload mix (Figure 13 / §IV-D)
 * ``table1``    — the hardware-overhead table
@@ -101,20 +103,61 @@ def cmd_compare(args) -> int:
     return 0
 
 
+#: Manifest keys <-> sweep argparse attributes (for --resume round-trips).
+_SWEEP_MANIFEST_ARGS = (
+    "suite", "policies", "jobs", "scale", "length", "seed",
+    "cache_dir", "no_cache", "timeout", "retries",
+)
+
+#: Default run-directory root for journaled sweeps.
+DEFAULT_RUN_ROOT = ".repro-runs"
+
+
 def cmd_sweep(args) -> int:
     from repro.eval.parallel import parallel_sweep
+    from repro.runs.supervisor import SweepInterrupted, create_run, load_run
+
+    run_root = args.run_dir or DEFAULT_RUN_ROOT
+    if args.resume:
+        run = load_run(run_root, args.resume)
+        # The manifest wins: the resumed sweep must rebuild the exact grid
+        # (same EvalConfig, workloads, policies) for a byte-identical report.
+        for key, value in run.manifest.get("args", {}).items():
+            setattr(args, key, value)
+        run.mark("running")
+        print(f"resuming {run.run_id} "
+              f"({len(run.journal())} journal entries)", file=sys.stderr)
+    else:
+        run = create_run(run_root, {
+            "kind": "sweep",
+            "args": {key: getattr(args, key) for key in _SWEEP_MANIFEST_ARGS},
+        })
+        print(f"run {run.run_id} -> {run.path} "
+              f"(resumable with --resume {run.run_id})", file=sys.stderr)
 
     eval_config = _eval_config(args)
     lineup = ["lru"] + [policy for policy in args.policies if policy != "lru"]
-    report = parallel_sweep(
-        eval_config,
-        suite_names(args.suite),
-        lineup,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        progress=lambda message: print(message, file=sys.stderr),
-    )
+    try:
+        report = parallel_sweep(
+            eval_config,
+            suite_names(args.suite),
+            lineup,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            progress=lambda message: print(message, file=sys.stderr),
+            timeout=args.timeout,
+            retries=args.retries,
+            journal=run.journal(),
+        )
+    except SweepInterrupted as interrupt:
+        run.mark("interrupted")
+        print(f"\ninterrupted: {interrupt.completed} completed cell(s) "
+              f"journaled in {run.journal_path}\nresume with: "
+              f"repro sweep --run-dir {run_root} --resume {run.run_id}",
+              file=sys.stderr)
+        return 130
+    run.write_report(report.to_csv())
     table = report.table()
     series = {}
     for name in suite_names(args.suite):
@@ -139,11 +182,13 @@ def cmd_sweep(args) -> int:
             print(f"  {policy:10s} (no results)")
     failures = report.failures()
     if failures:
+        run.mark("failed")
         print(f"\n{len(failures)} cell(s) failed:")
         for cell in failures:
             last = cell.error.strip().splitlines()[-1] if cell.error else "?"
             print(f"  {cell.workload}/{cell.policy}: {last}")
         return 1
+    run.mark("complete")
     return 0
 
 
@@ -214,7 +259,13 @@ def cmd_train(args) -> int:
     )
     print(f"training on {args.workload} "
           f"({len(prepared.llc_records)} LLC accesses) ...", file=sys.stderr)
-    trained = train_on_stream(prepared.llc_config, prepared.llc_records, config)
+    trained = train_on_stream(
+        prepared.llc_config,
+        prepared.llc_records,
+        config,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
 
     adapter = AgentReplacementPolicy(trained.agent, trained.extractor, train=False)
     rl_result = replay(prepared, adapter, detailed=True)
@@ -310,6 +361,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeat sweeps skip pass 1)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="ignore any prepared-workload cache")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock watchdog in seconds "
+                            "(hung workers are killed and retried)")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="retries for crashed/timed-out cells "
+                            "(exponential backoff with jitter)")
+    sweep.add_argument("--run-dir", default=None,
+                       help="root for run directories (journal + report; "
+                            f"default {DEFAULT_RUN_ROOT})")
+    sweep.add_argument("--resume", metavar="RUN_ID", default=None,
+                       help="resume an interrupted run (e.g. run-0001); "
+                            "journaled cells are not re-run")
     _add_eval_arguments(sweep)
 
     mpki = commands.add_parser("mpki", help="Figure-12-style MPKI table")
@@ -331,6 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--hidden", type=int, default=64)
     train.add_argument("--epochs", type=int, default=1)
     train.add_argument("--save", help="save the trained agent to this .npz")
+    train.add_argument("--checkpoint", default=None,
+                       help="write a full training checkpoint (agent, replay "
+                            "buffer, RNGs, epoch) here after every epoch")
+    train.add_argument("--resume", action="store_true",
+                       help="restore --checkpoint if it exists and continue "
+                            "from its epoch (bit-identical to uninterrupted)")
     _add_eval_arguments(train)
 
     hillclimb = commands.add_parser("hillclimb", help="feature selection")

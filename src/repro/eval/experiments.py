@@ -200,17 +200,21 @@ def single_core_speedups(
     policies=FIGURE_POLICIES,
     jobs: int = 1,
     cache_dir=None,
+    timeout=None,
+    retries: int = 0,
 ) -> dict:
     """IPC speedup over LRU per workload (Figure 10 = spec2006, 11 = cloud).
 
     Routed through :func:`repro.eval.parallel.parallel_sweep`; ``jobs`` > 1
-    fans the sweep out over worker processes and ``cache_dir`` enables the
-    on-disk prepared-workload cache.
+    fans the sweep out over worker processes, ``cache_dir`` enables the
+    on-disk prepared-workload cache, and ``timeout``/``retries`` arm the
+    per-cell watchdog and transient-failure retry.
     """
     names = suite_names(suite)
     lineup = ["lru"] + [policy for policy in policies if policy != "lru"]
     report = parallel_sweep(
-        eval_config, names, lineup, jobs=jobs, cache_dir=cache_dir
+        eval_config, names, lineup, jobs=jobs, cache_dir=cache_dir,
+        timeout=timeout, retries=retries,
     )
     table = report.table()
     results = {}
@@ -237,6 +241,8 @@ def mpki_comparison(
     suite: str = "spec2006",
     jobs: int = 1,
     cache_dir=None,
+    timeout=None,
+    retries: int = 0,
 ) -> dict:
     """Demand MPKI per policy for workloads with LRU MPKI > ``min_mpki``.
 
@@ -246,7 +252,8 @@ def mpki_comparison(
     """
     names = suite_names(suite)
     lru_report = parallel_sweep(
-        eval_config, names, ["lru"], jobs=jobs, cache_dir=cache_dir
+        eval_config, names, ["lru"], jobs=jobs, cache_dir=cache_dir,
+        timeout=timeout, retries=retries,
     )
     lru_table = lru_report.table()
     kept = [
@@ -256,7 +263,8 @@ def mpki_comparison(
         and lru_table[name]["lru"].demand_mpki > min_mpki
     ]
     report = parallel_sweep(
-        eval_config, kept, list(policies), jobs=jobs, cache_dir=cache_dir
+        eval_config, kept, list(policies), jobs=jobs, cache_dir=cache_dir,
+        timeout=timeout, retries=retries,
     )
     table = report.table()
     results = {}
@@ -279,6 +287,8 @@ def multicore_speedups(
     suite: str = "spec2006",
     jobs: int = 1,
     cache_dir=None,
+    timeout=None,
+    retries: int = 0,
 ) -> dict:
     """4-core mix speedups over LRU (paper: 100 random SPEC mixes).
 
@@ -294,7 +304,8 @@ def multicore_speedups(
     traces = [eval_config.mix_trace(mix) for mix in mixes]
     lineup = ["lru"] + [policy for policy in policies if policy != "lru"]
     report = parallel_sweep(
-        eval_config, traces, lineup, jobs=jobs, num_cores=4, cache_dir=cache_dir
+        eval_config, traces, lineup, jobs=jobs, num_cores=4,
+        cache_dir=cache_dir, timeout=timeout, retries=retries,
     )
     table = report.table()
     results = {}

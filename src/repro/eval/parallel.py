@@ -1,10 +1,10 @@
-"""Process-parallel (workload x policy) sweep engine.
+"""Process-parallel (workload x policy) sweep engine, crash-safe.
 
 The serial runner already splits every simulation into a policy-independent
 pass 1 (:func:`~repro.eval.runner.prepare_workload`) and a cheap per-policy
 pass 2 (:func:`~repro.eval.runner.replay`).  Both passes are embarrassingly
 parallel across their work items, so :func:`parallel_sweep` fans them out
-over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+over a :class:`~repro.runs.executor.ProcessTaskPool`:
 
 * pass 1 runs once per workload (misses only — prepared workloads are
   served from the in-memory cache and, when a cache directory is given,
@@ -17,16 +17,32 @@ merged sorted by ``(workload, policy)``, so ``jobs=1`` and ``jobs=N``
 produce byte-identical reports (:meth:`SweepReport.to_csv` /
 :meth:`SweepReport.format` — the differential test asserts this).
 
-Fault isolation: a policy that raises during replay is captured as a
-per-cell failure (:attr:`CellResult.error` holds the traceback) instead of
-killing the sweep; pass-1 failures fail every cell of that workload.
+Fault tolerance (the ``repro.runs`` reliability contract):
+
+* a policy that raises during replay is captured as a per-cell failure
+  (:attr:`CellResult.error` holds the traceback) instead of killing the
+  sweep; pass-1 failures fail every cell of that workload;
+* with ``timeout`` set, a hung worker is killed by the pool's watchdog and
+  the cell is retried (up to ``retries`` times, exponential backoff with
+  jitter) or reported failed — it can never stall the pool;
+* a worker that dies without reporting (SIGKILL, segfault) is likewise a
+  retryable transient failure, isolated to its cell;
+* with ``journal`` set, every completed cell is durably appended to a
+  :class:`~repro.runs.journal.RunJournal`; a resumed sweep skips journaled
+  cells (and pass 1 for fully finished workloads) and renders a report
+  byte-identical to an uninterrupted run;
+* while journaling, SIGINT/SIGTERM raise
+  :class:`~repro.runs.supervisor.SweepInterrupted` *after* workers are
+  reaped — the journal is always flushed, never torn.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field, replace
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.cache.config import CoreConfig
@@ -41,6 +57,9 @@ from repro.eval.runner import (
     replay,
 )
 from repro.eval.workloads import EvalConfig
+from repro.runs.executor import ProcessTaskPool
+from repro.runs.supervisor import SweepInterrupted
+from repro.testing.faults import maybe_fault
 from repro.traces.record import Trace
 
 #: Policy name handled specially: the recorded stream is its future input.
@@ -67,7 +86,8 @@ class SweepReport:
 
     ``cells`` is sorted by ``(workload, policy)`` regardless of completion
     order, so two runs over the same inputs — serial or parallel, cold or
-    warm cache — render identically.
+    warm cache, interrupted-and-resumed or uninterrupted — render
+    identically.
     """
 
     cells: list  #: CellResult, sorted by (workload, policy)
@@ -75,6 +95,8 @@ class SweepReport:
     policies: list  #: policy names in sweep order
     jobs: int = 1
     cached_workloads: tuple = ()  #: workloads served from the prep cache
+    resumed: tuple = ()  #: (workload, policy) cells served from the journal
+    pool_stats: dict = field(default_factory=dict)  #: watchdog/retry counters
 
     def cell(self, workload: str, policy: str) -> CellResult:
         for cell in self.cells:
@@ -144,6 +166,43 @@ class SweepReport:
         )
 
 
+# -- journal codec -------------------------------------------------------------
+#
+# JSON round-trips Python floats exactly (repr-based shortest encoding), so a
+# cell reloaded from the journal renders byte-identically in to_csv()/format().
+
+
+def journal_cell_entry(cell: CellResult) -> dict:
+    """The journal entry recording one successfully completed cell."""
+    return {
+        "type": "cell",
+        "workload": cell.workload,
+        "policy": cell.policy,
+        "result": asdict(cell.result),
+    }
+
+
+def cell_from_journal_entry(entry: dict) -> Optional[CellResult]:
+    """Rebuild a :class:`CellResult` from a journal entry (None if invalid)."""
+    if entry.get("type") != "cell":
+        return None
+    payload = entry.get("result")
+    if not isinstance(payload, dict):
+        return None
+    try:
+        result = SystemResult(**payload)
+    except TypeError:
+        return None  # written by an incompatible version: recompute the cell
+    return CellResult(
+        workload=str(entry.get("workload")),
+        policy=str(entry.get("policy")),
+        result=result,
+    )
+
+
+# -- work items ---------------------------------------------------------------
+
+
 def _policy_name(policy) -> str:
     return policy if isinstance(policy, str) else policy.name
 
@@ -163,6 +222,7 @@ def _replay_task(prepared, workload, policy, allow_bypass) -> CellResult:
     """Pass-2 work item; never raises (fault isolation per cell)."""
     name = _policy_name(policy)
     try:
+        maybe_fault("replay", workload=workload, policy=name)
         if name == BELADY:
             policy = BeladyPolicy(
                 prepared.llc_line_stream, allow_bypass=allow_bypass
@@ -176,6 +236,36 @@ def _replay_task(prepared, workload, policy, allow_bypass) -> CellResult:
 def _worker_config(eval_config: EvalConfig) -> EvalConfig:
     """A pickling-light copy of the config (traces travel separately)."""
     return replace(eval_config, _trace_cache={})
+
+
+@contextmanager
+def _interrupt_guard(enabled: bool):
+    """Convert SIGINT/SIGTERM into :class:`SweepInterrupted` while active.
+
+    Only installed from the main thread (signal handlers cannot be set
+    elsewhere); the previous handlers are always restored.
+    """
+    if not enabled or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise_interrupted(signum, frame):
+        raise SweepInterrupted(f"received signal {signum}")
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _raise_interrupted)
+        except (ValueError, OSError):
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
 
 
 def parallel_sweep(
@@ -192,6 +282,10 @@ def parallel_sweep(
     use_cache: bool = True,
     allow_bypass: bool = False,
     progress=None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff: float = 0.25,
+    journal=None,
 ) -> SweepReport:
     """Run a (workload x policy) sweep, parallel over ``jobs`` processes.
 
@@ -203,6 +297,14 @@ def parallel_sweep(
     workload cache; an existing ``eval_config.prep_cache`` attachment is
     honoured when ``cache_dir`` is not given.  ``progress`` is an optional
     ``callable(str)`` for status lines.
+
+    Reliability knobs: ``timeout`` is a per-cell wall-clock watchdog in
+    seconds, ``retries``/``retry_backoff`` bound the retry-with-backoff
+    schedule for transient worker failures, and ``journal`` (a
+    :class:`~repro.runs.journal.RunJournal`) makes the sweep resumable —
+    already-journaled cells are skipped and completed cells are appended
+    durably.  Setting ``timeout`` or ``retries`` routes even ``jobs=1``
+    sweeps through worker processes (a watchdog needs something to kill).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -225,12 +327,42 @@ def parallel_sweep(
     workload_names = [trace.name for trace in traces]
     notify = progress or (lambda message: None)
 
+    # Resume: cells already journaled are adopted verbatim, not re-run.
+    done_cells = []
+    done_keys = set()
+    if journal is not None:
+        journal.reload()
+        grid = {
+            (name, policy) for name in workload_names for policy in policy_names
+        }
+        for entry in journal.entries():
+            cell = cell_from_journal_entry(entry)
+            if cell is None:
+                continue
+            key = (cell.workload, cell.policy)
+            if key in grid and key not in done_keys:
+                done_keys.add(key)
+                done_cells.append(cell)
+        if done_cells:
+            notify(f"resume: {len(done_cells)} cells served from the journal")
+
+    #: policies still owed per workload; fully journaled workloads skip pass 1.
+    wanted = {
+        name: [
+            policy
+            for policy in policies
+            if (name, _policy_name(policy)) not in done_keys
+        ]
+        for name in workload_names
+    }
+    active = [trace for trace in traces if wanted[trace.name]]
+
     # Resolve pass 1 from the in-memory and on-disk caches (parent side).
     memory = _memory_cache(eval_config)
     prepared_map = {}  # workload name -> PreparedWorkload
     cached = []
     pending = []  # (trace, disk_key)
-    for trace in traces:
+    for trace in active:
         memory_key = _memory_key(trace, num_cores, l2_prefetcher)
         disk_key = None
         if core_config is None and memory_key in memory:
@@ -264,82 +396,122 @@ def parallel_sweep(
         notify(f"prepared {trace.name}")
 
     results = []
-    if jobs == 1:
-        for trace, disk_key in pending:
-            try:
-                prepared = prepare_workload(
-                    eval_config,
-                    trace,
-                    num_cores=num_cores,
-                    l2_prefetcher=l2_prefetcher,
-                    core_config=core_config,
-                )
-            except Exception:
-                error = traceback.format_exc()
-                results.extend(
-                    CellResult(trace.name, name, error=error)
-                    for name in policy_names
-                )
-                notify(f"prepare FAILED for {trace.name}")
-                continue
-            adopt(trace, disk_key, prepared)
-        for name in workload_names:
-            prepared = prepared_map.get(name)
-            if prepared is None:
-                continue
-            for policy in policies:
-                results.append(
-                    _replay_task(prepared, name, policy, allow_bypass)
-                )
-            notify(f"finished {name}")
-    else:
-        worker_config = _worker_config(eval_config)
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            replay_futures = []
 
-            def submit_replays(workload: str, prepared: PreparedWorkload):
-                for policy in policies:
-                    replay_futures.append(
-                        pool.submit(
-                            _replay_task, prepared, workload, policy, allow_bypass
+    def complete(cell: CellResult) -> None:
+        results.append(cell)
+        if journal is not None and cell.ok:
+            journal.append(journal_cell_entry(cell))
+
+    # A watchdog needs a process to kill; retries need a process to restart.
+    pooled = jobs > 1 or timeout is not None or retries > 0
+    pool_stats = {}
+    try:
+        with _interrupt_guard(enabled=journal is not None):
+            if not pooled:
+                for trace, disk_key in pending:
+                    try:
+                        prepared = prepare_workload(
+                            eval_config,
+                            trace,
+                            num_cores=num_cores,
+                            l2_prefetcher=l2_prefetcher,
+                            core_config=core_config,
                         )
-                    )
+                    except Exception:
+                        error = traceback.format_exc()
+                        for policy in wanted[trace.name]:
+                            complete(
+                                CellResult(
+                                    trace.name, _policy_name(policy), error=error
+                                )
+                            )
+                        notify(f"prepare FAILED for {trace.name}")
+                        continue
+                    adopt(trace, disk_key, prepared)
+                for name in workload_names:
+                    needed = wanted[name]
+                    prepared = prepared_map.get(name)
+                    if not needed or prepared is None:
+                        continue
+                    for policy in needed:
+                        complete(_replay_task(prepared, name, policy, allow_bypass))
+                    notify(f"finished {name}")
+            else:
+                worker_config = _worker_config(eval_config)
+                with ProcessTaskPool(
+                    max_workers=jobs,
+                    timeout=timeout,
+                    retries=retries,
+                    backoff=retry_backoff,
+                ) as pool:
 
-            prep_futures = {
-                pool.submit(
-                    _prepare_task,
-                    worker_config,
-                    trace,
-                    num_cores,
-                    l2_prefetcher,
-                    core_config,
-                ): (trace, disk_key)
-                for trace, disk_key in pending
-            }
-            for name, prepared in list(prepared_map.items()):
-                submit_replays(name, prepared)
-            for future in as_completed(prep_futures):
-                trace, disk_key = prep_futures[future]
-                try:
-                    prepared = future.result()
-                except Exception:
-                    error = traceback.format_exc()
-                    results.extend(
-                        CellResult(trace.name, name, error=error)
-                        for name in policy_names
-                    )
-                    notify(f"prepare FAILED for {trace.name}")
-                    continue
-                adopt(trace, disk_key, prepared)
-                submit_replays(trace.name, prepared)
-            for future in as_completed(replay_futures):
-                try:
-                    results.append(future.result())
-                except Exception:
-                    results.append(
-                        CellResult("?", "?", error=traceback.format_exc())
-                    )
+                    def submit_replays(name: str, prepared: PreparedWorkload):
+                        for policy in wanted[name]:
+                            pool.submit(
+                                _replay_task,
+                                prepared,
+                                name,
+                                policy,
+                                allow_bypass,
+                                tag=("replay", name, _policy_name(policy)),
+                            )
 
+                    prep_info = {
+                        trace.name: (trace, disk_key)
+                        for trace, disk_key in pending
+                    }
+                    for trace, _disk_key in pending:
+                        pool.submit(
+                            _prepare_task,
+                            worker_config,
+                            trace,
+                            num_cores,
+                            l2_prefetcher,
+                            core_config,
+                            tag=("prepare", trace.name),
+                        )
+                    for name, prepared in list(prepared_map.items()):
+                        submit_replays(name, prepared)
+
+                    for outcome in pool.completed():
+                        if outcome.tag[0] == "prepare":
+                            trace, disk_key = prep_info[outcome.tag[1]]
+                            if not outcome.ok:
+                                for policy in wanted[trace.name]:
+                                    complete(
+                                        CellResult(
+                                            trace.name,
+                                            _policy_name(policy),
+                                            error=outcome.error,
+                                        )
+                                    )
+                                notify(f"prepare FAILED for {trace.name}")
+                                continue
+                            adopt(trace, disk_key, outcome.value)
+                            submit_replays(trace.name, outcome.value)
+                        else:
+                            _, name, pname = outcome.tag
+                            if outcome.ok:
+                                complete(outcome.value)
+                            else:
+                                # Crash/timeout after all retries: a per-cell
+                                # failure, not a sweep failure.
+                                complete(
+                                    CellResult(name, pname, error=outcome.error)
+                                )
+                    pool_stats = pool.stats.as_dict()
+    except (KeyboardInterrupt, SweepInterrupted):
+        if journal is None:
+            raise
+        # Workers are already reaped (pool context exit) and every completed
+        # cell was journaled as it finished — safe to resume.
+        raise SweepInterrupted(
+            "sweep interrupted — completed cells are journaled; resume "
+            "with --resume",
+            completed=len(done_cells) + len(results),
+        ) from None
+
+    results.extend(done_cells)
     results.sort(key=lambda cell: (cell.workload, cell.policy))
     return SweepReport(
         cells=results,
@@ -347,4 +519,6 @@ def parallel_sweep(
         policies=policy_names,
         jobs=jobs,
         cached_workloads=tuple(cached),
+        resumed=tuple(sorted(done_keys)),
+        pool_stats=pool_stats,
     )

@@ -13,24 +13,35 @@ module caches those artifacts on disk, keyed by a SHA-256 content hash of
 
 Any perturbation of the simulated inputs therefore produces a different key
 and a cache miss; identical inputs skip pass 1 entirely.  Entries are
-pickles written atomically (temp file + rename); corrupted, truncated, or
-version-mismatched entries are treated as misses and silently re-simulated.
+pickles written atomically (write-temp/fsync/rename via
+:func:`repro.runs.atomic.atomic_write`); corrupted or truncated entries are
+treated as misses and re-simulated, but are *counted* and surfaced as a
+:class:`PrepCacheCorruptionWarning` naming the affected key — silent data
+loss in the cache layer is an operational signal, not a non-event.
+Version-mismatched entries (stale ``FORMAT_VERSION``) remain silent misses:
+they are expected after upgrades, not damage.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
+import warnings
 from pathlib import Path
 from typing import Optional
 
 from repro.cache.config import CoreConfig
+from repro.runs.atomic import atomic_write
+from repro.testing.faults import maybe_fault
 from repro.traces.record import Trace
 from repro.traces.trace_io import trace_to_bytes
 
 #: Bump to invalidate every existing cache entry (layout changes).
 FORMAT_VERSION = 1
+
+
+class PrepCacheCorruptionWarning(UserWarning):
+    """A cache entry was unreadable and will be re-simulated."""
 
 
 def workload_cache_key(
@@ -63,8 +74,10 @@ class PrepCache:
 
     ``load`` returns ``None`` on any miss *or* unreadable entry — callers
     always fall back to re-simulating, so a corrupt cache can degrade
-    performance but never correctness.  ``hits``/``misses`` counters make
-    cache behaviour observable in tests and reports.
+    performance but never correctness.  ``hits``/``misses``/``corrupt``
+    counters make cache behaviour observable in tests and reports, and every
+    corrupt entry additionally raises a :class:`PrepCacheCorruptionWarning`
+    naming the affected key.
     """
 
     def __init__(self, directory) -> None:
@@ -72,53 +85,68 @@ class PrepCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def path(self, key: str) -> Path:
         """Filesystem path of the entry for ``key``."""
         return self.directory / f"{key}.pkl"
 
+    def _corrupt_entry(self, key: str, reason: str) -> None:
+        """Count and surface one unreadable entry (still a miss)."""
+        self.misses += 1
+        self.corrupt += 1
+        warnings.warn(
+            f"prep cache entry {key} is corrupt ({reason}); re-simulating",
+            PrepCacheCorruptionWarning,
+            stacklevel=3,
+        )
+
     def load(self, key: str):
         """The cached ``PreparedWorkload`` for ``key``, or ``None``."""
+        path = self.path(key)
+        maybe_fault("prep-cache", key=key, path=str(path))
         try:
-            with open(self.path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
+        except Exception as error:
             # Truncated pickle, bad bytes, missing class, wrong permissions:
-            # treat as a miss and let the caller re-simulate.
-            self.misses += 1
+            # treat as a miss and let the caller re-simulate — loudly.
+            self._corrupt_entry(key, f"{error.__class__.__name__}: {error}")
             return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("version") != FORMAT_VERSION
-            or payload.get("key") != key
-        ):
+        if not isinstance(payload, dict):
+            self._corrupt_entry(key, "entry is not a cache payload")
+            return None
+        if payload.get("version") != FORMAT_VERSION:
+            # Stale format after an upgrade: an expected, silent miss.
             self.misses += 1
             return None
         prepared = payload.get("prepared")
-        if prepared is None or not hasattr(prepared, "llc_records"):
-            self.misses += 1
+        if (
+            payload.get("key") != key
+            or prepared is None
+            or not hasattr(prepared, "llc_records")
+        ):
+            self._corrupt_entry(key, "payload failed validation")
             return None
         self.hits += 1
         return prepared
 
     def store(self, key: str, prepared) -> None:
-        """Persist ``prepared`` under ``key`` (atomic write)."""
+        """Persist ``prepared`` under ``key`` (atomic, durable write)."""
         payload = {"version": FORMAT_VERSION, "key": key, "prepared": prepared}
-        target = self.path(key)
-        temporary = target.with_suffix(f".tmp.{os.getpid()}")
         try:
-            with open(temporary, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temporary, target)
+            atomic_write(
+                self.path(key),
+                lambda handle: pickle.dump(
+                    payload, handle, protocol=pickle.HIGHEST_PROTOCOL
+                ),
+            )
         except OSError:
             # Caching is best-effort; a full disk must not fail the sweep.
-            try:
-                temporary.unlink(missing_ok=True)
-            except OSError:
-                pass
+            pass
 
 
 def attach_prep_cache(eval_config, directory) -> PrepCache:

@@ -29,6 +29,7 @@ from repro.cache.replacement.belady import BeladyPolicy
 from repro.cpu.core_model import TimingModel
 from repro.cpu.system import SystemResult
 from repro.eval.workloads import EvalConfig
+from repro.testing.faults import maybe_fault
 from repro.traces.record import Trace
 
 
@@ -65,6 +66,7 @@ def prepare_workload(
     core_config: Optional[CoreConfig] = None,
 ) -> PreparedWorkload:
     """Run the full hierarchy once (LRU LLC) and record the LLC stream."""
+    maybe_fault("prepare", workload=trace.name)
     core_config = _core_config(core_config)
     hierarchy_config = eval_config.hierarchy(num_cores=num_cores)
     hierarchy = CacheHierarchy(

@@ -143,3 +143,39 @@ class DQNAgent:
         self.train_steps += 1
         if self.gamma > 0.0 and self.train_steps % self.target_sync_interval == 0:
             self._target.copy_weights_from(self.network)
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything that evolves during training, for exact resume.
+
+        Covers the online and target networks (weights + Adam state), the
+        replay buffer, the exploration RNG, and the decision/training
+        counters — restoring this into a freshly constructed agent (same
+        hyper-parameters) continues training bit-identically.
+        """
+        return {
+            "ways": self.ways,
+            "network": self.network.state_dict(),
+            "target": self._target.state_dict(),
+            "replay": self.replay.state_dict(),
+            "rng": self._rng.getstate(),
+            "decisions": self.decisions,
+            "train_steps": self.train_steps,
+            "losses": list(self.losses),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this agent."""
+        if state["ways"] != self.ways:
+            raise ValueError(
+                f"way-count mismatch: checkpoint {state['ways']}, "
+                f"agent {self.ways}"
+            )
+        self.network.load_state_dict(state["network"])
+        self._target.load_state_dict(state["target"])
+        self.replay.load_state_dict(state["replay"])
+        self._rng.setstate(state["rng"])
+        self.decisions = int(state["decisions"])
+        self.train_steps = int(state["train_steps"])
+        self.losses = list(state["losses"])

@@ -118,6 +118,24 @@ class FeatureExtractor:
                     cursor += width
         return layout
 
+    @property
+    def feature_order(self) -> tuple:
+        """Enabled feature names in canonical Table II (layout) order.
+
+        This — not any caller-supplied iteration order — is the order the
+        state vector is laid out in, so it is what agent persistence must
+        record alongside trained weights.
+        """
+        return tuple(name for name in ALL_FEATURE_NAMES if name in self.enabled)
+
+    def norm_state(self) -> dict:
+        """The running-max normalization state (for training checkpoints)."""
+        return dict(self._norm.maxima)
+
+    def restore_norm_state(self, maxima: dict) -> None:
+        """Restore :meth:`norm_state` output (exact training resume)."""
+        self._norm.maxima = dict(maxima)
+
     def feature_spans(self) -> dict:
         """name -> list of (start, end) spans (per-way features: one/way)."""
         spans = {}

@@ -142,6 +142,47 @@ class MLP:
         self.w2 = other.w2.copy()
         self.b2 = other.b2.copy()
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Every mutable tensor *and* the optimizer state.
+
+        Unlike :meth:`save`/:meth:`load` (deployment persistence, which
+        resets Adam), this captures the moments and step counter too, so a
+        restored network continues training bit-identically.
+        """
+        return {
+            "geometry": (self.input_size, self.hidden_size, self.output_size),
+            "w1": self.w1.copy(),
+            "b1": self.b1.copy(),
+            "w2": self.w2.copy(),
+            "b2": self.b2.copy(),
+            "step": self._step,
+            "moments": {
+                name: (m.copy(), v.copy())
+                for name, (m, v) in self._moments.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (exact training resume)."""
+        geometry = tuple(state["geometry"])
+        expected = (self.input_size, self.hidden_size, self.output_size)
+        if geometry != expected:
+            raise ValueError(
+                f"network geometry mismatch: checkpoint {geometry}, "
+                f"model {expected}"
+            )
+        self.w1 = state["w1"].copy()
+        self.b1 = state["b1"].copy()
+        self.w2 = state["w2"].copy()
+        self.b2 = state["b2"].copy()
+        self._step = int(state["step"])
+        self._moments = {
+            name: (m.copy(), v.copy())
+            for name, (m, v) in state["moments"].items()
+        }
+
     def save(self, path) -> None:
         """Persist weights + geometry to an .npz file.
 

@@ -50,3 +50,25 @@ class ReplayMemory:
         if batch_size > len(self._buffer):
             raise ValueError("not enough transitions to sample")
         return self._rng.sample(self._buffer, batch_size)
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Buffer contents, cursor, and sampling-RNG state (exact resume)."""
+        return {
+            "capacity": self.capacity,
+            "buffer": list(self._buffer),
+            "cursor": self._cursor,
+            "rng": self._rng.getstate(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output."""
+        if state["capacity"] != self.capacity:
+            raise ValueError(
+                f"replay capacity mismatch: checkpoint {state['capacity']}, "
+                f"memory {self.capacity}"
+            )
+        self._buffer = list(state["buffer"])
+        self._cursor = int(state["cursor"])
+        self._rng.setstate(state["rng"])

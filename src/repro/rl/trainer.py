@@ -8,12 +8,20 @@ heat-map analysis) or a single shared agent, and evaluates agents greedily.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.eval.runner import _prepared
 from repro.rl.agent import DQNAgent
 from repro.rl.environment import RLSimulation
 from repro.rl.features import FeatureExtractor
+from repro.runs.atomic import atomic_write
+from repro.runs.checkpoint import (
+    TrainingCheckpoint,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
 
 
 def llc_stream_records(eval_config, workload_name: str) -> list:
@@ -45,8 +53,8 @@ class TrainerConfig:
     replay_capacity: int = 10_000
     learning_rate: float = 1e-3
     seed: int = 0
-    features: tuple = None  #: None = the full Table II set (334 dims)
-    max_records: int = None  #: truncate streams (hill-climbing speed knob)
+    features: Optional[tuple] = None  #: None = the full Table II set (334 dims)
+    max_records: Optional[int] = None  #: truncate streams (speed knob)
 
 
 def make_extractor(llc_config, features=None) -> FeatureExtractor:
@@ -56,10 +64,41 @@ def make_extractor(llc_config, features=None) -> FeatureExtractor:
     )
 
 
+def _checkpoint_fingerprint(config: TrainerConfig, extractor) -> dict:
+    """Everything a checkpoint must agree on to be resumable."""
+    return {
+        "hidden_size": config.hidden_size,
+        "epsilon": config.epsilon,
+        "gamma": config.gamma,
+        "batch_size": config.batch_size,
+        "train_interval": config.train_interval,
+        "replay_capacity": config.replay_capacity,
+        "learning_rate": config.learning_rate,
+        "seed": config.seed,
+        "max_records": config.max_records,
+        "features": list(extractor.feature_order),
+        "ways": extractor.ways,
+        "num_sets": extractor.num_sets,
+    }
+
+
 def train_on_stream(
-    llc_config, records, config: TrainerConfig, extractor=None
+    llc_config,
+    records,
+    config: TrainerConfig,
+    extractor=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> TrainedAgent:
-    """Train a fresh agent on one LLC stream for ``config.epochs`` passes."""
+    """Train a fresh agent on one LLC stream for ``config.epochs`` passes.
+
+    With ``checkpoint`` set, the full training state (agent, replay buffer,
+    RNGs, normalization maxima, epoch counter) is written atomically after
+    every epoch; ``resume=True`` restores an existing checkpoint and
+    continues from its epoch, producing weights bit-identical to an
+    uninterrupted run.  A missing checkpoint with ``resume=True`` simply
+    starts from scratch, so crash-loop supervisors can always pass both.
+    """
     if extractor is None:
         extractor = make_extractor(llc_config, config.features)
     if config.max_records is not None:
@@ -76,14 +115,34 @@ def train_on_stream(
         learning_rate=config.learning_rate,
         seed=config.seed,
     )
-    stats = None
-    for _ in range(max(1, config.epochs)):
+    fingerprint = _checkpoint_fingerprint(config, extractor)
+    start_epoch = 0
+    hit_rate = 0.0
+    if checkpoint is not None and resume and os.path.exists(checkpoint):
+        restored = load_training_checkpoint(checkpoint, fingerprint)
+        agent.load_state_dict(restored.agent_state)
+        extractor.restore_norm_state(restored.norm_maxima)
+        start_epoch = restored.epoch
+        hit_rate = restored.train_hit_rate
+    for epoch in range(start_epoch, max(1, config.epochs)):
         simulation = RLSimulation(llc_config, agent, extractor, records, train=True)
         stats = simulation.run()
+        hit_rate = stats.hit_rate
+        if checkpoint is not None:
+            save_training_checkpoint(
+                checkpoint,
+                TrainingCheckpoint(
+                    epoch=epoch + 1,
+                    agent_state=agent.state_dict(),
+                    norm_maxima=extractor.norm_state(),
+                    fingerprint=fingerprint,
+                    train_hit_rate=hit_rate,
+                ),
+            )
     return TrainedAgent(
         agent=agent,
         extractor=extractor,
-        train_hit_rate=stats.hit_rate if stats else 0.0,
+        train_hit_rate=hit_rate,
     )
 
 
@@ -96,20 +155,35 @@ def evaluate_on_stream(trained: TrainedAgent, llc_config, records):
 
 
 def save_agent(trained: TrainedAgent, path) -> None:
-    """Persist a trained agent (network weights + feature layout) to .npz."""
+    """Persist a trained agent (network weights + feature layout) to .npz.
+
+    The write is atomic (temp + fsync + rename via
+    :func:`repro.runs.atomic.atomic_write`), so a crash mid-save can never
+    leave a truncated, unloadable file at ``path``.  Features are recorded
+    in the extractor's canonical layout order
+    (:attr:`~repro.rl.features.FeatureExtractor.feature_order`) — the order
+    the trained weights are actually laid out against — not an incidental
+    sort of the enabled set.  (Write through a file handle: numpy's savez
+    appends ".npz" to bare string paths, which would break loading from the
+    exact path given.)
+    """
     import numpy as np
 
-    trained.agent.network.save(path)
-    # Append the extractor layout in a sidecar-free way: re-open and add.
-    # (Write through a file handle: numpy's savez appends ".npz" to bare
-    # string paths, which would break loading from the exact path given.)
-    data = dict(np.load(path))
-    data["features"] = np.array(sorted(trained.extractor.enabled), dtype="U40")
-    data["geometry"] = np.array(
-        [trained.extractor.ways, trained.extractor.num_sets]
-    )
-    with open(path, "wb") as handle:
-        np.savez(handle, **data)
+    network = trained.agent.network
+    payload = {
+        "w1": network.w1,
+        "b1": network.b1,
+        "w2": network.w2,
+        "b2": network.b2,
+        "meta": np.array(
+            [network.input_size, network.hidden_size, network.output_size]
+        ),
+        "features": np.array(trained.extractor.feature_order, dtype="U40"),
+        "geometry": np.array(
+            [trained.extractor.ways, trained.extractor.num_sets]
+        ),
+    }
+    atomic_write(path, lambda handle: np.savez(handle, **payload))
 
 
 def load_agent(path) -> TrainedAgent:

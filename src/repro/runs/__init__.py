@@ -1,0 +1,60 @@
+"""Fault-tolerance layer: crash-safe, resumable long-running runs.
+
+The package provides the reliability contract shared by every long-running
+entry point (sweeps, RL training):
+
+* :mod:`repro.runs.atomic` — write-temp/fsync/rename file writes;
+* :mod:`repro.runs.journal` — append-only JSONL journal of completed work;
+* :mod:`repro.runs.executor` — process-per-task pool with watchdog
+  timeouts and bounded, jittered retries;
+* :mod:`repro.runs.supervisor` — run directories (manifest + journal +
+  report) behind ``repro sweep --run-dir/--resume``;
+* :mod:`repro.runs.checkpoint` — epoch-level training checkpoints behind
+  ``repro train --checkpoint/--resume``.
+
+See ``docs/reliability.md`` for the operational guide.
+"""
+
+from repro.runs.atomic import atomic_write, atomic_write_bytes, atomic_write_text
+from repro.runs.checkpoint import (
+    CheckpointError,
+    TrainingCheckpoint,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
+from repro.runs.executor import (
+    PoolStats,
+    ProcessTaskPool,
+    TaskOutcome,
+    WatchdogTimeout,
+    WorkerCrash,
+)
+from repro.runs.journal import RunJournal
+from repro.runs.supervisor import (
+    RunDirectory,
+    SweepInterrupted,
+    create_run,
+    list_runs,
+    load_run,
+)
+
+__all__ = [
+    "CheckpointError",
+    "PoolStats",
+    "ProcessTaskPool",
+    "RunDirectory",
+    "RunJournal",
+    "SweepInterrupted",
+    "TaskOutcome",
+    "TrainingCheckpoint",
+    "WatchdogTimeout",
+    "WorkerCrash",
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "create_run",
+    "list_runs",
+    "load_run",
+    "load_training_checkpoint",
+    "save_training_checkpoint",
+]

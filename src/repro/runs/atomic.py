@@ -1,0 +1,53 @@
+"""Atomic, durable file writes (the crash-safety primitive).
+
+Every persistent artifact in the fault-tolerance layer — run journals,
+manifests, training checkpoints, prepared-workload cache entries, saved
+agents — goes through :func:`atomic_write`: the content is written to a
+temporary file in the *same directory* as the target, flushed and fsynced,
+and then :func:`os.replace`\\ d over the target.  A crash (including SIGKILL)
+at any point leaves either the complete old file or the complete new file,
+never a truncated hybrid; stray ``*.tmp`` files from an interrupted write
+are cleaned up on the next successful write of the same target.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write(path, writer, text: bool = False) -> None:
+    """Write a file atomically: temp file + flush + fsync + rename.
+
+    ``writer`` is called with the open temporary file handle (binary by
+    default, text when ``text=True``).  If it raises, the temporary file is
+    removed and the target is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, temporary = tempfile.mkstemp(
+        dir=path.parent, prefix=f"{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w" if text else "wb") as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+    except BaseException:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    atomic_write(path, lambda handle: handle.write(data))
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    atomic_write_bytes(path, text.encode("utf-8"))

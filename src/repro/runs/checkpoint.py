@@ -1,0 +1,105 @@
+"""Epoch-level training checkpoints (resumable ``repro train``).
+
+A checkpoint captures *everything* that evolves across training epochs so a
+resumed run is bit-identical to an uninterrupted one:
+
+* the agent's mutable state (network weights + Adam moments + step counter,
+  target network, replay buffer contents and cursor, exploration and
+  sampling RNG states, decision/train counters) via
+  :meth:`repro.rl.agent.DQNAgent.state_dict`;
+* the feature extractor's running-max normalization state (it persists
+  across epochs and changes every state vector it emits);
+* the completed-epoch counter and last training hit rate.
+
+A **fingerprint** of the hyper-parameters and feature layout guards against
+resuming with a different configuration — a mismatch raises
+:class:`CheckpointError` instead of silently training a chimera.  Files are
+pickles written atomically (temp + fsync + rename), so a crash mid-save
+leaves the previous epoch's checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runs.atomic import atomic_write
+
+#: Bump on layout changes to invalidate old checkpoints.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Unreadable, version-incompatible, or mismatched checkpoint."""
+
+
+@dataclass
+class TrainingCheckpoint:
+    """State captured after each completed training epoch."""
+
+    epoch: int  #: completed epochs (resume starts at this index)
+    agent_state: dict
+    norm_maxima: dict  #: FeatureExtractor running-max state
+    fingerprint: dict  #: hyper-parameters + feature layout guard
+    train_hit_rate: float = 0.0
+
+
+def save_training_checkpoint(path, checkpoint: TrainingCheckpoint) -> None:
+    """Atomically persist a checkpoint (crash-safe against SIGKILL)."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "epoch": checkpoint.epoch,
+        "agent_state": checkpoint.agent_state,
+        "norm_maxima": checkpoint.norm_maxima,
+        "fingerprint": checkpoint.fingerprint,
+        "train_hit_rate": checkpoint.train_hit_rate,
+    }
+    atomic_write(
+        path,
+        lambda handle: pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL),
+    )
+
+
+def load_training_checkpoint(path, fingerprint=None) -> TrainingCheckpoint:
+    """Load and validate a checkpoint written by :func:`save_training_checkpoint`.
+
+    ``fingerprint`` (when given) must match the stored one exactly; the
+    error message names every differing key to make mismatches debuggable.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError:
+        raise
+    except Exception as error:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable ({error.__class__.__name__}: "
+            f"{error})"
+        ) from error
+    if not isinstance(payload, dict) or "agent_state" not in payload:
+        raise CheckpointError(f"checkpoint {path} has an unexpected layout")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {payload.get('version')!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    stored = payload.get("fingerprint", {})
+    if fingerprint is not None and stored != fingerprint:
+        keys = sorted(
+            key
+            for key in set(stored) | set(fingerprint)
+            if stored.get(key) != fingerprint.get(key)
+        )
+        raise CheckpointError(
+            f"checkpoint {path} was written with a different configuration "
+            f"(mismatched: {', '.join(keys) or 'layout'})"
+        )
+    return TrainingCheckpoint(
+        epoch=int(payload.get("epoch", 0)),
+        agent_state=payload["agent_state"],
+        norm_maxima=dict(payload.get("norm_maxima", {})),
+        fingerprint=stored,
+        train_hit_rate=float(payload.get("train_hit_rate", 0.0)),
+    )

@@ -1,0 +1,63 @@
+"""Append-only JSONL run journal (the sweep's crash-safe progress record).
+
+A :class:`RunJournal` is a list of JSON entries, one per line, persisted
+under a run directory.  Appends are atomic (the whole file is rewritten via
+write-temp/fsync/rename — entries are few and small, so the rewrite is
+cheap) which means a reader never observes a torn line: after a SIGKILL the
+journal holds exactly the entries whose appends completed.
+
+The journal itself is schema-agnostic; the sweep engine
+(:mod:`repro.eval.parallel`) defines the ``{"type": "cell", ...}`` entries
+it stores and reloads to skip finished (workload, policy) cells on
+``--resume``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runs.atomic import atomic_write_text
+
+
+class RunJournal:
+    """Crash-safe JSONL entry log under a run directory."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lines = None  # raw lines, loaded lazily
+
+    def __len__(self) -> int:
+        return len(self._raw_lines())
+
+    def _raw_lines(self) -> list:
+        if self._lines is None:
+            try:
+                content = self.path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                content = ""
+            self._lines = [line for line in content.splitlines() if line.strip()]
+        return self._lines
+
+    def entries(self) -> list:
+        """All parseable entries, in append order (bad lines are skipped)."""
+        entries = []
+        for line in self._raw_lines():
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn or hand-damaged line: ignore, don't crash
+            if isinstance(entry, dict):
+                entries.append(entry)
+        return entries
+
+    def append(self, entry: dict) -> None:
+        """Durably append one entry (atomic rewrite of the whole journal)."""
+        line = json.dumps(entry, separators=(",", ":"), sort_keys=True)
+        lines = self._raw_lines()
+        lines.append(line)
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+    def reload(self) -> None:
+        """Drop the in-memory cache (re-read the file on next access)."""
+        self._lines = None

@@ -1,0 +1,123 @@
+"""Run directories: durable state for resumable long-running commands.
+
+A *run* is one invocation of a long-running entry point (today: ``repro
+sweep``).  Its directory holds everything needed to resume after a crash:
+
+.. code-block:: text
+
+    <root>/<run-id>/
+        manifest.json   # the command's arguments + status (atomic JSON)
+        journal.jsonl   # completed cells (repro.runs.journal.RunJournal)
+        report.csv      # final deterministic report (written on completion)
+
+Run ids are allocated sequentially (``run-0001``, ``run-0002``, ...) with a
+collision-safe exclusive ``mkdir``, so a freshly created root always starts
+at ``run-0001`` — convenient for scripts and CI.  The manifest records the
+originating arguments so ``--resume <run-id>`` can rebuild the exact same
+sweep grid (identical EvalConfig, workloads, and policy lineup) and produce
+a byte-identical report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runs.atomic import atomic_write_text
+from repro.runs.journal import RunJournal
+
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+REPORT_NAME = "report.csv"
+
+
+class SweepInterrupted(RuntimeError):
+    """A journaled sweep was stopped by SIGINT/SIGTERM after a clean flush.
+
+    Raised *after* worker processes have been reaped and every completed
+    cell has been journaled, so the run can be resumed with ``--resume``.
+    """
+
+    def __init__(self, message: str, completed: int = 0) -> None:
+        super().__init__(message)
+        self.completed = completed  #: cells finished before the interrupt
+
+
+class RunDirectory:
+    """Handle on one run's on-disk state."""
+
+    def __init__(self, path, manifest: dict) -> None:
+        self.path = Path(path)
+        self.manifest = manifest
+
+    @property
+    def run_id(self) -> str:
+        return self.path.name
+
+    @property
+    def journal_path(self) -> Path:
+        return self.path / JOURNAL_NAME
+
+    @property
+    def report_path(self) -> Path:
+        return self.path / REPORT_NAME
+
+    def journal(self) -> RunJournal:
+        return RunJournal(self.journal_path)
+
+    def _save_manifest(self) -> None:
+        atomic_write_text(
+            self.path / MANIFEST_NAME,
+            json.dumps(self.manifest, indent=2, sort_keys=True) + "\n",
+        )
+
+    def mark(self, status: str) -> None:
+        """Durably update the run's status (running/interrupted/complete)."""
+        self.manifest["status"] = status
+        self._save_manifest()
+
+    def write_report(self, text: str) -> None:
+        """Atomically persist the final report next to the journal."""
+        atomic_write_text(self.report_path, text)
+
+
+def create_run(root, manifest: dict) -> RunDirectory:
+    """Allocate the next run directory under ``root`` and persist a manifest."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    for attempt in range(1, 10_000):
+        path = root / f"run-{attempt:04d}"
+        try:
+            path.mkdir()
+        except FileExistsError:
+            continue
+        run = RunDirectory(path, dict(manifest))
+        run.manifest.setdefault("status", "running")
+        run._save_manifest()
+        return run
+    raise RuntimeError(f"run directory space exhausted under {root}")
+
+
+def load_run(root, run_id: str) -> RunDirectory:
+    """Open an existing run (for ``--resume``)."""
+    path = Path(root) / run_id
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        known = ", ".join(list_runs(root)) or "none"
+        raise ValueError(
+            f"no run {run_id!r} under {root} (known runs: {known})"
+        )
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    return RunDirectory(path, manifest)
+
+
+def list_runs(root) -> list:
+    """Run ids under ``root``, oldest first."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(
+        entry.name
+        for entry in root.iterdir()
+        if entry.is_dir() and (entry / MANIFEST_NAME).is_file()
+    )

@@ -1,0 +1,19 @@
+"""Test-support utilities (deterministic fault injection)."""
+
+from repro.testing.faults import (
+    FaultSpec,
+    InjectedFault,
+    clear_faults,
+    injected_faults,
+    install_faults,
+    maybe_fault,
+)
+
+__all__ = [
+    "FaultSpec",
+    "InjectedFault",
+    "clear_faults",
+    "injected_faults",
+    "install_faults",
+    "maybe_fault",
+]

@@ -1,0 +1,182 @@
+"""Deterministic fault injection for the reliability test suite.
+
+The recovery paths of the run supervisor — watchdog reaping, crash retries,
+journal resume, corrupt-cache fallback — only matter when things go wrong,
+so this harness makes things go wrong *on demand and deterministically*:
+
+* a :class:`FaultSpec` names an instrumented **site** (``"replay"``,
+  ``"prepare"``, ``"prep-cache"``), an optional identity **match** (e.g.
+  ``{"workload": "429.mcf", "policy": "lru"}``), an **action**, and a
+  trigger window (fire on matching calls ``after < n <= after + times``);
+* specs travel to worker processes through two environment variables
+  (``REPRO_FAULTS`` = JSON spec list, ``REPRO_FAULTS_STATE`` = a state
+  directory), so forked and spawned workers inject identically;
+* the per-spec call counter lives in the state directory as a series of
+  ``O_EXCL``-created marker files, giving an atomic cross-process count —
+  "crash on the 2nd access" means the 2nd access *globally*, not per
+  worker.
+
+Actions:
+
+``crash``
+    ``os._exit(exit_code)`` — the process dies without reporting, exactly
+    like a SIGKILL'd or segfaulted worker.
+``hang``
+    Sleep for ``hang_seconds`` — exercises the watchdog.
+``error``
+    Raise :class:`InjectedFault` — a deterministic in-task exception.
+``corrupt``
+    Truncate the file passed as the ``path`` identity to half its size —
+    simulates a torn cache entry just before it is read.
+
+Instrumented production code calls :func:`maybe_fault` with its site and
+identity; the call is a single dict lookup when no faults are installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ENV_SPECS = "REPRO_FAULTS"
+ENV_STATE = "REPRO_FAULTS_STATE"
+
+_ACTIONS = ("crash", "hang", "error", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic exception raised by the ``error`` action."""
+
+
+@dataclass
+class FaultSpec:
+    """One injected fault: where, what, and when."""
+
+    site: str  #: instrumented call site ("replay", "prepare", "prep-cache")
+    action: str  #: "crash" | "hang" | "error" | "corrupt"
+    match: dict = field(default_factory=dict)  #: identity keys that must match
+    after: int = 0  #: skip the first ``after`` matching calls
+    times: int = 1  #: fire on this many calls, then stand down
+    hang_seconds: float = 3600.0
+    exit_code: int = 87
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "action": self.action,
+            "match": dict(self.match),
+            "after": self.after,
+            "times": self.times,
+            "hang_seconds": self.hang_seconds,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        spec = cls(
+            site=str(data["site"]),
+            action=str(data["action"]),
+            match=dict(data.get("match", {})),
+            after=int(data.get("after", 0)),
+            times=int(data.get("times", 1)),
+            hang_seconds=float(data.get("hang_seconds", 3600.0)),
+            exit_code=int(data.get("exit_code", 87)),
+        )
+        if spec.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {spec.action!r}")
+        return spec
+
+
+def install_faults(specs, state_dir) -> None:
+    """Activate ``specs`` process-wide (inherited by worker processes)."""
+    specs = [spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+             for spec in specs]
+    state = Path(state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    os.environ[ENV_SPECS] = json.dumps([spec.to_dict() for spec in specs])
+    os.environ[ENV_STATE] = str(state)
+
+
+def clear_faults() -> None:
+    """Deactivate fault injection in this process (and future children)."""
+    os.environ.pop(ENV_SPECS, None)
+    os.environ.pop(ENV_STATE, None)
+
+
+@contextmanager
+def injected_faults(specs, state_dir):
+    """Scoped :func:`install_faults` that restores the previous state."""
+    previous = {key: os.environ.get(key) for key in (ENV_SPECS, ENV_STATE)}
+    install_faults(specs, state_dir)
+    try:
+        yield
+    finally:
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _count_call(state_dir: str, spec_index: int) -> int:
+    """Atomically allocate this call's 1-based global sequence number."""
+    os.makedirs(state_dir, exist_ok=True)  # env may be set without install
+    for number in range(1, 1_000_000):
+        marker = os.path.join(state_dir, f"spec{spec_index:03d}.{number:06d}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return number
+    raise RuntimeError("fault counter exhausted")
+
+
+def _matches(spec: FaultSpec, identity: dict) -> bool:
+    return all(identity.get(key) == value for key, value in spec.match.items())
+
+
+def _fire(spec: FaultSpec, identity: dict) -> None:
+    if spec.action == "crash":
+        os._exit(spec.exit_code)
+    if spec.action == "hang":
+        time.sleep(spec.hang_seconds)
+        return
+    if spec.action == "corrupt":
+        path = identity.get("path")
+        if path and os.path.isfile(path):
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(size // 2)
+        return
+    raise InjectedFault(
+        f"injected fault at site {spec.site!r} ({identity})"
+    )
+
+
+def maybe_fault(site: str, **identity) -> None:
+    """Fire any installed fault matching this call site and identity.
+
+    Called from instrumented production code; a no-op (one environment
+    lookup) unless :func:`install_faults` is active.
+    """
+    raw = os.environ.get(ENV_SPECS)
+    if not raw:
+        return
+    state_dir = os.environ.get(ENV_STATE)
+    if not state_dir:
+        return
+    try:
+        specs = [FaultSpec.from_dict(data) for data in json.loads(raw)]
+    except (ValueError, KeyError):
+        return  # malformed spec: never take down production code
+    for index, spec in enumerate(specs):
+        if spec.site != site or not _matches(spec, identity):
+            continue
+        number = _count_call(state_dir, index)
+        if spec.after < number <= spec.after + spec.times:
+            _fire(spec, identity)

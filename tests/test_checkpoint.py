@@ -1,0 +1,171 @@
+"""Epoch-level training checkpoints: exact resume, fingerprint guarding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.rl.trainer import TrainerConfig, train_on_stream
+from repro.runs.checkpoint import (
+    CheckpointError,
+    TrainingCheckpoint,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
+
+from tests.conftest import load
+
+
+@pytest.fixture(scope="module")
+def llc_config():
+    return CacheConfig("c", 8 * 4 * 64, 4, latency=1)
+
+
+@pytest.fixture(scope="module")
+def records():
+    # 200 distinct lines >> the 32-line cache: plenty of evictions, so the
+    # agent makes real decisions and the replay buffer actually trains.
+    return [load(i % 200, pc=(i % 5) * 4) for i in range(1200)]
+
+
+def _config(epochs: int) -> TrainerConfig:
+    return TrainerConfig(hidden_size=8, epochs=epochs, seed=2)
+
+
+def _weights(trained) -> dict:
+    network = trained.agent.network
+    return {"w1": network.w1, "b1": network.b1,
+            "w2": network.w2, "b2": network.b2}
+
+
+class TestExactResume:
+    def test_interrupted_training_resumes_bit_identically(
+        self, tmp_path, llc_config, records
+    ):
+        """epochs=1 + resume to 3 == an uninterrupted epochs=3 run."""
+        straight = train_on_stream(llc_config, records, _config(epochs=3))
+
+        checkpoint = tmp_path / "train.ckpt"
+        train_on_stream(
+            llc_config, records, _config(epochs=1), checkpoint=checkpoint
+        )
+        assert load_training_checkpoint(checkpoint).epoch == 1
+
+        resumed = train_on_stream(
+            llc_config, records, _config(epochs=3),
+            checkpoint=checkpoint, resume=True,
+        )
+        for name, value in _weights(straight).items():
+            assert np.array_equal(value, _weights(resumed)[name]), name
+        assert resumed.train_hit_rate == straight.train_hit_rate
+        assert resumed.agent.decisions == straight.agent.decisions
+        assert resumed.agent.train_steps == straight.agent.train_steps
+
+    def test_checkpoint_advances_every_epoch(
+        self, tmp_path, llc_config, records
+    ):
+        checkpoint = tmp_path / "train.ckpt"
+        train_on_stream(
+            llc_config, records, _config(epochs=2), checkpoint=checkpoint
+        )
+        restored = load_training_checkpoint(checkpoint)
+        assert restored.epoch == 2
+        assert restored.norm_maxima  # running maxima were captured
+
+    def test_resume_with_missing_checkpoint_starts_fresh(
+        self, tmp_path, llc_config, records
+    ):
+        """Crash-loop supervisors always pass resume=True; first run is cold."""
+        trained = train_on_stream(
+            llc_config, records, _config(epochs=1),
+            checkpoint=tmp_path / "absent.ckpt", resume=True,
+        )
+        reference = train_on_stream(llc_config, records, _config(epochs=1))
+        assert np.array_equal(
+            trained.agent.network.w1, reference.agent.network.w1
+        )
+
+    def test_resume_past_the_final_epoch_trains_no_further(
+        self, tmp_path, llc_config, records
+    ):
+        checkpoint = tmp_path / "train.ckpt"
+        done = train_on_stream(
+            llc_config, records, _config(epochs=2), checkpoint=checkpoint
+        )
+        again = train_on_stream(
+            llc_config, records, _config(epochs=2),
+            checkpoint=checkpoint, resume=True,
+        )
+        assert again.agent.train_steps == done.agent.train_steps
+        assert np.array_equal(again.agent.network.w1, done.agent.network.w1)
+
+
+class TestFingerprint:
+    def test_mismatched_configuration_is_rejected(
+        self, tmp_path, llc_config, records
+    ):
+        checkpoint = tmp_path / "train.ckpt"
+        train_on_stream(
+            llc_config, records, _config(epochs=1), checkpoint=checkpoint
+        )
+        other = TrainerConfig(hidden_size=16, epochs=2, seed=2)
+        with pytest.raises(CheckpointError, match="hidden_size"):
+            train_on_stream(
+                llc_config, records, other,
+                checkpoint=checkpoint, resume=True,
+            )
+
+    def test_extending_epochs_is_allowed(self, tmp_path, llc_config, records):
+        """epochs is deliberately outside the fingerprint: resume may extend."""
+        checkpoint = tmp_path / "train.ckpt"
+        train_on_stream(
+            llc_config, records, _config(epochs=1), checkpoint=checkpoint
+        )
+        trained = train_on_stream(
+            llc_config, records, _config(epochs=2),
+            checkpoint=checkpoint, resume=True,
+        )
+        assert trained.agent.train_steps > 0
+
+
+class TestCheckpointFiles:
+    def test_unreadable_checkpoint_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_training_checkpoint(path)
+
+    def test_version_mismatch_is_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "old.ckpt"
+        path.write_bytes(
+            pickle.dumps({"version": 0, "agent_state": {}, "fingerprint": {}})
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            load_training_checkpoint(path)
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_training_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_save_is_atomic_against_writer_failure(self, tmp_path, monkeypatch):
+        path = tmp_path / "train.ckpt"
+        good = TrainingCheckpoint(
+            epoch=1, agent_state={"ways": 4}, norm_maxima={}, fingerprint={}
+        )
+        save_training_checkpoint(path, good)
+
+        import pickle as pickle_module
+
+        def torn_dump(payload, handle, protocol=None):
+            handle.write(b"partial bytes")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pickle_module, "dump", torn_dump)
+        with pytest.raises(OSError):
+            save_training_checkpoint(path, good)
+        # The previous checkpoint is intact and no temp files linger.
+        assert load_training_checkpoint(path).epoch == 1
+        assert [entry.name for entry in tmp_path.iterdir()] == ["train.ckpt"]

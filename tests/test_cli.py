@@ -136,14 +136,16 @@ class TestReportCommand:
 
 
 class TestSweepCommand:
-    def test_cloudsuite_sweep(self, capsys):
+    def test_cloudsuite_sweep(self, capsys, tmp_path):
         code, out = run_cli(
             capsys, "sweep", "--suite", "cloudsuite",
             "--policies", "rlr", "--scale", "64", "--length", "1200",
+            "--run-dir", str(tmp_path / "runs"),
         )
         assert code == 0
         assert "suite geomean" in out
         assert "cassandra" in out
+        assert (tmp_path / "runs" / "run-0001" / "report.csv").is_file()
 
 
 class TestPipeHandling:

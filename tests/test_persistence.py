@@ -48,14 +48,15 @@ class TestNetworkPersistence:
         assert last < first
 
 
-class TestAgentPersistence:
-    @pytest.fixture(scope="class")
-    def trained(self):
-        config = CacheConfig("c", 8 * 4 * 64, 4, latency=1)
-        records = [load(i % 20, pc=(i % 3) * 4) for i in range(1500)]
-        trainer_config = TrainerConfig(hidden_size=8, epochs=1, seed=2)
-        return config, train_on_stream(config, records, trainer_config)
+@pytest.fixture(scope="module")
+def trained():
+    config = CacheConfig("c", 8 * 4 * 64, 4, latency=1)
+    records = [load(i % 20, pc=(i % 3) * 4) for i in range(1500)]
+    trainer_config = TrainerConfig(hidden_size=8, epochs=1, seed=2)
+    return config, train_on_stream(config, records, trainer_config)
 
+
+class TestAgentPersistence:
     def test_round_trip(self, tmp_path, trained):
         config, agent = trained
         path = tmp_path / "agent.npz"
@@ -99,6 +100,79 @@ class TestAgentPersistence:
         for i in range(300):
             cache.access(load(i % 20))
         assert cache.stats.total_accesses == 300
+
+
+class TestFeatureOrder:
+    """Saved layouts must match the extractor's canonical layout order."""
+
+    def test_saved_feature_order_is_layout_order(self, tmp_path):
+        from repro.rl.features import ALL_FEATURE_NAMES
+
+        config = CacheConfig("c", 8 * 4 * 64, 4, latency=1)
+        # Deliberately scrambled `enabled` order: the extractor lays features
+        # out canonically regardless, and the file must record THAT order.
+        scrambled = ["line_recency", "access_preuse", "line_preuse",
+                     "set_accesses"]
+        extractor = make_extractor(config, scrambled)
+        records = [load(i % 20) for i in range(600)]
+        trained = train_on_stream(
+            config, records, TrainerConfig(hidden_size=4, epochs=1),
+            extractor=extractor,
+        )
+        path = tmp_path / "agent.npz"
+        save_agent(trained, path)
+        stored = [str(name) for name in np.load(path)["features"]]
+        canonical = [n for n in ALL_FEATURE_NAMES if n in set(scrambled)]
+        assert stored == canonical
+        assert stored == list(extractor.feature_order)
+
+    def test_loaded_agent_is_bit_identical_on_the_same_stream(
+        self, tmp_path, trained
+    ):
+        """The round-trip proof: identical Q-values, identical decisions."""
+        from repro.rl.trainer import evaluate_on_stream
+
+        config, agent = trained
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        loaded = load_agent(path)
+
+        states = np.random.default_rng(11).normal(
+            size=(64, agent.extractor.size)
+        )
+        assert np.array_equal(
+            agent.agent.network.forward(states),
+            loaded.agent.network.forward(states),
+        )
+
+        records = [load(i % 20, pc=(i % 3) * 4) for i in range(1500)]
+        original = evaluate_on_stream(agent, config, records)
+        round_tripped = evaluate_on_stream(loaded, config, records)
+        assert round_tripped.hit_rate == original.hit_rate
+        assert round_tripped.total_hits == original.total_hits
+        assert round_tripped.total_misses == original.total_misses
+
+
+class TestAtomicSave:
+    def test_failed_save_preserves_the_previous_agent(
+        self, tmp_path, trained, monkeypatch
+    ):
+        """A crash mid-save can never leave a truncated .npz behind."""
+        config, agent = trained
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        good_bytes = path.read_bytes()
+
+        def torn_savez(handle, **payload):
+            handle.write(b"\x00" * 16)  # partial garbage, then the "crash"
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(np, "savez", torn_savez)
+        with pytest.raises(OSError):
+            save_agent(agent, path)
+        assert path.read_bytes() == good_bytes  # old file untouched
+        assert [entry.name for entry in tmp_path.iterdir()] == ["agent.npz"]
+        load_agent(path)  # still loadable
 
 
 class TestExtensionlessPaths:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 import repro.eval.runner as runner_module
@@ -94,24 +96,60 @@ class TestCorruption:
         cache.store(key, prepare_workload(config, trace))
         return cache, key
 
-    def test_truncated_pickle_is_a_miss(self, tmp_path, trace):
+    def test_truncated_pickle_is_a_counted_loud_miss(self, tmp_path, trace):
+        from repro.eval.prep_cache import PrepCacheCorruptionWarning
+
         cache, key = self._warm(tmp_path, _config(), trace)
         path = cache.path(key)
         data = path.read_bytes()
         path.write_bytes(data[: len(data) // 2])
-        assert cache.load(key) is None
+        with pytest.warns(PrepCacheCorruptionWarning, match=key[:16]):
+            assert cache.load(key) is None
+        assert cache.corrupt == 1
+        assert cache.misses == 1
 
-    def test_garbage_bytes_are_a_miss(self, tmp_path, trace):
+    def test_garbage_bytes_are_a_counted_loud_miss(self, tmp_path, trace):
+        from repro.eval.prep_cache import PrepCacheCorruptionWarning
+
         cache, key = self._warm(tmp_path, _config(), trace)
         cache.path(key).write_bytes(b"not a pickle at all")
-        assert cache.load(key) is None
+        with pytest.warns(PrepCacheCorruptionWarning):
+            assert cache.load(key) is None
+        assert cache.corrupt == 1
 
     def test_wrong_payload_shape_is_a_miss(self, tmp_path, trace):
         import pickle
 
         cache, key = self._warm(tmp_path, _config(), trace)
         cache.path(key).write_bytes(pickle.dumps({"version": 999, "key": key}))
-        assert cache.load(key) is None
+        # A stale FORMAT_VERSION is expected after upgrades: a SILENT miss,
+        # not corruption.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load(key) is None
+        assert cache.corrupt == 0
+
+    def test_key_mismatch_is_corruption(self, tmp_path, trace):
+        import pickle
+
+        from repro.eval.prep_cache import FORMAT_VERSION, PrepCacheCorruptionWarning
+
+        cache, key = self._warm(tmp_path, _config(), trace)
+        cache.path(key).write_bytes(
+            pickle.dumps({"version": FORMAT_VERSION, "key": "someone-else",
+                          "prepared": None})
+        )
+        with pytest.warns(PrepCacheCorruptionWarning):
+            assert cache.load(key) is None
+        assert cache.corrupt == 1
+
+    def test_plain_miss_is_silent_and_uncounted(self, tmp_path, trace):
+        cache = PrepCache(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.load(workload_cache_key(_config(), trace)) is None
+        assert cache.corrupt == 0
+        assert cache.misses == 1
 
     def test_corrupt_entry_is_resimulated_by_the_sweep(self, tmp_path):
         """A truncated cache file silently falls back to re-simulation."""

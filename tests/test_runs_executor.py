@@ -1,0 +1,169 @@
+"""ProcessTaskPool: watchdog reaping, crash isolation, bounded retries."""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.runs.executor import ProcessTaskPool, TaskOutcome
+
+
+# Task functions must be importable from worker processes.
+
+def _double(x):
+    return x * 2
+
+
+def _raise_value_error():
+    raise ValueError("deterministic failure")
+
+
+def _exit_hard():
+    os._exit(3)  # dies without reporting, like SIGKILL/segfault
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return "done"
+
+
+def _crash_once_then_succeed(state_dir):
+    """First call dies without reporting; retries succeed."""
+    marker = os.path.join(state_dir, "attempted")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return "recovered"
+    os.close(fd)
+    os._exit(7)
+
+
+def _drain(pool) -> list:
+    return list(pool.completed())
+
+
+class TestHappyPath:
+    def test_all_tasks_complete(self):
+        with ProcessTaskPool(max_workers=4) as pool:
+            for n in range(10):
+                pool.submit(_double, n, tag=n)
+            outcomes = _drain(pool)
+        assert len(outcomes) == 10
+        by_tag = {outcome.tag: outcome for outcome in outcomes}
+        assert all(outcome.ok for outcome in outcomes)
+        assert by_tag[6].value == 12
+
+    def test_submission_while_iterating(self):
+        with ProcessTaskPool(max_workers=2) as pool:
+            pool.submit(_double, 1, tag="first")
+            outcomes = []
+            for outcome in pool.completed():
+                outcomes.append(outcome)
+                if outcome.tag == "first":
+                    pool.submit(_double, 2, tag="second")
+        assert {outcome.tag for outcome in outcomes} == {"first", "second"}
+
+
+class TestDeterministicErrors:
+    def test_in_task_exception_is_reported_not_raised(self):
+        with ProcessTaskPool(max_workers=1) as pool:
+            pool.submit(_raise_value_error, tag="bad")
+            [outcome] = _drain(pool)
+        assert not outcome.ok
+        assert outcome.kind == "error"
+        assert "ValueError" in outcome.error
+
+    def test_in_task_exception_is_never_retried(self):
+        with ProcessTaskPool(max_workers=1, retries=3) as pool:
+            pool.submit(_raise_value_error, tag="bad")
+            [outcome] = _drain(pool)
+        assert outcome.attempts == 1
+        assert pool.stats.retries == 0
+
+
+class TestCrashes:
+    def test_dead_worker_surfaces_as_crash(self):
+        with ProcessTaskPool(max_workers=1) as pool:
+            pool.submit(_exit_hard, tag="dead")
+            [outcome] = _drain(pool)
+        assert not outcome.ok
+        assert outcome.kind == "crash"
+        assert "exit code 3" in outcome.error
+        assert pool.stats.crashes == 1
+
+    def test_crash_does_not_poison_other_tasks(self):
+        with ProcessTaskPool(max_workers=2) as pool:
+            pool.submit(_exit_hard, tag="dead")
+            for n in range(4):
+                pool.submit(_double, n, tag=n)
+            outcomes = _drain(pool)
+        ok = [outcome for outcome in outcomes if outcome.ok]
+        assert len(ok) == 4
+
+    def test_crash_is_retried_and_recovers(self, tmp_path):
+        with ProcessTaskPool(
+            max_workers=1, retries=2, backoff=0.01
+        ) as pool:
+            pool.submit(_crash_once_then_succeed, str(tmp_path), tag="flaky")
+            [outcome] = _drain(pool)
+        assert outcome.ok
+        assert outcome.value == "recovered"
+        assert outcome.attempts == 2
+        assert pool.stats.crashes == 1
+        assert pool.stats.retries == 1
+
+
+class TestWatchdog:
+    def test_hung_worker_is_reaped_without_stalling_the_pool(self):
+        start = time.monotonic()
+        with ProcessTaskPool(max_workers=2, timeout=0.5) as pool:
+            pool.submit(_sleep, 300.0, tag="hung")
+            for n in range(4):
+                pool.submit(_double, n, tag=n)
+            outcomes = _drain(pool)
+        elapsed = time.monotonic() - start
+        by_tag = {outcome.tag: outcome for outcome in outcomes}
+        assert not by_tag["hung"].ok
+        assert by_tag["hung"].kind == "timeout"
+        assert all(by_tag[n].ok for n in range(4))
+        assert pool.stats.timeouts == 1
+        assert elapsed < 60  # nowhere near the 300s the hang asked for
+
+    def test_fast_tasks_beat_the_watchdog(self):
+        with ProcessTaskPool(max_workers=1, timeout=30.0) as pool:
+            pool.submit(_sleep, 0.01, tag="quick")
+            [outcome] = _drain(pool)
+        assert outcome.ok
+        assert outcome.value == "done"
+
+    def test_timeout_exhausts_retries_then_fails(self):
+        with ProcessTaskPool(
+            max_workers=1, timeout=0.3, retries=1, backoff=0.01
+        ) as pool:
+            pool.submit(_sleep, 300.0, tag="hung")
+            [outcome] = _drain(pool)
+        assert not outcome.ok
+        assert outcome.kind == "timeout"
+        assert outcome.attempts == 2
+        assert pool.stats.timeouts == 2
+        assert pool.stats.retries == 1
+
+
+class TestShutdown:
+    def test_context_exit_leaves_no_live_workers(self):
+        with ProcessTaskPool(max_workers=2) as pool:
+            pool.submit(_sleep, 300.0, tag="a")
+            pool.submit(_sleep, 300.0, tag="b")
+            # Start the workers, then abandon the iteration mid-flight.
+            iterator = pool.completed()
+            pool._launch_eligible()
+            live = [task.process for task in pool._running]
+            assert live and all(process.is_alive() for process in live)
+            del iterator
+        assert all(not process.is_alive() for process in live)
+        assert pool.pending() == 0
+
+    def test_outcome_dataclass_defaults(self):
+        outcome = TaskOutcome(tag="t", ok=True, value=1)
+        assert outcome.kind == "ok"
+        assert outcome.attempts == 1
