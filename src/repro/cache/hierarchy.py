@@ -91,6 +91,30 @@ class CacheHierarchy:
             "memory_writes": self.memory_writes,
         }
 
+    def stats_summary(self) -> dict:
+        """Per-level counters, private levels summed across cores.
+
+        ``{"l1": summary, "l2": summary, "llc": summary,
+        "memory_reads": N, "memory_writes": N}`` — the telemetry layer
+        folds this into level-labelled counters after pass 1.
+        """
+
+        def _merged(caches) -> dict:
+            totals = {}
+            for cache in caches:
+                for key, value in cache.stats.summary().items():
+                    if isinstance(value, int):
+                        totals[key] = totals.get(key, 0) + value
+            return totals
+
+        return {
+            "l1": _merged(self.l1d),
+            "l2": _merged(self.l2),
+            "llc": _merged([self.llc]),
+            "memory_reads": self.memory_reads,
+            "memory_writes": self.memory_writes,
+        }
+
     def reset_stats(self) -> None:
         """Zero all statistics (after cache warm-up)."""
         self.llc.reset_stats()

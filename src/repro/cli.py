@@ -9,7 +9,10 @@ Commands:
   (``--jobs N`` parallelizes over processes; ``--cache-dir`` persists
   prepared workloads so repeat sweeps skip pass 1; ``--no-cache`` opts out;
   every sweep journals completed cells to a run directory and
-  ``--resume RUN_ID`` continues an interrupted run — see docs/reliability.md)
+  ``--resume RUN_ID`` continues an interrupted run — see docs/reliability.md;
+  ``--metrics`` records telemetry to the run directory — see
+  docs/observability.md)
+* ``metrics``   — render a run's recorded telemetry (tables or Prometheus)
 * ``mpki``      — Figure-12-style demand-MPKI table
 * ``mix``       — a 4-core workload mix (Figure 13 / §IV-D)
 * ``table1``    — the hardware-overhead table
@@ -106,14 +109,36 @@ def cmd_compare(args) -> int:
 #: Manifest keys <-> sweep argparse attributes (for --resume round-trips).
 _SWEEP_MANIFEST_ARGS = (
     "suite", "policies", "jobs", "scale", "length", "seed",
-    "cache_dir", "no_cache", "timeout", "retries",
+    "cache_dir", "no_cache", "timeout", "retries", "metrics",
 )
 
 #: Default run-directory root for journaled sweeps.
 DEFAULT_RUN_ROOT = ".repro-runs"
 
 
+def _write_sweep_metrics(run, report) -> None:
+    """Persist + print the deterministic telemetry payload for one sweep."""
+    from repro.telemetry.export import (
+        build_payload,
+        render_metrics,
+        write_metrics_json,
+    )
+    from repro.telemetry.instruments import sweep_snapshot, sweep_timings
+
+    payload = build_payload(
+        "sweep",
+        sweep_snapshot(report),
+        timings=sweep_timings(report),
+        ops=dict(report.pool_stats),
+        meta={"run_id": run.run_id, "args": run.manifest.get("args", {})},
+    )
+    write_metrics_json(run.metrics_path, payload)
+    print(render_metrics(payload))
+    print(f"metrics written to {run.metrics_path}", file=sys.stderr)
+
+
 def cmd_sweep(args) -> int:
+    from repro import telemetry
     from repro.eval.parallel import parallel_sweep
     from repro.runs.supervisor import SweepInterrupted, create_run, load_run
 
@@ -135,29 +160,38 @@ def cmd_sweep(args) -> int:
         print(f"run {run.run_id} -> {run.path} "
               f"(resumable with --resume {run.run_id})", file=sys.stderr)
 
+    if args.metrics:
+        telemetry.configure(
+            registry=telemetry.MetricsRegistry(), span_path=run.spans_path
+        )
     eval_config = _eval_config(args)
     lineup = ["lru"] + [policy for policy in args.policies if policy != "lru"]
     try:
-        report = parallel_sweep(
-            eval_config,
-            suite_names(args.suite),
-            lineup,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
-            progress=lambda message: print(message, file=sys.stderr),
-            timeout=args.timeout,
-            retries=args.retries,
-            journal=run.journal(),
-        )
+        with telemetry.span("sweep", run_id=run.run_id, suite=args.suite):
+            report = parallel_sweep(
+                eval_config,
+                suite_names(args.suite),
+                lineup,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                progress=lambda message: print(message, file=sys.stderr),
+                timeout=args.timeout,
+                retries=args.retries,
+                journal=run.journal(),
+            )
     except SweepInterrupted as interrupt:
         run.mark("interrupted")
+        telemetry.shutdown()
         print(f"\ninterrupted: {interrupt.completed} completed cell(s) "
               f"journaled in {run.journal_path}\nresume with: "
               f"repro sweep --run-dir {run_root} --resume {run.run_id}",
               file=sys.stderr)
         return 130
     run.write_report(report.to_csv())
+    telemetry.shutdown()
+    if args.metrics:
+        _write_sweep_metrics(run, report)
     table = report.table()
     series = {}
     for name in suite_names(args.suite):
@@ -180,6 +214,11 @@ def cmd_sweep(args) -> int:
             print(f"  {policy:10s} {(overall - 1) * 100:+.2f}%")
         else:
             print(f"  {policy:10s} (no results)")
+    prep = report.prep_cache_stats
+    if prep:
+        print(f"\nprep cache: {prep.get('hits', 0)} hit(s), "
+              f"{prep.get('misses', 0)} miss(es), "
+              f"{prep.get('corrupt', 0)} corrupt")
     failures = report.failures()
     if failures:
         run.mark("failed")
@@ -189,6 +228,48 @@ def cmd_sweep(args) -> int:
             print(f"  {cell.workload}/{cell.policy}: {last}")
         return 1
     run.mark("complete")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from pathlib import Path
+
+    from repro.runs.supervisor import SPANS_NAME
+    from repro.telemetry.export import (
+        load_metrics_json,
+        render_metrics,
+        to_prometheus,
+    )
+    from repro.telemetry.spans import read_spans, summarize_spans
+
+    path = Path(args.run)
+    if not path.exists():
+        path = Path(DEFAULT_RUN_ROOT) / args.run
+    if not path.exists():
+        raise ValueError(f"no run directory or metrics file at {args.run!r}")
+    payload = load_metrics_json(path)
+    if args.prometheus:
+        print(to_prometheus(payload), end="")
+        return 0
+    print(render_metrics(payload))
+    spans_path = (path if path.is_dir() else path.parent) / SPANS_NAME
+    if spans_path.is_file():
+        summary = summarize_spans(read_spans(spans_path))
+        if summary:
+            rows = [
+                {
+                    "span": name,
+                    "count": stats["count"],
+                    "total_s": round(stats["total_s"], 3),
+                    "mean_s": round(stats["mean_s"], 4),
+                    "max_s": round(stats["max_s"], 4),
+                }
+                for name, stats in sorted(summary.items())
+            ]
+            print(format_table(
+                rows, headers=["span", "count", "total_s", "mean_s", "max_s"],
+                title=f"spans ({spans_path.name})",
+            ))
     return 0
 
 
@@ -259,13 +340,35 @@ def cmd_train(args) -> int:
     )
     print(f"training on {args.workload} "
           f"({len(prepared.llc_records)} LLC accesses) ...", file=sys.stderr)
+    registry = None
+    if args.metrics:
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
     trained = train_on_stream(
         prepared.llc_config,
         prepared.llc_records,
         config,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        registry=registry,
     )
+    if registry is not None:
+        from repro.telemetry.export import (
+            build_payload,
+            render_metrics,
+            write_metrics_json,
+        )
+
+        payload = build_payload(
+            "train",
+            registry.snapshot(),
+            meta={"workload": args.workload, "epochs": args.epochs,
+                  "hidden": args.hidden, "seed": args.seed},
+        )
+        write_metrics_json(args.metrics, payload)
+        print(render_metrics(payload))
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
 
     adapter = AgentReplacementPolicy(trained.agent, trained.extractor, train=False)
     rl_result = replay(prepared, adapter, detailed=True)
@@ -373,7 +476,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--resume", metavar="RUN_ID", default=None,
                        help="resume an interrupted run (e.g. run-0001); "
                             "journaled cells are not re-run")
+    sweep.add_argument("--metrics", action="store_true",
+                       help="record telemetry: print a counters/timings "
+                            "summary, write metrics.json + spans.jsonl to "
+                            "the run directory (see docs/observability.md)")
     _add_eval_arguments(sweep)
+
+    metrics = commands.add_parser(
+        "metrics", help="render a run's recorded telemetry"
+    )
+    metrics.add_argument("run",
+                         help="run directory, metrics.json path, or a run id "
+                              f"under {DEFAULT_RUN_ROOT} (e.g. run-0001)")
+    metrics.add_argument("--prometheus", action="store_true",
+                         help="emit Prometheus text exposition format "
+                              "instead of tables")
 
     mpki = commands.add_parser("mpki", help="Figure-12-style MPKI table")
     mpki.add_argument("--suite", choices=("spec2006", "cloudsuite"),
@@ -400,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--resume", action="store_true",
                        help="restore --checkpoint if it exists and continue "
                             "from its epoch (bit-identical to uninterrupted)")
+    train.add_argument("--metrics", metavar="PATH", default=None,
+                       help="record per-epoch training telemetry (loss, "
+                            "epsilon, agreement-with-OPT) to this "
+                            "metrics.json")
     _add_eval_arguments(train)
 
     hillclimb = commands.add_parser("hillclimb", help="feature selection")
@@ -428,6 +549,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
+    "metrics": cmd_metrics,
     "mpki": cmd_mpki,
     "mix": cmd_mix,
     "table1": cmd_table1,

@@ -40,11 +40,13 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
 import traceback
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
+from repro import telemetry
 from repro.cache.config import CoreConfig
 from repro.cache.replacement.belady import BeladyPolicy
 from repro.cpu.system import SystemResult
@@ -74,6 +76,9 @@ class CellResult:
     policy: str
     result: Optional[SystemResult] = None
     error: Optional[str] = None
+    #: Worker-measured replay wall time (telemetry only; never journaled,
+    #: so cells adopted on --resume have ``seconds=None``).
+    seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -97,6 +102,12 @@ class SweepReport:
     cached_workloads: tuple = ()  #: workloads served from the prep cache
     resumed: tuple = ()  #: (workload, policy) cells served from the journal
     pool_stats: dict = field(default_factory=dict)  #: watchdog/retry counters
+    prep_cache_stats: dict = field(default_factory=dict)  #: hits/misses/corrupt
+    #: Per-workload pass-1 hierarchy counters (telemetry; resumed workloads
+    #: whose pass 1 was skipped entirely are absent).
+    hierarchy_stats: dict = field(default_factory=dict)
+    prepare_seconds: dict = field(default_factory=dict)  #: workload -> seconds
+    wall_seconds: float = 0.0  #: parent-measured sweep wall time
 
     def cell(self, workload: str, policy: str) -> CellResult:
         for cell in self.cells:
@@ -221,6 +232,7 @@ def _prepare_task(eval_config, trace, num_cores, l2_prefetcher, core_config):
 def _replay_task(prepared, workload, policy, allow_bypass) -> CellResult:
     """Pass-2 work item; never raises (fault isolation per cell)."""
     name = _policy_name(policy)
+    started = time.perf_counter()
     try:
         maybe_fault("replay", workload=workload, policy=name)
         if name == BELADY:
@@ -228,9 +240,15 @@ def _replay_task(prepared, workload, policy, allow_bypass) -> CellResult:
                 prepared.llc_line_stream, allow_bypass=allow_bypass
             )
         result = replay(prepared, policy, allow_bypass=allow_bypass)
-        return CellResult(workload, name, result=result)
+        return CellResult(
+            workload, name, result=result,
+            seconds=time.perf_counter() - started,
+        )
     except Exception:
-        return CellResult(workload, name, error=traceback.format_exc())
+        return CellResult(
+            workload, name, error=traceback.format_exc(),
+            seconds=time.perf_counter() - started,
+        )
 
 
 def _worker_config(eval_config: EvalConfig) -> EvalConfig:
@@ -308,6 +326,7 @@ def parallel_sweep(
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    sweep_started = time.perf_counter()
     policies = list(policies)
     if include_belady and BELADY not in [_policy_name(p) for p in policies]:
         policies.append(BELADY)
@@ -357,6 +376,19 @@ def parallel_sweep(
     }
     active = [trace for trace in traces if wanted[trace.name]]
 
+    # Telemetry accumulators (parent side; deterministic pieces only ride
+    # on the report — see repro.telemetry.instruments.sweep_snapshot).
+    hier_stats = {}  # workload -> per-level summary from pass 1
+    prep_seconds = {}  # workload -> worker/parent-measured pass-1 seconds
+
+    def note_prepared(name: str, prepared) -> None:
+        stats = getattr(prepared, "hierarchy_stats", {})
+        if stats:
+            hier_stats[name] = stats
+        seconds = getattr(prepared, "prepare_seconds", 0.0)
+        if seconds:
+            prep_seconds[name] = seconds
+
     # Resolve pass 1 from the in-memory and on-disk caches (parent side).
     memory = _memory_cache(eval_config)
     prepared_map = {}  # workload name -> PreparedWorkload
@@ -367,6 +399,7 @@ def parallel_sweep(
         disk_key = None
         if core_config is None and memory_key in memory:
             prepared_map[trace.name] = memory[memory_key]
+            note_prepared(trace.name, memory[memory_key])
             cached.append(trace.name)
             continue
         if disk is not None:
@@ -380,6 +413,7 @@ def parallel_sweep(
             hit = disk.load(disk_key)
             if hit is not None:
                 prepared_map[trace.name] = hit
+                note_prepared(trace.name, hit)
                 if core_config is None:
                     memory[memory_key] = hit
                 cached.append(trace.name)
@@ -389,6 +423,12 @@ def parallel_sweep(
 
     def adopt(trace, disk_key, prepared) -> None:
         prepared_map[trace.name] = prepared
+        note_prepared(trace.name, prepared)
+        telemetry.emit_span(
+            "cell.prepare",
+            getattr(prepared, "prepare_seconds", 0.0),
+            workload=trace.name,
+        )
         if core_config is None:
             memory[_memory_key(trace, num_cores, l2_prefetcher)] = prepared
         if disk is not None and disk_key is not None:
@@ -399,6 +439,14 @@ def parallel_sweep(
 
     def complete(cell: CellResult) -> None:
         results.append(cell)
+        if cell.seconds is not None:
+            telemetry.emit_span(
+                "cell.replay",
+                cell.seconds,
+                workload=cell.workload,
+                policy=cell.policy,
+                ok=cell.ok,
+            )
         if journal is not None and cell.ok:
             journal.append(journal_cell_entry(cell))
 
@@ -521,4 +569,10 @@ def parallel_sweep(
         cached_workloads=tuple(cached),
         resumed=tuple(sorted(done_keys)),
         pool_stats=pool_stats,
+        prep_cache_stats=disk.stats() if disk is not None else {},
+        hierarchy_stats={
+            name: hier_stats[name] for name in sorted(hier_stats)
+        },
+        prepare_seconds=dict(prep_seconds),
+        wall_seconds=time.perf_counter() - sweep_started,
     )

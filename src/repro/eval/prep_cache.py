@@ -37,7 +37,7 @@ from repro.traces.record import Trace
 from repro.traces.trace_io import trace_to_bytes
 
 #: Bump to invalidate every existing cache entry (layout changes).
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2  # v2: PreparedWorkload carries hierarchy_stats/prepare_seconds
 
 
 class PrepCacheCorruptionWarning(UserWarning):
@@ -90,6 +90,10 @@ class PrepCache:
     def path(self, key: str) -> Path:
         """Filesystem path of the entry for ``key``."""
         return self.directory / f"{key}.pkl"
+
+    def stats(self) -> dict:
+        """Counter snapshot for telemetry and end-of-run summaries."""
+        return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
 
     def _corrupt_entry(self, key: str, reason: str) -> None:
         """Count and surface one unreadable entry (still a miss)."""

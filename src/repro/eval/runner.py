@@ -18,7 +18,8 @@ OPT's future knowledge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cache.cache import Cache
@@ -29,6 +30,7 @@ from repro.cache.replacement.belady import BeladyPolicy
 from repro.cpu.core_model import TimingModel
 from repro.cpu.system import SystemResult
 from repro.eval.workloads import EvalConfig
+from repro.telemetry import profiled, span
 from repro.testing.faults import maybe_fault
 from repro.traces.record import Trace
 
@@ -46,6 +48,12 @@ class PreparedWorkload:
     instructions: list  #: per-core instructions (post-warm-up)
     stall_llc: float
     stall_mem: float
+    #: Per-level hierarchy counters from the recording pass (telemetry).
+    hierarchy_stats: dict = field(default_factory=dict)
+    #: Wall-clock seconds pass 1 took (telemetry; 0.0 for legacy artifacts).
+    #: Excluded from equality — two identical simulations are equal however
+    #: long the hardware took to run them.
+    prepare_seconds: float = field(default=0.0, compare=False)
 
     @property
     def llc_line_stream(self) -> list:
@@ -67,6 +75,7 @@ def prepare_workload(
 ) -> PreparedWorkload:
     """Run the full hierarchy once (LRU LLC) and record the LLC stream."""
     maybe_fault("prepare", workload=trace.name)
+    started = time.perf_counter()
     core_config = _core_config(core_config)
     hierarchy_config = eval_config.hierarchy(num_cores=num_cores)
     hierarchy = CacheHierarchy(
@@ -84,18 +93,21 @@ def prepare_workload(
     instructions = [0] * num_cores
     issue_width = timing.core_config.issue_width
     stall = timing._stall
-    for position, record in enumerate(trace.records):
-        if position == warmup_end:
-            warmup_index = len(llc_records)
-        level = hierarchy.access(record)
-        if position < warmup_end:
-            continue
-        core = record.core
-        instructions[core] += record.instr_delta
-        base_cycles[core] += record.instr_delta / issue_width
-        if level in (L1, L2):
-            base_cycles[core] += stall[level]
-        # LLC/MEMORY stalls are policy-dependent; charged during replay.
+    with span("prepare_workload", workload=trace.name):
+        for position, record in enumerate(
+            profiled(trace.records, "prepare_workload")
+        ):
+            if position == warmup_end:
+                warmup_index = len(llc_records)
+            level = hierarchy.access(record)
+            if position < warmup_end:
+                continue
+            core = record.core
+            instructions[core] += record.instr_delta
+            base_cycles[core] += record.instr_delta / issue_width
+            if level in (L1, L2):
+                base_cycles[core] += stall[level]
+            # LLC/MEMORY stalls are policy-dependent; charged during replay.
     return PreparedWorkload(
         trace_name=trace.name,
         num_cores=num_cores,
@@ -106,6 +118,8 @@ def prepare_workload(
         instructions=instructions,
         stall_llc=stall[LLC],
         stall_mem=stall[MEMORY],
+        hierarchy_stats=hierarchy.stats_summary(),
+        prepare_seconds=time.perf_counter() - started,
     )
 
 
@@ -143,12 +157,19 @@ def replay(
     cycles = list(prepared.base_cycles)
     warmup_index = prepared.warmup_index
     stall_llc, stall_mem = prepared.stall_llc, prepared.stall_mem
-    for position, record in enumerate(prepared.llc_records):
-        if position == warmup_index:
-            cache.reset_stats()
-        result = cache.access(record)
-        if position >= warmup_index and record.access_type.is_demand:
-            cycles[record.core] += stall_llc if result.hit else stall_mem
+    with span(
+        "replay",
+        workload=prepared.trace_name,
+        policy=getattr(policy, "name", "unknown"),
+    ):
+        for position, record in enumerate(
+            profiled(prepared.llc_records, "replay")
+        ):
+            if position == warmup_index:
+                cache.reset_stats()
+            result = cache.access(record)
+            if position >= warmup_index and record.access_type.is_demand:
+                cycles[record.core] += stall_llc if result.hit else stall_mem
     ipc = [
         instr / cyc if cyc > 0 else 0.0
         for instr, cyc in zip(prepared.instructions, cycles)

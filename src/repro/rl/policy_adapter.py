@@ -17,7 +17,13 @@ exactly this reason).
 from __future__ import annotations
 
 from repro.cache.replacement.base import ReplacementPolicy
-from repro.rl.reward import FutureOracle, belady_reward, belady_reward_vector
+from repro.rl.reward import (
+    NEGATIVE_REWARD,
+    POSITIVE_REWARD,
+    FutureOracle,
+    belady_reward,
+    belady_reward_vector,
+)
 
 
 class AgentReplacementPolicy(ReplacementPolicy):
@@ -43,6 +49,11 @@ class AgentReplacementPolicy(ReplacementPolicy):
         self._set_accesses = None
         self._last_access = {}
         self._pending = None  # (state, action, reward) awaiting next_state
+        # Agreement-with-OPT accounting (training only; the reward of the
+        # chosen action is already computed, so grading it is free).
+        self.optimal_decisions = 0
+        self.harmful_decisions = 0
+        self.total_decisions = 0
 
     def _post_bind(self):
         self._set_accesses = [0] * self.num_sets
@@ -83,8 +94,10 @@ class AgentReplacementPolicy(ReplacementPolicy):
             if getattr(self.agent, "counterfactual", False):
                 rewards = belady_reward_vector(self.oracle, cache_set, access)
                 self.agent.observe_vector(state, rewards)
+                self._grade(rewards[action])
             else:
                 reward = belady_reward(self.oracle, cache_set, action, access)
+                self._grade(reward)
                 if self._pending is not None:
                     pending_state, pending_action, pending_reward = self._pending
                     self.agent.observe(
@@ -94,6 +107,21 @@ class AgentReplacementPolicy(ReplacementPolicy):
         else:
             action = self.agent.select_greedy(state, valid_ways)
         return action
+
+    def _grade(self, reward: float) -> None:
+        self.total_decisions += 1
+        if reward == POSITIVE_REWARD:
+            self.optimal_decisions += 1
+        elif reward == NEGATIVE_REWARD:
+            self.harmful_decisions += 1
+
+    def decision_grades(self) -> dict:
+        """Agreement-with-OPT counts accumulated so far (training mode)."""
+        return {
+            "optimal": self.optimal_decisions,
+            "harmful": self.harmful_decisions,
+            "total": self.total_decisions,
+        }
 
     def finish(self) -> None:
         """Flush the last pending transition (end of a training run)."""

@@ -22,6 +22,8 @@ from repro.runs.checkpoint import (
     load_training_checkpoint,
     save_training_checkpoint,
 )
+from repro.telemetry import span
+from repro.telemetry.instruments import record_training_epoch
 
 
 def llc_stream_records(eval_config, workload_name: str) -> list:
@@ -89,6 +91,7 @@ def train_on_stream(
     extractor=None,
     checkpoint=None,
     resume: bool = False,
+    registry=None,
 ) -> TrainedAgent:
     """Train a fresh agent on one LLC stream for ``config.epochs`` passes.
 
@@ -98,6 +101,11 @@ def train_on_stream(
     continues from its epoch, producing weights bit-identical to an
     uninterrupted run.  A missing checkpoint with ``resume=True`` simply
     starts from scratch, so crash-loop supervisors can always pass both.
+
+    ``registry`` (a :class:`repro.telemetry.MetricsRegistry`) records
+    per-epoch training telemetry — mean loss, hit rate, epsilon,
+    replay-buffer occupancy, and agreement-with-OPT — without touching the
+    training computation (bit-identical with or without it).
     """
     if extractor is None:
         extractor = make_extractor(llc_config, config.features)
@@ -125,9 +133,22 @@ def train_on_stream(
         start_epoch = restored.epoch
         hit_rate = restored.train_hit_rate
     for epoch in range(start_epoch, max(1, config.epochs)):
-        simulation = RLSimulation(llc_config, agent, extractor, records, train=True)
-        stats = simulation.run()
+        losses_before = len(agent.losses)
+        with span("train_epoch", epoch=epoch):
+            simulation = RLSimulation(
+                llc_config, agent, extractor, records, train=True
+            )
+            stats = simulation.run()
         hit_rate = stats.hit_rate
+        if registry is not None:
+            record_training_epoch(
+                registry,
+                epoch=epoch,
+                hit_rate=hit_rate,
+                losses=agent.losses[losses_before:],
+                agent=agent,
+                agreement=simulation.policy.decision_grades(),
+            )
         if checkpoint is not None:
             save_training_checkpoint(
                 checkpoint,

@@ -9,6 +9,9 @@ sweep``).  Its directory holds everything needed to resume after a crash:
         manifest.json   # the command's arguments + status (atomic JSON)
         journal.jsonl   # completed cells (repro.runs.journal.RunJournal)
         report.csv      # final deterministic report (written on completion)
+        metrics.json    # telemetry payload (with --metrics; see
+                        # docs/observability.md)
+        spans.jsonl     # span trace events (with --metrics)
 
 Run ids are allocated sequentially (``run-0001``, ``run-0002``, ...) with a
 collision-safe exclusive ``mkdir``, so a freshly created root always starts
@@ -29,6 +32,8 @@ from repro.runs.journal import RunJournal
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
 REPORT_NAME = "report.csv"
+METRICS_NAME = "metrics.json"
+SPANS_NAME = "spans.jsonl"
 
 
 class SweepInterrupted(RuntimeError):
@@ -61,6 +66,14 @@ class RunDirectory:
     @property
     def report_path(self) -> Path:
         return self.path / REPORT_NAME
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.path / METRICS_NAME
+
+    @property
+    def spans_path(self) -> Path:
+        return self.path / SPANS_NAME
 
     def journal(self) -> RunJournal:
         return RunJournal(self.journal_path)

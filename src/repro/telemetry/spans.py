@@ -1,0 +1,142 @@
+"""Span-based tracing: timed, attributed JSONL events for long runs.
+
+A :class:`SpanRecorder` appends one JSON object per finished span to a
+``spans.jsonl`` file (by convention inside the run directory, next to the
+crash-safety journal).  Spans are observability, not accounting — they
+carry wall-clock timestamps and are deliberately kept out of the
+deterministic metrics snapshot.
+
+Event schema (one line each)::
+
+    {"type": "span", "seq": 3, "name": "prepare_workload",
+     "ts": 1754500000.123, "dur_s": 0.8421,
+     "attrs": {"workload": "429.mcf"}, "pid": 12345}
+
+``seq`` increases per recorder, so interleavings are reconstructible even
+when wall clocks collide.  Instrumented code uses the module-level
+:func:`repro.telemetry.span` context manager, which resolves the recorder
+at entry time and degrades to a shared no-op object when tracing is off —
+the disabled path is one global read per span, nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+
+class SpanRecorder:
+    """Append-only JSONL span sink (line-buffered, flushed per event)."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._seq = 0
+
+    def emit(self, name: str, duration_s: float, started_ts: float = None,
+             **attrs) -> None:
+        """Record one finished span (used for externally timed work too,
+        e.g. durations measured inside worker processes)."""
+        event = {
+            "type": "span",
+            "seq": self._seq,
+            "name": name,
+            "ts": time.time() if started_ts is None else started_ts,
+            "dur_s": duration_s,
+            "attrs": attrs,
+            "pid": os.getpid(),
+        }
+        self._seq += 1
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SpanRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span: times its ``with`` body and emits on exit."""
+
+    __slots__ = ("recorder", "name", "attrs", "_start", "_ts")
+
+    def __init__(self, recorder: SpanRecorder, name: str, attrs: dict) -> None:
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "Span":
+        self._ts = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        attrs = self.attrs
+        if exc_type is not None:
+            attrs = dict(attrs, error=exc_type.__name__)
+        self.recorder.emit(self.name, duration, started_ts=self._ts, **attrs)
+        return False
+
+
+def read_spans(path) -> list:
+    """All parseable span events from a ``spans.jsonl`` (bad lines skipped)."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    events = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict) and event.get("type") == "span":
+            events.append(event)
+    return events
+
+
+def summarize_spans(events) -> dict:
+    """Per-span-name aggregates: ``{name: {count, total_s, mean_s, max_s}}``."""
+    summary = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        name = event.get("name", "?")
+        duration = float(event.get("dur_s", 0.0))
+        entry = summary.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += duration
+        entry["max_s"] = max(entry["max_s"], duration)
+    for entry in summary.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return summary

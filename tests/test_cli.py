@@ -148,6 +148,98 @@ class TestSweepCommand:
         assert (tmp_path / "runs" / "run-0001" / "report.csv").is_file()
 
 
+class TestSweepMetrics:
+    def test_metrics_flag_writes_and_prints(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "sweep", "--suite", "cloudsuite",
+            "--policies", "drrip", "--scale", "64", "--length", "1200",
+            "--run-dir", str(tmp_path / "runs"),
+            "--cache-dir", str(tmp_path / "prep"), "--metrics",
+        )
+        assert code == 0
+        assert "counters (sweep)" in out
+        assert "sweep.cells_ok" in out
+        assert "prep cache:" in out
+        run_dir = tmp_path / "runs" / "run-0001"
+        assert (run_dir / "metrics.json").is_file()
+        assert (run_dir / "spans.jsonl").is_file()
+        from repro.telemetry.export import load_metrics_json, validate_metrics
+
+        payload = load_metrics_json(run_dir)
+        assert validate_metrics(payload) == []
+        assert payload["kind"] == "sweep"
+        assert payload["meta"]["run_id"] == "run-0001"
+
+    def test_prep_cache_summary_always_printed(self, capsys, tmp_path):
+        # Even without --metrics, the end-of-run summary reports the
+        # prepared-workload cache outcome.
+        code, out = run_cli(
+            capsys, "sweep", "--suite", "cloudsuite",
+            "--policies", "drrip", "--scale", "64", "--length", "1200",
+            "--run-dir", str(tmp_path / "runs"),
+            "--cache-dir", str(tmp_path / "prep"),
+        )
+        assert code == 0
+        assert "prep cache: 0 hit(s), 5 miss(es), 0 corrupt" in out
+        capsys.readouterr()
+        code, out = run_cli(
+            capsys, "sweep", "--suite", "cloudsuite",
+            "--policies", "drrip", "--scale", "64", "--length", "1200",
+            "--run-dir", str(tmp_path / "runs"),
+            "--cache-dir", str(tmp_path / "prep"),
+        )
+        assert code == 0
+        assert "prep cache: 5 hit(s), 0 miss(es), 0 corrupt" in out
+
+
+class TestMetricsCommand:
+    def _sweep(self, capsys, tmp_path):
+        run_cli(
+            capsys, "sweep", "--suite", "cloudsuite",
+            "--policies", "drrip", "--scale", "64", "--length", "1200",
+            "--run-dir", str(tmp_path / "runs"), "--metrics",
+        )
+        capsys.readouterr()
+        return tmp_path / "runs" / "run-0001"
+
+    def test_renders_run_directory(self, capsys, tmp_path):
+        run_dir = self._sweep(capsys, tmp_path)
+        code, out = run_cli(capsys, "metrics", str(run_dir))
+        assert code == 0
+        assert "counters (sweep)" in out
+        assert "spans (spans.jsonl)" in out
+        assert "replay" in out
+
+    def test_prometheus_output(self, capsys, tmp_path):
+        run_dir = self._sweep(capsys, tmp_path)
+        code, out = run_cli(capsys, "metrics", str(run_dir), "--prometheus")
+        assert code == 0
+        assert "# TYPE repro_sweep_cells_ok_total counter" in out
+        assert "repro_sweep_cells_ok_total 10" in out
+
+    def test_missing_run_is_clean_error(self, capsys):
+        code, out = run_cli(capsys, "metrics", "run-9999")
+        assert code == 2
+
+
+class TestTrainMetrics:
+    def test_writes_training_metrics(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        code, out = run_cli(
+            capsys, "train", "450.soplex", "--hidden", "8",
+            "--metrics", str(path), "--scale", "64", "--length", "1500",
+        )
+        assert code == 0
+        assert "rl.epochs" in out
+        assert "rl.agreement_with_opt" in out
+        from repro.telemetry.export import load_metrics_json
+
+        payload = load_metrics_json(path)
+        assert payload["kind"] == "train"
+        assert payload["counters"]["rl.epochs"] == 1
+        assert payload["counters"]["rl.decisions"] > 0
+
+
 class TestPipeHandling:
     def test_broken_pipe_exits_cleanly(self):
         import subprocess

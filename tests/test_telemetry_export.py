@@ -1,0 +1,211 @@
+"""Tests for metrics.json, validation, rendering, and the Prometheus exporter."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry.export import (
+    SCHEMA_VERSION,
+    build_payload,
+    load_metrics_json,
+    payload_digest,
+    render_metrics,
+    start_http_exporter,
+    to_prometheus,
+    validate_metrics,
+    write_metrics_json,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def _sample_payload():
+    registry = MetricsRegistry()
+    registry.counter("cache.hits", level="llc", policy="lru").inc(123)
+    registry.counter("sweep.cells_ok").inc(4)
+    registry.gauge("rl.train_hit_rate").set(0.61)
+    hist = registry.histogram("replay.llc_hit_rate", [0.25, 0.5, 0.75],
+                              policy="lru")
+    hist.observe(0.4)
+    hist.observe(0.9)
+    return build_payload(
+        "sweep",
+        registry.snapshot(),
+        timings={"wall_seconds": 3.2, "cell_seconds": {"a/lru": 0.5}},
+        ops={"timeouts": 0, "retries": 1},
+        meta={"run_id": "run-0001"},
+    )
+
+
+class TestBuildAndValidate:
+    def test_valid_payload_has_no_problems(self):
+        assert validate_metrics(_sample_payload()) == []
+
+    def test_schema_version_stamped(self):
+        assert _sample_payload()["schema"] == SCHEMA_VERSION
+
+    def test_rejects_non_object(self):
+        assert validate_metrics([1, 2]) == ["payload is not an object"]
+
+    def test_rejects_wrong_schema(self):
+        payload = _sample_payload()
+        payload["schema"] = 999
+        assert any("schema" in p for p in validate_metrics(payload))
+
+    def test_rejects_bool_counter(self):
+        payload = _sample_payload()
+        payload["counters"]["bad"] = True
+        assert any("counters" in p for p in validate_metrics(payload))
+
+    def test_rejects_histogram_shape_mismatch(self):
+        payload = _sample_payload()
+        key = next(iter(payload["histograms"]))
+        payload["histograms"][key]["counts"].append(0)
+        assert any("len(bounds)+1" in p for p in validate_metrics(payload))
+
+    def test_rejects_histogram_count_mismatch(self):
+        payload = _sample_payload()
+        key = next(iter(payload["histograms"]))
+        payload["histograms"][key]["count"] += 1
+        assert any("sum(counts)" in p for p in validate_metrics(payload))
+
+
+class TestWriteLoadRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        payload = _sample_payload()
+        write_metrics_json(path, payload)
+        assert load_metrics_json(path) == payload
+
+    def test_load_accepts_run_directory(self, tmp_path):
+        payload = _sample_payload()
+        write_metrics_json(tmp_path / "metrics.json", payload)
+        assert load_metrics_json(tmp_path) == payload
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"schema": 42}), encoding="utf-8")
+        with pytest.raises(ValueError, match="not a valid metrics payload"):
+            load_metrics_json(path)
+
+    def test_written_file_is_sorted_and_stable(self, tmp_path):
+        payload = _sample_payload()
+        write_metrics_json(tmp_path / "a.json", payload)
+        write_metrics_json(tmp_path / "b.json", payload)
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()
+
+
+class TestPayloadDigest:
+    def test_ignores_wall_clock_sections(self):
+        fast = _sample_payload()
+        slow = _sample_payload()
+        slow["timings"]["wall_seconds"] = 9999.0
+        slow["ops"]["retries"] = 50
+        slow["meta"]["run_id"] = "run-0777"
+        assert payload_digest(fast) == payload_digest(slow)
+
+    def test_sensitive_to_counters(self):
+        left = _sample_payload()
+        right = _sample_payload()
+        right["counters"]["sweep.cells_ok"] += 1
+        assert payload_digest(left) != payload_digest(right)
+
+
+class TestRenderMetrics:
+    def test_renders_all_sections(self):
+        text = render_metrics(_sample_payload())
+        assert "counters (sweep)" in text
+        assert "cache.hits{level=llc,policy=lru}" in text
+        assert "gauges" in text
+        assert "histograms" in text
+        assert "timings (wall clock)" in text
+        assert "cell_seconds.a/lru" in text
+        assert "reliability ops" in text
+
+    def test_empty_payload(self):
+        text = render_metrics(build_payload("sweep", {}))
+        assert text == "(no metrics recorded)"
+
+    def test_quiet_ops_omitted(self):
+        payload = build_payload("sweep", {}, ops={"timeouts": 0, "crashes": 0})
+        assert "reliability ops" not in render_metrics(payload)
+
+
+class TestPrometheus:
+    def test_counter_rendering(self):
+        text = to_prometheus(_sample_payload())
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert ('repro_cache_hits_total{level="llc",policy="lru"} 123'
+                in text)
+
+    def test_gauge_rendering(self):
+        text = to_prometheus(_sample_payload())
+        assert "# TYPE repro_rl_train_hit_rate gauge" in text
+        assert "repro_rl_train_hit_rate 0.61" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = to_prometheus(_sample_payload())
+        # Observations 0.4 and 0.9: le=0.25 -> 0, le=0.5 -> 1,
+        # le=0.75 -> 1, +Inf -> 2.
+        assert 'repro_replay_llc_hit_rate_bucket{le="0.25",policy="lru"} 0' in text
+        assert 'repro_replay_llc_hit_rate_bucket{le="0.5",policy="lru"} 1' in text
+        assert ('repro_replay_llc_hit_rate_bucket{le="+Inf",policy="lru"} 2'
+                in text)
+        assert 'repro_replay_llc_hit_rate_count{policy="lru"} 2' in text
+
+    def test_ops_exported_as_counters(self):
+        text = to_prometheus(_sample_payload())
+        assert "repro_ops_retries_total 1" in text
+
+    def test_ends_with_newline(self):
+        assert to_prometheus(_sample_payload()).endswith("\n")
+
+
+class TestHTTPExporter:
+    def test_serves_metrics_endpoint(self):
+        payload = _sample_payload()
+        server, thread = start_http_exporter(lambda: payload)
+        try:
+            port = server.server_address[1]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ) as response:
+                body = response.read().decode("utf-8")
+                content_type = response.headers["Content-Type"]
+            assert "repro_sweep_cells_ok_total 4" in body
+            assert "0.0.4" in content_type
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+    def test_unknown_path_404(self):
+        server, thread = start_http_exporter(_sample_payload)
+        try:
+            port = server.server_address[1]
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/nope", timeout=5
+                )
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+    def test_live_payload_function(self):
+        registry = MetricsRegistry()
+        server, thread = start_http_exporter(
+            lambda: build_payload("train", registry.snapshot())
+        )
+        try:
+            port = server.server_address[1]
+            registry.counter("rl.epochs").inc(3)
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ) as response:
+                body = response.read().decode("utf-8")
+            assert "repro_rl_epochs_total 3" in body
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)

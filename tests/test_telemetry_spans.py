@@ -1,0 +1,135 @@
+"""Tests for span-based tracing (JSONL event recorder + context manager)."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    Span,
+    SpanRecorder,
+    read_spans,
+    summarize_spans,
+)
+
+
+class TestSpanRecorder:
+    def test_emits_jsonl_events(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        recorder = SpanRecorder(path)
+        recorder.emit("prepare", 0.5, workload="429.mcf")
+        recorder.emit("replay", 0.25, workload="429.mcf", policy="lru")
+        recorder.close()
+        events = read_spans(path)
+        assert [e["name"] for e in events] == ["prepare", "replay"]
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[0]["type"] == "span"
+        assert events[0]["dur_s"] == 0.5
+        assert events[0]["attrs"] == {"workload": "429.mcf"}
+        assert events[1]["attrs"]["policy"] == "lru"
+
+    def test_appends_across_recorders(self, tmp_path):
+        # Worker processes re-open the same file; events must accumulate.
+        path = tmp_path / "spans.jsonl"
+        first = SpanRecorder(path)
+        first.emit("a", 0.1)
+        first.close()
+        second = SpanRecorder(path)
+        second.emit("b", 0.2)
+        second.close()
+        assert [e["name"] for e in read_spans(path)] == ["a", "b"]
+
+    def test_read_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        recorder = SpanRecorder(path)
+        recorder.emit("good", 1.0)
+        recorder.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{truncated\n")
+        recorder = SpanRecorder(path)
+        recorder.emit("after", 2.0)
+        recorder.close()
+        assert [e["name"] for e in read_spans(path)] == ["good", "after"]
+
+
+class TestSpanContextManager:
+    def test_times_body_and_records_attrs(self, tmp_path):
+        recorder = SpanRecorder(tmp_path / "spans.jsonl")
+        with Span(recorder, "work", {"k": "v"}):
+            pass
+        recorder.close()
+        (event,) = read_spans(tmp_path / "spans.jsonl")
+        assert event["name"] == "work"
+        assert event["attrs"] == {"k": "v"}
+        assert event["dur_s"] >= 0.0
+
+    def test_exception_annotated_not_suppressed(self, tmp_path):
+        recorder = SpanRecorder(tmp_path / "spans.jsonl")
+        with pytest.raises(RuntimeError):
+            with Span(recorder, "boom", {}):
+                raise RuntimeError("simulated")
+        recorder.close()
+        (event,) = read_spans(tmp_path / "spans.jsonl")
+        assert event["attrs"]["error"] == "RuntimeError"
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN:
+            pass  # no recorder, no file, no error
+
+
+class TestGlobalSpanAPI:
+    def test_disabled_by_default(self):
+        assert telemetry.span("anything", a=1) is NULL_SPAN
+
+    def test_configure_routes_spans_to_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        telemetry.configure(span_path=path)
+        try:
+            with telemetry.span("traced", workload="w"):
+                pass
+            telemetry.emit_span("manual", 1.25, source="test")
+        finally:
+            telemetry.shutdown()
+        events = read_spans(path)
+        assert [e["name"] for e in events] == ["traced", "manual"]
+        assert events[1]["dur_s"] == 1.25
+        # After shutdown the global API is inert again.
+        assert telemetry.span("later") is NULL_SPAN
+
+    def test_emit_span_noop_when_disabled(self):
+        telemetry.emit_span("ignored", 1.0)  # must not raise
+
+
+class TestSummarizeSpans:
+    def test_aggregates_by_name(self):
+        events = [
+            {"type": "span", "name": "replay", "dur_s": 1.0},
+            {"type": "span", "name": "replay", "dur_s": 3.0},
+            {"type": "span", "name": "prepare", "dur_s": 2.0},
+            {"type": "other", "name": "replay", "dur_s": 99.0},  # ignored
+        ]
+        summary = summarize_spans(events)
+        assert summary["replay"]["count"] == 2
+        assert summary["replay"]["total_s"] == 4.0
+        assert summary["replay"]["max_s"] == 3.0
+        assert summary["replay"]["mean_s"] == 2.0
+        assert summary["prepare"]["count"] == 1
+
+    def test_empty(self):
+        assert summarize_spans([]) == {}
+
+
+class TestSpansFileFormat:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        recorder = SpanRecorder(path)
+        for index in range(3):
+            recorder.emit(f"s{index}", float(index))
+        recorder.close()
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            event = json.loads(line)
+            assert set(event) >= {"type", "seq", "name", "ts", "dur_s",
+                                  "attrs", "pid"}
