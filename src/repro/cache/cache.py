@@ -41,13 +41,26 @@ class Cache:
         detailed: Maintain the full Table II per-line metadata (ages, preuse,
             per-type counts).  Needed at the LLC (RL features, analysis);
             upper levels run with ``detailed=False`` for speed.
+        sanitize: Contract-sanitizer mode for the policy ("off" / "normal" /
+            "strict"; None = ``REPRO_SANITIZE`` or the package default).
+            See :func:`repro.sanitize.wrap_policy`; wrapping is idempotent,
+            so a pre-wrapped policy is used as-is.
     """
 
     def __init__(
-        self, config, policy, allow_bypass: bool = False, detailed: bool = True
+        self,
+        config,
+        policy,
+        allow_bypass: bool = False,
+        detailed: bool = True,
+        sanitize: str = None,
     ) -> None:
+        # Imported lazily: repro.sanitize pulls in the replacement-policy
+        # base module, whose package __init__ imports this module.
+        from repro.sanitize import wrap_policy
+
         self.config = config
-        self.policy = policy
+        self.policy = wrap_policy(policy, mode=sanitize, allow_bypass=allow_bypass)
         self.allow_bypass = allow_bypass
         self.detailed = detailed
         self.sets = [CacheSet(i, config.ways) for i in range(config.num_sets)]

@@ -32,13 +32,16 @@ class CacheHierarchy:
         allow_bypass: bool = False,
         l2_prefetcher: str = None,
         inclusion: str = "non_inclusive",
+        sanitize: str = None,
     ) -> None:
         if inclusion not in ("non_inclusive", "inclusive"):
             raise ValueError("inclusion must be 'non_inclusive' or 'inclusive'")
         self.inclusion = inclusion
         self.config = config
         llc_policy.bind(config.llc)
-        self.llc = Cache(config.llc, llc_policy, allow_bypass=allow_bypass)
+        self.llc = Cache(
+            config.llc, llc_policy, allow_bypass=allow_bypass, sanitize=sanitize
+        )
         self.l1d = []
         self.l2 = []
         self._l1_prefetchers = []
@@ -55,11 +58,13 @@ class CacheHierarchy:
     @staticmethod
     def _make_level(cache_config) -> Cache:
         # Upper levels always use plain LRU, as in the paper's trace setup.
+        # The in-tree LRU is trusted, so skip the contract sanitizer here
+        # regardless of the run's mode (it is per-LLC-policy anyway).
         from repro.cache.replacement.lru import LRUPolicy
 
         policy = LRUPolicy()
         policy.bind(cache_config)
-        return Cache(cache_config, policy, detailed=False)
+        return Cache(cache_config, policy, detailed=False, sanitize="off")
 
     # -- public API ---------------------------------------------------------
 

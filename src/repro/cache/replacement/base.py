@@ -8,6 +8,16 @@ exists for the RL agent and for analysis, not for hardware policies.
 
 Policies are registered by name in :data:`POLICY_REGISTRY` so the evaluation
 harness and benchmarks can instantiate them from strings.
+
+The contract (enforced by :class:`repro.sanitize.policy_guard.CheckedPolicy`
+unless the sanitizer is off — see docs/validation.md):
+
+* ``bind`` is called exactly once, before any other hook;
+* ``victim`` is only called on a *full* set and must return a way index in
+  ``range(self.ways)`` holding a valid line, or :data:`BYPASS` — and
+  :data:`BYPASS` only when the owning cache enables bypass;
+* every ``on_evict`` is followed by the ``on_fill`` installing the
+  replacement line before another eviction is requested.
 """
 
 from __future__ import annotations

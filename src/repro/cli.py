@@ -19,6 +19,9 @@ Commands:
 * ``train``     — train an RL agent on a workload (optionally save it)
 * ``hillclimb`` — §III-B greedy feature selection
 * ``trace``     — generate a workload trace and write it to a file
+* ``validate``  — preflight-check trace files / saved agents before a run
+  (see docs/validation.md; ``sweep --sanitize {off,normal,strict}`` selects
+  the policy-contract sanitizer mode, ``--strict`` is shorthand)
 """
 
 from __future__ import annotations
@@ -109,7 +112,7 @@ def cmd_compare(args) -> int:
 #: Manifest keys <-> sweep argparse attributes (for --resume round-trips).
 _SWEEP_MANIFEST_ARGS = (
     "suite", "policies", "jobs", "scale", "length", "seed",
-    "cache_dir", "no_cache", "timeout", "retries", "metrics",
+    "cache_dir", "no_cache", "timeout", "retries", "metrics", "sanitize",
 )
 
 #: Default run-directory root for journaled sweeps.
@@ -179,6 +182,7 @@ def cmd_sweep(args) -> int:
                 timeout=args.timeout,
                 retries=args.retries,
                 journal=run.journal(),
+                sanitize=args.sanitize,
             )
     except SweepInterrupted as interrupt:
         run.mark("interrupted")
@@ -219,6 +223,12 @@ def cmd_sweep(args) -> int:
         print(f"\nprep cache: {prep.get('hits', 0)} hit(s), "
               f"{prep.get('misses', 0)} miss(es), "
               f"{prep.get('corrupt', 0)} corrupt")
+    degraded = [cell for cell in report.cells if cell.ok and cell.violations]
+    if degraded:
+        print(f"\n{len(degraded)} cell(s) degraded to LRU by the policy "
+              f"sanitizer (numbers are LRU's from the first violation on):")
+        for cell in degraded:
+            print(f"  {cell.workload}/{cell.policy}: {cell.violations[0]}")
     failures = report.failures()
     if failures:
         run.mark("failed")
@@ -429,6 +439,27 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    from repro.sanitize.preflight import (
+        validate_agent_file,
+        validate_trace_file,
+    )
+
+    failures = 0
+    for path in args.paths:
+        kind = args.kind
+        if kind == "auto":
+            kind = "agent" if str(path).endswith(".npz") else "trace"
+        if kind == "agent":
+            report = validate_agent_file(path)
+        else:
+            report = validate_trace_file(path, quarantine=args.quarantine)
+        print(report.format())
+        if not report.ok:
+            failures += 1
+    return 1 if failures else 0
+
+
 # -- parser ---------------------------------------------------------------------
 
 
@@ -480,6 +511,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record telemetry: print a counters/timings "
                             "summary, write metrics.json + spans.jsonl to "
                             "the run directory (see docs/observability.md)")
+    sweep.add_argument("--sanitize", choices=("off", "normal", "strict"),
+                       default=None,
+                       help="policy-contract sanitizer mode (default: "
+                            "REPRO_SANITIZE or 'normal'; see "
+                            "docs/validation.md)")
+    sweep.add_argument("--strict", dest="sanitize", action="store_const",
+                       const="strict",
+                       help="shorthand for --sanitize strict (violations "
+                            "fail the cell with a typed error)")
+    sweep.add_argument("--no-strict", dest="sanitize", action="store_const",
+                       const="normal",
+                       help="shorthand for --sanitize normal (violations "
+                            "degrade the cell to LRU)")
     _add_eval_arguments(sweep)
 
     metrics = commands.add_parser(
@@ -541,6 +585,20 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--mixes", type=int, default=3)
     _add_eval_arguments(report)
 
+    validate = commands.add_parser(
+        "validate", help="preflight-check trace files / saved agents"
+    )
+    validate.add_argument("paths", nargs="+", metavar="PATH",
+                          help="trace (.csv/.csv.gz/.bin) or agent (.npz) "
+                               "files to check")
+    validate.add_argument("--kind", choices=("auto", "trace", "agent"),
+                          default="auto",
+                          help="what the paths are (auto: .npz = agent, "
+                               "anything else = trace)")
+    validate.add_argument("--quarantine", action="store_true",
+                          help="report bad trace records as warnings, the "
+                               "way a quarantining load would skip them")
+
     return parser
 
 
@@ -557,6 +615,7 @@ _COMMANDS = {
     "hillclimb": cmd_hillclimb,
     "trace": cmd_trace,
     "report": cmd_report,
+    "validate": cmd_validate,
 }
 
 

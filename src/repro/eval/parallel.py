@@ -79,10 +79,21 @@ class CellResult:
     #: Worker-measured replay wall time (telemetry only; never journaled,
     #: so cells adopted on --resume have ``seconds=None``).
     seconds: Optional[float] = None
+    #: Contract violations recorded by the policy sanitizer (normal mode
+    #: degraded the policy to LRU mid-cell; the numbers are still a valid
+    #: simulation, just not of the policy named in the row).
+    violations: tuple = ()
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` | ``"degraded"`` | ``"failed"`` (what to_csv prints)."""
+        if self.error is not None:
+            return "failed"
+        return "degraded" if self.violations else "ok"
 
 
 @dataclass
@@ -134,7 +145,7 @@ class SweepReport:
             if cell.ok:
                 result = cell.result
                 lines.append(
-                    f"{cell.workload},{cell.policy},ok,"
+                    f"{cell.workload},{cell.policy},{cell.status},"
                     f"{result.single_ipc!r},{result.llc_hit_rate!r},"
                     f"{result.llc_demand_hit_rate!r},{result.demand_mpki!r}"
                 )
@@ -153,13 +164,16 @@ class SweepReport:
         rows = []
         for cell in self.cells:
             if cell.ok:
+                status = "ok"
+                if cell.violations:
+                    status = f"DEGRADED: {cell.violations[0].replace(',', ';')}"
                 rows.append({
                     "workload": cell.workload,
                     "policy": cell.policy,
                     "ipc": round(cell.result.single_ipc, 4),
                     "hit%": round(100 * cell.result.llc_hit_rate, 2),
                     "mpki": round(cell.result.demand_mpki, 2),
-                    "status": "ok",
+                    "status": status,
                 })
             else:
                 last = cell.error.strip().splitlines()[-1] if cell.error else "?"
@@ -185,12 +199,17 @@ class SweepReport:
 
 def journal_cell_entry(cell: CellResult) -> dict:
     """The journal entry recording one successfully completed cell."""
-    return {
+    entry = {
         "type": "cell",
         "workload": cell.workload,
         "policy": cell.policy,
         "result": asdict(cell.result),
     }
+    # Only when present, so journals without degraded cells stay
+    # byte-identical to those written before the sanitizer existed.
+    if cell.violations:
+        entry["violations"] = list(cell.violations)
+    return entry
 
 
 def cell_from_journal_entry(entry: dict) -> Optional[CellResult]:
@@ -208,6 +227,9 @@ def cell_from_journal_entry(entry: dict) -> Optional[CellResult]:
         workload=str(entry.get("workload")),
         policy=str(entry.get("policy")),
         result=result,
+        violations=tuple(
+            str(item) for item in entry.get("violations", ())
+        ),
     )
 
 
@@ -229,8 +251,21 @@ def _prepare_task(eval_config, trace, num_cores, l2_prefetcher, core_config):
     )
 
 
-def _replay_task(prepared, workload, policy, allow_bypass) -> CellResult:
-    """Pass-2 work item; never raises (fault isolation per cell)."""
+def _replay_task(
+    prepared, workload, policy, allow_bypass, sanitize=None
+) -> CellResult:
+    """Pass-2 work item; never raises (fault isolation per cell).
+
+    The policy is wrapped here (idempotently re-wrapped inside
+    :func:`replay`) so the task can read recorded contract violations off
+    the wrapper and mark the cell ``degraded``.  In strict mode a
+    violation raises :class:`~repro.sanitize.errors.PolicyContractError`
+    from inside the replay and lands in ``error`` like any other per-cell
+    failure.
+    """
+    from repro.eval.runner import _instantiate
+    from repro.sanitize import CheckedPolicy, wrap_policy
+
     name = _policy_name(policy)
     started = time.perf_counter()
     try:
@@ -239,10 +274,18 @@ def _replay_task(prepared, workload, policy, allow_bypass) -> CellResult:
             policy = BeladyPolicy(
                 prepared.llc_line_stream, allow_bypass=allow_bypass
             )
-        result = replay(prepared, policy, allow_bypass=allow_bypass)
+        policy = _instantiate(policy, prepared.num_cores)
+        policy = wrap_policy(policy, mode=sanitize, allow_bypass=allow_bypass)
+        result = replay(
+            prepared, policy, allow_bypass=allow_bypass, sanitize=sanitize
+        )
+        violations = ()
+        if isinstance(policy, CheckedPolicy):
+            violations = tuple(policy.violations)
         return CellResult(
             workload, name, result=result,
             seconds=time.perf_counter() - started,
+            violations=violations,
         )
     except Exception:
         return CellResult(
@@ -304,6 +347,7 @@ def parallel_sweep(
     retries: int = 0,
     retry_backoff: float = 0.25,
     journal=None,
+    sanitize: Optional[str] = None,
 ) -> SweepReport:
     """Run a (workload x policy) sweep, parallel over ``jobs`` processes.
 
@@ -323,9 +367,20 @@ def parallel_sweep(
     already-journaled cells are skipped and completed cells are appended
     durably.  Setting ``timeout`` or ``retries`` routes even ``jobs=1``
     sweeps through worker processes (a watchdog needs something to kill).
+
+    ``sanitize`` selects the policy-contract sanitizer mode per cell
+    ("off"/"normal"/"strict"; None = environment/default — see
+    :mod:`repro.sanitize`).  In normal mode a misbehaving policy degrades
+    to LRU and its cells are reported ``degraded``; in strict mode they
+    fail with a typed error.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    from repro.sanitize import resolve_mode
+
+    # Resolve once in the parent: typos fail the sweep up front, and worker
+    # processes see one explicit mode instead of racing the environment.
+    sanitize = resolve_mode(sanitize)
     sweep_started = time.perf_counter()
     policies = list(policies)
     if include_belady and BELADY not in [_policy_name(p) for p in policies]:
@@ -482,7 +537,11 @@ def parallel_sweep(
                     if not needed or prepared is None:
                         continue
                     for policy in needed:
-                        complete(_replay_task(prepared, name, policy, allow_bypass))
+                        complete(
+                            _replay_task(
+                                prepared, name, policy, allow_bypass, sanitize
+                            )
+                        )
                     notify(f"finished {name}")
             else:
                 worker_config = _worker_config(eval_config)
@@ -501,6 +560,7 @@ def parallel_sweep(
                                 name,
                                 policy,
                                 allow_bypass,
+                                sanitize,
                                 tag=("replay", name, _policy_name(policy)),
                             )
 

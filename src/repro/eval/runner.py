@@ -30,6 +30,7 @@ from repro.cache.replacement.belady import BeladyPolicy
 from repro.cpu.core_model import TimingModel
 from repro.cpu.system import SystemResult
 from repro.eval.workloads import EvalConfig
+from repro.sanitize import wrap_policy
 from repro.telemetry import profiled, span
 from repro.testing.faults import maybe_fault
 from repro.traces.record import Trace
@@ -138,19 +139,28 @@ def replay(
     allow_bypass: bool = False,
     detailed: Optional[bool] = None,
     observers: Optional[list] = None,
+    sanitize: str = None,
 ) -> SystemResult:
     """Replay the recorded LLC stream under ``policy``; compute IPC/stats.
 
     ``detailed`` forces Table II metadata maintenance on the replay cache
     (defaults to the policy's own ``needs_line_metadata``); ``observers`` are
     attached as eviction observers (Figures 5-7 instrumentation).
+    ``sanitize`` selects the policy-contract sanitizer mode (see
+    :mod:`repro.sanitize`); wrapping here, before ``bind``, lets the
+    sanitizer observe the policy's full lifecycle.
     """
     policy = _instantiate(policy, prepared.num_cores)
+    policy = wrap_policy(policy, mode=sanitize, allow_bypass=allow_bypass)
     policy.bind(prepared.llc_config)
     if detailed is None:
         detailed = getattr(policy, "needs_line_metadata", True)
     cache = Cache(
-        prepared.llc_config, policy, allow_bypass=allow_bypass, detailed=detailed
+        prepared.llc_config,
+        policy,
+        allow_bypass=allow_bypass,
+        detailed=detailed,
+        sanitize=sanitize,
     )
     for observer in observers or []:
         cache.add_eviction_observer(observer)

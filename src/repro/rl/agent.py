@@ -39,6 +39,8 @@ class DQNAgent:
             evicting EVERY way is computable from the future oracle), which
             is far more sample-efficient than single-action DQN updates.
             Set False for the paper-literal single-action mode.
+        grad_clip: Global-norm gradient clip (None = no clipping; see
+            :class:`~repro.rl.network.MLP`).
         seed: RNG seed for exploration, replay sampling, and weights.
     """
 
@@ -55,6 +57,7 @@ class DQNAgent:
         replay_capacity: int = 10_000,
         learning_rate: float = 1e-3,
         counterfactual: bool = True,
+        grad_clip: float = None,
         seed: int = 0,
     ) -> None:
         self.counterfactual = counterfactual
@@ -65,10 +68,12 @@ class DQNAgent:
         self.train_interval = train_interval
         self.target_sync_interval = target_sync_interval
         self.network = MLP(
-            input_size, hidden_size, ways, learning_rate=learning_rate, seed=seed
+            input_size, hidden_size, ways, learning_rate=learning_rate,
+            seed=seed, grad_clip=grad_clip,
         )
         self._target = MLP(
-            input_size, hidden_size, ways, learning_rate=learning_rate, seed=seed
+            input_size, hidden_size, ways, learning_rate=learning_rate,
+            seed=seed, grad_clip=grad_clip,
         )
         self._target.copy_weights_from(self.network)
         self.replay = ReplayMemory(replay_capacity, seed=seed + 1)

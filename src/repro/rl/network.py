@@ -21,6 +21,9 @@ class MLP:
         output_size: One Q-value per cache way (paper: 16).
         learning_rate: Adam step size.
         seed: Weight-initialization seed.
+        grad_clip: Global-norm gradient clip applied before each Adam step
+            (None, the default, skips clipping entirely — bit-identical to
+            the unclipped implementation).
     """
 
     def __init__(
@@ -30,12 +33,14 @@ class MLP:
         output_size: int = 16,
         learning_rate: float = 1e-3,
         seed: int = 0,
+        grad_clip: float = None,
     ) -> None:
         rng = np.random.default_rng(seed)
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.output_size = output_size
         self.learning_rate = learning_rate
+        self.grad_clip = grad_clip
         # Xavier/Glorot initialization for tanh.
         bound1 = np.sqrt(6.0 / (input_size + hidden_size))
         bound2 = np.sqrt(6.0 / (hidden_size + output_size))
@@ -123,6 +128,13 @@ class MLP:
         return loss
 
     def _adam_step(self, grads: dict, beta1=0.9, beta2=0.999, eps=1e-8) -> None:
+        if self.grad_clip is not None:
+            norm = float(
+                np.sqrt(sum(float(np.sum(g * g)) for g in grads.values()))
+            )
+            if norm > self.grad_clip:
+                scale = self.grad_clip / norm
+                grads = {name: g * scale for name, g in grads.items()}
         self._step += 1
         parameters = self._parameters()
         for name, grad in grads.items():

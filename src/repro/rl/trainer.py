@@ -18,11 +18,12 @@ from repro.rl.environment import RLSimulation
 from repro.rl.features import FeatureExtractor
 from repro.runs.atomic import atomic_write
 from repro.runs.checkpoint import (
+    CheckpointError,
     TrainingCheckpoint,
     load_training_checkpoint,
     save_training_checkpoint,
 )
-from repro.telemetry import span
+from repro.telemetry import get_registry, span
 from repro.telemetry.instruments import record_training_epoch
 
 
@@ -57,6 +58,12 @@ class TrainerConfig:
     seed: int = 0
     features: Optional[tuple] = None  #: None = the full Table II set (334 dims)
     max_records: Optional[int] = None  #: truncate streams (speed knob)
+    #: Global-norm gradient clip (None = unclipped, bit-identical to the
+    #: pre-clipping implementation).
+    grad_clip: Optional[float] = None
+    #: Consecutive divergences of one epoch before training gives up
+    #: (see :class:`repro.sanitize.divergence.DivergenceGuard`).
+    divergence_strikes: int = 3
 
 
 def make_extractor(llc_config, features=None) -> FeatureExtractor:
@@ -78,10 +85,31 @@ def _checkpoint_fingerprint(config: TrainerConfig, extractor) -> dict:
         "learning_rate": config.learning_rate,
         "seed": config.seed,
         "max_records": config.max_records,
+        "grad_clip": config.grad_clip,
         "features": list(extractor.feature_order),
         "ways": extractor.ways,
         "num_sets": extractor.num_sets,
     }
+
+
+def _rollback(guard, agent, extractor, snapshot, checkpoint, fingerprint, epoch):
+    """Restore the last good training state after a diverged epoch.
+
+    Prefers the durable on-disk checkpoint when it holds exactly this
+    epoch boundary (it is then bit-identical to ``snapshot``, and reading
+    it exercises the same path a crash-restart would take); otherwise the
+    pre-epoch in-memory snapshot.
+    """
+    if checkpoint is not None and os.path.exists(checkpoint):
+        try:
+            restored = load_training_checkpoint(checkpoint, fingerprint)
+        except (CheckpointError, OSError):
+            restored = None
+        if restored is not None and restored.epoch == epoch:
+            agent.load_state_dict(restored.agent_state)
+            extractor.restore_norm_state(restored.norm_maxima)
+            return
+    guard.restore(agent, extractor, snapshot)
 
 
 def train_on_stream(
@@ -92,6 +120,7 @@ def train_on_stream(
     checkpoint=None,
     resume: bool = False,
     registry=None,
+    sanitize: str = None,
 ) -> TrainedAgent:
     """Train a fresh agent on one LLC stream for ``config.epochs`` passes.
 
@@ -106,7 +135,23 @@ def train_on_stream(
     per-epoch training telemetry — mean loss, hit rate, epsilon,
     replay-buffer occupancy, and agreement-with-OPT — without touching the
     training computation (bit-identical with or without it).
+
+    Unless the sanitizer mode is ``off``, every finished epoch passes
+    through the divergence guard (:mod:`repro.sanitize.divergence`):
+    NaN/Inf losses or exploded weights roll the run back to the last good
+    state and re-run the epoch — bit-identically on the first retry, with
+    an epsilon/learning-rate backoff afterwards — and raise
+    :class:`~repro.sanitize.errors.TrainingDivergedError` after
+    ``config.divergence_strikes`` consecutive failures of one epoch.
     """
+    from repro.sanitize import resolve_mode
+    from repro.sanitize.divergence import (
+        DivergenceGuard,
+        poison_agent,
+        training_divergence,
+    )
+    from repro.testing.faults import poisoned
+
     if extractor is None:
         extractor = make_extractor(llc_config, config.features)
     if config.max_records is not None:
@@ -121,6 +166,7 @@ def train_on_stream(
         train_interval=config.train_interval,
         replay_capacity=config.replay_capacity,
         learning_rate=config.learning_rate,
+        grad_clip=config.grad_clip,
         seed=config.seed,
     )
     fingerprint = _checkpoint_fingerprint(config, extractor)
@@ -132,13 +178,35 @@ def train_on_stream(
         extractor.restore_norm_state(restored.norm_maxima)
         start_epoch = restored.epoch
         hit_rate = restored.train_hit_rate
-    for epoch in range(start_epoch, max(1, config.epochs)):
+    guard = None
+    if resolve_mode(sanitize) != "off":
+        guard = DivergenceGuard(max_strikes=config.divergence_strikes)
+    epoch = start_epoch
+    while epoch < max(1, config.epochs):
+        snapshot = guard.snapshot(agent, extractor) if guard is not None else None
         losses_before = len(agent.losses)
         with span("train_epoch", epoch=epoch):
             simulation = RLSimulation(
                 llc_config, agent, extractor, records, train=True
             )
             stats = simulation.run()
+        if poisoned("train_epoch", epoch=epoch):
+            poison_agent(agent)  # fault injection: corrupt our own state
+        if guard is not None:
+            problem = training_divergence(
+                agent, agent.losses[losses_before:]
+            )
+            if problem is not None:
+                # Raises TrainingDivergedError once strikes are exhausted.
+                guard.strike(epoch, problem)
+                get_registry().counter("rl.divergence_rollbacks").inc()
+                _rollback(
+                    guard, agent, extractor, snapshot,
+                    checkpoint, fingerprint, epoch,
+                )
+                guard.apply_backoff(agent)
+                continue
+            guard.clear()
         hit_rate = stats.hit_rate
         if registry is not None:
             record_training_epoch(
@@ -160,6 +228,7 @@ def train_on_stream(
                     train_hit_rate=hit_rate,
                 ),
             )
+        epoch += 1
     return TrainedAgent(
         agent=agent,
         extractor=extractor,

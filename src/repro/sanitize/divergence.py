@@ -1,0 +1,129 @@
+"""Training divergence guard: NaN/Inf detection, rollback, backoff.
+
+DQN training on Belady rewards can diverge — a bad learning rate, a
+degenerate feature scale, or an unlucky replay batch can drive losses and
+weights to NaN/Inf, after which every later epoch trains a corpse.  The
+guard checks each finished epoch:
+
+* every loss produced by the epoch must be finite;
+* every network parameter (online and target) must be finite;
+* the parameter magnitude must stay below an explosion threshold.
+
+On a failed check the trainer rolls the agent back to the **last good
+checkpoint** (the on-disk :mod:`repro.runs.checkpoint` file when training
+with one, otherwise an in-memory snapshot taken before the epoch) and
+re-runs the epoch.  The first retry is exact — bit-identical state, so a
+transient cause (e.g. an injected fault) replays cleanly; later retries
+apply an epsilon/learning-rate backoff to escape deterministic divergence.
+After ``max_strikes`` consecutive divergences of the same epoch the guard
+re-raises as :class:`~repro.sanitize.errors.TrainingDivergedError`.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+from repro.sanitize.errors import TrainingDivergedError
+
+#: Any parameter with |value| above this counts as an exploded network.
+WEIGHT_EXPLOSION_LIMIT = 1.0e6
+
+
+def training_divergence(agent, epoch_losses) -> str:
+    """Describe a divergence in ``agent`` after one epoch, or ``None``.
+
+    ``epoch_losses`` is the slice of ``agent.losses`` produced by the
+    epoch under inspection.
+    """
+    for index, loss in enumerate(epoch_losses):
+        if not math.isfinite(loss):
+            return f"non-finite loss {loss!r} at train step {index}"
+    import numpy as np
+
+    for network_name, network in (
+        ("network", agent.network),
+        ("target", getattr(agent, "_target", None)),
+    ):
+        if network is None:
+            continue
+        for parameter_name, parameter in network._parameters().items():
+            bad = int(np.size(parameter) - np.isfinite(parameter).sum())
+            if bad:
+                return (
+                    f"{bad} non-finite value(s) in {network_name}."
+                    f"{parameter_name}"
+                )
+            peak = float(np.abs(parameter).max()) if np.size(parameter) else 0.0
+            if peak > WEIGHT_EXPLOSION_LIMIT:
+                return (
+                    f"{network_name}.{parameter_name} exploded "
+                    f"(max |w| = {peak:.3g} > {WEIGHT_EXPLOSION_LIMIT:.0e})"
+                )
+    return None
+
+
+class DivergenceGuard:
+    """Per-run strike counter + rollback/backoff bookkeeping.
+
+    Args:
+        max_strikes: Consecutive divergences of one epoch before
+            :class:`TrainingDivergedError` is raised (the paper-practical
+            "3 strikes" default: two rollbacks, then give up).
+        backoff: Multiplier applied to epsilon and the learning rate from
+            the second rollback of an epoch onward (the first retry is
+            bit-exact so transient causes replay cleanly).
+    """
+
+    def __init__(self, max_strikes: int = 3, backoff: float = 0.5) -> None:
+        self.max_strikes = max_strikes
+        self.backoff = backoff
+        self.strikes = 0
+        self.rollbacks = 0  #: total rollbacks across the run (telemetry)
+
+    def snapshot(self, agent, extractor) -> bytes:
+        """Deep-copy the resumable training state (pre-epoch)."""
+        return pickle.dumps(
+            (agent.state_dict(), extractor.norm_state()),
+            pickle.HIGHEST_PROTOCOL,
+        )
+
+    def restore(self, agent, extractor, snapshot: bytes) -> None:
+        """Restore a :meth:`snapshot` into live objects."""
+        agent_state, norm_maxima = pickle.loads(snapshot)
+        agent.load_state_dict(agent_state)
+        extractor.restore_norm_state(norm_maxima)
+
+    def strike(self, epoch: int, detail: str) -> None:
+        """Count one divergence; raise once the strikes are exhausted."""
+        self.strikes += 1
+        if self.strikes >= self.max_strikes:
+            raise TrainingDivergedError(epoch, self.strikes, detail)
+        self.rollbacks += 1
+
+    def apply_backoff(self, agent) -> None:
+        """Shrink exploration and step size (second rollback onward)."""
+        if self.strikes < 2:
+            return
+        agent.epsilon *= self.backoff
+        agent.network.learning_rate *= self.backoff
+        target = getattr(agent, "_target", None)
+        if target is not None:
+            target.learning_rate *= self.backoff
+
+    def clear(self) -> None:
+        """An epoch finished cleanly: forget its strikes."""
+        self.strikes = 0
+
+
+def poison_agent(agent) -> None:
+    """Corrupt an agent the way real divergence does (fault injection).
+
+    Used by the reliability test suite via
+    :func:`repro.testing.faults.poisoned`: overwrites the online network's
+    first weight matrix and the latest loss with NaN, exactly the state
+    the guard must detect and roll back.
+    """
+    nan = float("nan")
+    agent.network.w1 *= nan
+    agent.losses.append(nan)

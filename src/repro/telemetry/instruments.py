@@ -44,6 +44,13 @@ def cell_snapshot(cell) -> dict:
     registry = MetricsRegistry()
     if cell.ok:
         registry.counter("sweep.cells_ok").inc()
+        violations = getattr(cell, "violations", ())
+        if violations:
+            registry.counter("sweep.cells_degraded").inc()
+            registry.counter(
+                "sweep.cells_degraded_by", policy=cell.policy
+            ).inc()
+            registry.counter("sanitize.cell_violations").inc(len(violations))
         result = cell.result
         record_cache_stats(registry, result.llc_stats, level="llc",
                            policy=cell.policy)

@@ -28,6 +28,11 @@ Actions:
 ``corrupt``
     Truncate the file passed as the ``path`` identity to half its size —
     simulates a torn cache entry just before it is read.
+``poison``
+    Does nothing by itself; :func:`poisoned` returns True at matching call
+    sites, letting instrumented code corrupt its *own* state in a
+    domain-appropriate way (e.g. the trainer NaN-ing its network to
+    exercise the divergence guard).
 
 Instrumented production code calls :func:`maybe_fault` with its site and
 identity; the call is a single dict lookup when no faults are installed.
@@ -45,7 +50,7 @@ from pathlib import Path
 ENV_SPECS = "REPRO_FAULTS"
 ENV_STATE = "REPRO_FAULTS_STATE"
 
-_ACTIONS = ("crash", "hang", "error", "corrupt")
+_ACTIONS = ("crash", "hang", "error", "corrupt", "poison")
 
 
 class InjectedFault(RuntimeError):
@@ -175,8 +180,40 @@ def maybe_fault(site: str, **identity) -> None:
     except (ValueError, KeyError):
         return  # malformed spec: never take down production code
     for index, spec in enumerate(specs):
-        if spec.site != site or not _matches(spec, identity):
+        if spec.site != site or spec.action == "poison":
+            continue
+        if not _matches(spec, identity):
             continue
         number = _count_call(state_dir, index)
         if spec.after < number <= spec.after + spec.times:
             _fire(spec, identity)
+
+
+def poisoned(site: str, **identity) -> bool:
+    """True when a matching ``poison`` spec fires at this call site.
+
+    The caller corrupts its own state (see
+    :func:`repro.sanitize.divergence.poison_agent`); the harness only
+    answers *whether* — keeping :mod:`repro.testing.faults` free of any
+    domain knowledge.  Counted through the same atomic cross-process
+    counter as the other actions.
+    """
+    raw = os.environ.get(ENV_SPECS)
+    if not raw:
+        return False
+    state_dir = os.environ.get(ENV_STATE)
+    if not state_dir:
+        return False
+    try:
+        specs = [FaultSpec.from_dict(data) for data in json.loads(raw)]
+    except (ValueError, KeyError):
+        return False
+    for index, spec in enumerate(specs):
+        if spec.site != site or spec.action != "poison":
+            continue
+        if not _matches(spec, identity):
+            continue
+        number = _count_call(state_dir, index)
+        if spec.after < number <= spec.after + spec.times:
+            return True
+    return False

@@ -15,6 +15,15 @@ The binary encoding is exposed as :func:`trace_to_bytes` /
 :func:`trace_digest` hashes it, which the prepared-workload disk cache
 (:mod:`repro.eval.prep_cache`) uses as the trace component of its content
 key.
+
+Ingestion is hardened (see docs/validation.md): both loaders validate
+structure and field ranges up front and fail with a typed
+:class:`~repro.sanitize.errors.TraceFormatError` carrying the CSV line
+number or binary byte offset and record index — never a bare
+``struct.error``/``KeyError``.  With ``quarantine=True`` a loader skips
+bad records instead of aborting, emits one counted
+:class:`TraceQuarantineWarning`, and bumps the ``trace.quarantined``
+telemetry counter (free when telemetry is off).
 """
 
 from __future__ import annotations
@@ -22,14 +31,21 @@ from __future__ import annotations
 import gzip
 import hashlib
 import struct
+import warnings
 from pathlib import Path
 
+from repro.sanitize.errors import TraceFormatError
+from repro.telemetry import get_registry
 from repro.traces.record import (
     AccessType,
     Trace,
     TraceRecord,
     access_type_from_name,
 )
+
+
+class TraceQuarantineWarning(UserWarning):
+    """Bad trace records were skipped by a ``quarantine=True`` load."""
 
 _HEADER = "pc,access_type,address,instr_delta,core"
 
@@ -59,12 +75,80 @@ def save_trace(trace: Trace, path) -> None:
             )
 
 
-def load_trace(path, name: str = None) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+def _quarantine_report(source, skipped: list) -> None:
+    """One counted warning + telemetry counter for skipped records."""
+    if not skipped:
+        return
+    get_registry().counter("trace.quarantined").inc(len(skipped))
+    first = skipped[0]
+    warnings.warn(
+        f"{source}: quarantined {len(skipped)} bad record(s) "
+        f"(first: {first})",
+        TraceQuarantineWarning,
+        stacklevel=3,
+    )
+
+
+def _parse_csv_record(fields, source, lineno: int) -> TraceRecord:
+    """One validated CSV record; raises a line-numbered TraceFormatError."""
+    if len(fields) not in (3, 5):
+        raise TraceFormatError(
+            source,
+            f"expected 3 or 5 comma-separated fields, got {len(fields)}",
+            line=lineno,
+        )
+    try:
+        pc = int(fields[0], 0)
+        address = int(fields[2], 0)
+        instr_delta = int(fields[3]) if len(fields) == 5 else 1
+        core = int(fields[4]) if len(fields) == 5 else 0
+    except ValueError as error:
+        raise TraceFormatError(
+            source, f"non-numeric field ({error})", line=lineno
+        ) from None
+    try:
+        access_type = access_type_from_name(fields[1])
+    except ValueError:
+        known = "/".join(sorted(t.short_name for t in AccessType))
+        raise TraceFormatError(
+            source,
+            f"unknown access_type {fields[1]!r} (expected {known})",
+            line=lineno,
+        ) from None
+    if pc < 0 or address < 0:
+        raise TraceFormatError(
+            source, f"negative address/pc ({fields[2]!r})", line=lineno
+        )
+    if instr_delta < 0:
+        raise TraceFormatError(
+            source, f"negative instr_delta {instr_delta}", line=lineno
+        )
+    if core < 0:
+        raise TraceFormatError(
+            source, f"negative core {core}", line=lineno
+        )
+    return TraceRecord(
+        address=address,
+        pc=pc,
+        access_type=access_type,
+        instr_delta=instr_delta,
+        core=core,
+    )
+
+
+def load_trace(path, name: str = None, quarantine: bool = False) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Malformed lines raise :class:`TraceFormatError` naming the file and
+    1-based line number; with ``quarantine=True`` they are skipped and
+    reported once via :class:`TraceQuarantineWarning` instead.
+    """
     records = []
+    skipped = []
     trace_name = name
+    source = str(path)
     with _open(path, "r") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
@@ -74,24 +158,16 @@ def load_trace(path, name: str = None) -> Trace:
                 continue
             if line.startswith("pc,"):
                 continue  # header
-            fields = line.split(",")
-            if len(fields) not in (3, 5):
-                raise ValueError(f"malformed trace line: {line!r}")
-            pc = int(fields[0], 0)
-            access_type = access_type_from_name(fields[1])
-            address = int(fields[2], 0)
-            instr_delta = int(fields[3]) if len(fields) == 5 else 1
-            core = int(fields[4]) if len(fields) == 5 else 0
-            records.append(
-                TraceRecord(
-                    address=address,
-                    pc=pc,
-                    access_type=access_type,
-                    instr_delta=instr_delta,
-                    core=core,
+            try:
+                records.append(
+                    _parse_csv_record(line.split(","), source, lineno)
                 )
-            )
-    return Trace(trace_name or str(path), records)
+            except TraceFormatError as error:
+                if not quarantine:
+                    raise
+                skipped.append(str(error))
+    _quarantine_report(source, skipped)
+    return Trace(trace_name or source, records)
 
 
 def trace_to_bytes(trace: Trace) -> bytes:
@@ -121,36 +197,107 @@ def trace_to_bytes(trace: Trace) -> bytes:
     return b"".join(chunks)
 
 
-def trace_from_bytes(data: bytes, source: str = "<bytes>") -> Trace:
-    """Decode a trace from its canonical binary encoding."""
+def trace_from_bytes(
+    data: bytes, source: str = "<bytes>", quarantine: bool = False
+) -> Trace:
+    """Decode a trace from its canonical binary encoding.
+
+    Structural problems (bad magic, unknown version, truncated header or
+    record tail, trailing garbage) raise :class:`TraceFormatError` with the
+    byte offset; a record with an out-of-range ``access_type`` raises with
+    both the byte offset and the 0-based record index.  Under
+    ``quarantine=True`` bad records are skipped, and a truncated or
+    over-long body is reported once while the intact record prefix is
+    salvaged; only header-level corruption still raises.
+    """
+    if len(data) == 0:
+        raise TraceFormatError(source, "empty file (no trace header)")
     if data[:4] != _BINARY_MAGIC:
-        raise ValueError(f"not a binary trace: {source}")
-    version, name_length = struct.unpack_from("<BB", data, 4)
+        raise TraceFormatError(
+            source,
+            f"bad magic {data[:4]!r} (expected {_BINARY_MAGIC!r})",
+            offset=0,
+        )
+    try:
+        version, name_length = struct.unpack_from("<BB", data, 4)
+    except struct.error:
+        raise TraceFormatError(
+            source, "truncated header (version byte missing)", offset=4
+        ) from None
     if version != _BINARY_VERSION:
-        raise ValueError(f"unsupported trace version {version}")
+        raise TraceFormatError(
+            source,
+            f"unsupported trace version {version} "
+            f"(expected {_BINARY_VERSION})",
+            offset=4,
+        )
     offset = 6
-    name = data[offset : offset + name_length].decode("utf-8")
+    name = data[offset : offset + name_length].decode("utf-8", "replace")
     offset += name_length
-    (count,) = struct.unpack_from("<Q", data, offset)
+    try:
+        (count,) = struct.unpack_from("<Q", data, offset)
+    except struct.error:
+        raise TraceFormatError(
+            source, "truncated header (record count missing)", offset=offset
+        ) from None
     offset += 8
     size = _RECORD_STRUCT.size
-    if len(data) - offset < count * size:
-        raise ValueError(f"truncated binary trace: {source}")
+    body = len(data) - offset
+    skipped = []
+    parse_count = count
+    if body != count * size:
+        if body < count * size:
+            whole, partial = divmod(body, size)
+            detail = (
+                f"truncated record body: header promises {count} records "
+                f"({count * size} bytes) but only {body} bytes follow"
+            )
+            if partial:
+                detail += f" (file cut {partial} bytes into a record)"
+            error = TraceFormatError(
+                source, detail, offset=offset + whole * size, record=whole
+            )
+            parse_count = whole  # quarantine salvages the intact prefix
+        else:
+            error = TraceFormatError(
+                source,
+                f"{body - count * size} trailing byte(s) after the last "
+                "record",
+                offset=offset + count * size,
+            )
+        if not quarantine:
+            raise error
+        skipped.append(str(error))
     records = []
     unpack = _RECORD_STRUCT.unpack_from
-    for index in range(count):
+    for index in range(parse_count):
         address, pc, access_type, instr_delta, core = unpack(
             data, offset + index * size
         )
+        try:
+            access_type = AccessType(access_type)
+        except ValueError:
+            error = TraceFormatError(
+                source,
+                f"access_type {access_type} outside "
+                f"0..{max(AccessType)}",
+                offset=offset + index * size,
+                record=index,
+            )
+            if not quarantine:
+                raise error from None
+            skipped.append(str(error))
+            continue
         records.append(
             TraceRecord(
                 address=address,
                 pc=pc,
-                access_type=AccessType(access_type),
+                access_type=access_type,
                 instr_delta=instr_delta,
                 core=core,
             )
         )
+    _quarantine_report(source, skipped)
     return Trace(name, records)
 
 
@@ -165,8 +312,14 @@ def save_trace_binary(trace: Trace, path) -> None:
         handle.write(trace_to_bytes(trace))
 
 
-def load_trace_binary(path) -> Trace:
-    """Read a trace written by :func:`save_trace_binary`."""
+def load_trace_binary(path, quarantine: bool = False) -> Trace:
+    """Read a trace written by :func:`save_trace_binary`.
+
+    A truncated, corrupt, or zero-byte file raises
+    :class:`TraceFormatError` naming the file and byte offset (never a
+    bare ``struct.error``); ``quarantine=True`` skips records with
+    out-of-range fields instead of aborting.
+    """
     with open(path, "rb") as handle:
         data = handle.read()
-    return trace_from_bytes(data, source=str(path))
+    return trace_from_bytes(data, source=str(path), quarantine=quarantine)

@@ -99,9 +99,12 @@ class TestBypass:
         assert cache.contains(0)
 
     def test_bypass_falls_back_to_lru_when_disallowed(self, tiny_config):
+        # The fallback is normal-mode degradation semantics; pin the mode
+        # so the test holds under a strict-mode environment too.
         policy = _AlwaysBypass()
         policy.bind(tiny_config)
-        cache = Cache(tiny_config, policy, allow_bypass=False)
+        cache = Cache(tiny_config, policy, allow_bypass=False,
+                      sanitize="normal")
         for line in (0, 4, 8, 12, 16):
             cache.access(load(line))
         assert cache.stats.bypasses == 0

@@ -1,0 +1,214 @@
+"""Training divergence guard: detection, rollback, strikes, backoff."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.rl.trainer import TrainerConfig, train_on_stream
+from repro.sanitize.divergence import (
+    DivergenceGuard,
+    poison_agent,
+    training_divergence,
+)
+from repro.sanitize.errors import TrainingDivergedError
+from repro.testing.faults import FaultSpec, injected_faults
+
+from tests.conftest import load
+
+
+@pytest.fixture(scope="module")
+def llc_config():
+    return CacheConfig("c", 8 * 4 * 64, 4, latency=1)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return [load(i % 120, pc=(i % 5) * 4) for i in range(700)]
+
+
+def _config(epochs: int = 1, **overrides) -> TrainerConfig:
+    return TrainerConfig(hidden_size=8, epochs=epochs, seed=2, **overrides)
+
+
+def _weights(trained) -> dict:
+    network = trained.agent.network
+    return {"w1": network.w1, "b1": network.b1,
+            "w2": network.w2, "b2": network.b2}
+
+
+def _poison_spec(times: int) -> FaultSpec:
+    return FaultSpec(site="train_epoch", action="poison", times=times)
+
+
+class TestDetection:
+    def _trained(self, llc_config, records):
+        return train_on_stream(llc_config, records, _config())
+
+    def test_healthy_agent_is_clean(self, llc_config, records):
+        trained = self._trained(llc_config, records)
+        assert training_divergence(trained.agent, trained.agent.losses) is None
+
+    def test_nan_loss_detected(self, llc_config, records):
+        trained = self._trained(llc_config, records)
+        assert "non-finite loss" in training_divergence(
+            trained.agent, [0.5, float("nan")]
+        )
+
+    def test_nan_weight_detected(self, llc_config, records):
+        trained = self._trained(llc_config, records)
+        trained.agent.network.w1[0, 0] = float("inf")
+        problem = training_divergence(trained.agent, [])
+        assert "non-finite value" in problem and "w1" in problem
+
+    def test_weight_explosion_detected(self, llc_config, records):
+        trained = self._trained(llc_config, records)
+        trained.agent.network.w2[0, 0] = 1e9
+        assert "exploded" in training_divergence(trained.agent, [])
+
+    def test_poison_agent_is_detected(self, llc_config, records):
+        trained = self._trained(llc_config, records)
+        poison_agent(trained.agent)
+        assert training_divergence(
+            trained.agent, trained.agent.losses[-1:]
+        ) is not None
+
+
+class TestRollback:
+    def test_single_poisoned_epoch_recovers_bit_identically(
+        self, tmp_path, llc_config, records
+    ):
+        clean = train_on_stream(
+            llc_config, records, _config(epochs=2), sanitize="normal"
+        )
+        with injected_faults([_poison_spec(times=1)], tmp_path / "faults"):
+            recovered = train_on_stream(
+                llc_config, records, _config(epochs=2), sanitize="normal"
+            )
+        for name, value in _weights(clean).items():
+            assert np.array_equal(value, _weights(recovered)[name]), name
+        assert recovered.train_hit_rate == clean.train_hit_rate
+        assert not any(np.isnan(recovered.agent.losses).tolist())
+
+    def test_rollback_prefers_the_durable_checkpoint(
+        self, tmp_path, llc_config, records
+    ):
+        clean = train_on_stream(
+            llc_config, records, _config(epochs=2), sanitize="normal"
+        )
+        checkpoint = tmp_path / "train.ckpt"
+        # Poison epoch 1 (the second epoch), whose pre-state is on disk.
+        spec = FaultSpec(
+            site="train_epoch", action="poison", times=1, match={"epoch": 1}
+        )
+        with injected_faults([spec], tmp_path / "faults"):
+            recovered = train_on_stream(
+                llc_config, records, _config(epochs=2),
+                checkpoint=checkpoint, sanitize="normal",
+            )
+        for name, value in _weights(clean).items():
+            assert np.array_equal(value, _weights(recovered)[name]), name
+
+    def test_three_strikes_raise_training_diverged(
+        self, tmp_path, llc_config, records
+    ):
+        with injected_faults([_poison_spec(times=3)], tmp_path / "faults"):
+            with pytest.raises(TrainingDivergedError) as excinfo:
+                train_on_stream(
+                    llc_config, records, _config(), sanitize="normal"
+                )
+        assert "epoch 0" in str(excinfo.value)
+        assert "3 strike" in str(excinfo.value)
+
+    def test_off_mode_disables_the_guard(self, tmp_path, llc_config, records):
+        with injected_faults([_poison_spec(times=3)], tmp_path / "faults"):
+            trained = train_on_stream(
+                llc_config, records, _config(), sanitize="off"
+            )
+        # Nothing intervened: the poisoned corpse trains through.
+        assert np.isnan(trained.agent.network.w1).all()
+
+    def test_strikes_budget_is_configurable(
+        self, tmp_path, llc_config, records
+    ):
+        # 4 poisoned attempts but a 5-strike budget: training survives.
+        with injected_faults([_poison_spec(times=4)], tmp_path / "faults"):
+            trained = train_on_stream(
+                llc_config, records, _config(divergence_strikes=5),
+                sanitize="normal",
+            )
+        assert training_divergence(trained.agent, []) is None
+
+
+class TestGuardMechanics:
+    def test_snapshot_restore_round_trip(self, llc_config, records):
+        trained = train_on_stream(llc_config, records, _config())
+        guard = DivergenceGuard()
+        snapshot = guard.snapshot(trained.agent, trained.extractor)
+        before = {k: v.copy() for k, v in _weights(trained).items()}
+        poison_agent(trained.agent)
+        guard.restore(trained.agent, trained.extractor, snapshot)
+        for name, value in before.items():
+            assert np.array_equal(value, _weights(trained)[name]), name
+
+    def test_first_retry_is_exact_backoff_from_second(
+        self, llc_config, records
+    ):
+        trained = train_on_stream(llc_config, records, _config())
+        agent = trained.agent
+        epsilon, lr = agent.epsilon, agent.network.learning_rate
+        guard = DivergenceGuard(max_strikes=5, backoff=0.5)
+        guard.strike(0, "test")
+        guard.apply_backoff(agent)
+        assert agent.epsilon == epsilon  # strike 1: bit-exact retry
+        guard.strike(0, "test")
+        guard.apply_backoff(agent)
+        assert agent.epsilon == epsilon * 0.5
+        assert agent.network.learning_rate == lr * 0.5
+
+    def test_clear_resets_strikes(self):
+        guard = DivergenceGuard(max_strikes=2)
+        guard.strike(0, "x")
+        guard.clear()
+        guard.strike(1, "y")  # would raise at 2 without the clear
+        assert guard.strikes == 1
+        assert guard.rollbacks == 2
+
+
+class TestGradClip:
+    def test_unbinding_clip_is_bit_identical_to_none(self, llc_config, records):
+        unclipped = train_on_stream(llc_config, records, _config())
+        huge = train_on_stream(
+            llc_config, records, _config(grad_clip=1e12)
+        )
+        for name, value in _weights(unclipped).items():
+            assert np.array_equal(value, _weights(huge)[name]), name
+
+    def test_tight_clip_changes_but_keeps_weights_finite(
+        self, llc_config, records
+    ):
+        unclipped = train_on_stream(llc_config, records, _config())
+        clipped = train_on_stream(
+            llc_config, records, _config(grad_clip=1e-3)
+        )
+        assert not np.array_equal(
+            _weights(unclipped)["w1"], _weights(clipped)["w1"]
+        )
+        for value in _weights(clipped).values():
+            assert np.isfinite(value).all()
+
+    def test_grad_clip_enters_the_checkpoint_fingerprint(
+        self, tmp_path, llc_config, records
+    ):
+        from repro.runs.checkpoint import CheckpointError
+
+        checkpoint = tmp_path / "train.ckpt"
+        train_on_stream(
+            llc_config, records, _config(), checkpoint=checkpoint
+        )
+        with pytest.raises(CheckpointError, match="grad_clip"):
+            train_on_stream(
+                llc_config, records, _config(grad_clip=0.5),
+                checkpoint=checkpoint, resume=True,
+            )

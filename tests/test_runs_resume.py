@@ -71,9 +71,9 @@ class TestJournalledSweep:
         replayed = []
         real_replay = parallel_module._replay_task
 
-        def counting(prepared, workload, policy, allow_bypass):
+        def counting(prepared, workload, policy, allow_bypass, sanitize=None):
             replayed.append((workload, parallel_module._policy_name(policy)))
-            return real_replay(prepared, workload, policy, allow_bypass)
+            return real_replay(prepared, workload, policy, allow_bypass, sanitize)
 
         monkeypatch.setattr(parallel_module, "_replay_task", counting)
         resumed = parallel_sweep(

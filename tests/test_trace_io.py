@@ -2,8 +2,13 @@
 
 import pytest
 
+from repro.sanitize.errors import TraceFormatError
 from repro.traces.record import AccessType, Trace, TraceRecord
-from repro.traces.trace_io import load_trace, save_trace
+from repro.traces.trace_io import (
+    TraceQuarantineWarning,
+    load_trace,
+    save_trace,
+)
 
 
 @pytest.fixture
@@ -116,3 +121,183 @@ class TestBinaryFormat:
         path.write_bytes(data[:-10])
         with pytest.raises(ValueError):
             load_trace_binary(path)
+
+
+class TestHardenedCsvIngestion:
+    def test_unknown_access_type_names_the_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0x4,LD,0x40\n0x8,READ,0x80\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        message = str(excinfo.value)
+        assert "line 2" in message
+        assert "'READ'" in message
+
+    def test_negative_instr_delta_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0x4,LD,0x40,-3,0\n")
+        with pytest.raises(TraceFormatError, match="instr_delta"):
+            load_trace(path)
+
+    def test_negative_core_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0x4,LD,0x40,1,-1\n")
+        with pytest.raises(TraceFormatError, match="core"):
+            load_trace(path)
+
+    def test_non_numeric_field_names_the_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# header comment\n0x4,LD,banana\n")
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_trace(path)
+
+    def test_wrong_field_count_is_a_trace_format_error(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0x4,LD,0x40,1\n")
+        with pytest.raises(TraceFormatError, match="3 or 5"):
+            load_trace(path)
+
+    def test_quarantine_skips_and_warns_once(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "0x4,LD,0x40\n0x8,READ,0x80\nbroken\n0xC,WB,0xC0\n"
+        )
+        with pytest.warns(TraceQuarantineWarning, match="2 bad record"):
+            trace = load_trace(path, quarantine=True)
+        assert len(trace) == 2
+        assert trace[0].line_address == 1
+        assert trace[1].access_type is AccessType.WRITEBACK
+
+    def test_quarantine_counts_into_telemetry(self, tmp_path):
+        from repro import telemetry
+
+        path = tmp_path / "t.csv"
+        path.write_text("0x4,LD,0x40\nnope\n")
+        registry = telemetry.MetricsRegistry()
+        telemetry.configure(registry=registry)
+        try:
+            with pytest.warns(TraceQuarantineWarning):
+                load_trace(path, quarantine=True)
+        finally:
+            telemetry.shutdown()
+        assert registry.snapshot()["counters"].get("trace.quarantined") == 1
+
+
+class TestHardenedBinaryIngestion:
+    def test_zero_byte_file(self, tmp_path):
+        from repro.traces.trace_io import load_trace_binary
+
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError, match="empty file"):
+            load_trace_binary(path)
+
+    def test_cut_mid_record_reports_offset_and_record_index(
+        self, tmp_path, sample_trace
+    ):
+        # Regression: this used to escape as a bare struct.error (or a
+        # silent short read), not a typed, located TraceFormatError.
+        from repro.traces.trace_io import (
+            _RECORD_STRUCT,
+            load_trace_binary,
+            save_trace_binary,
+        )
+
+        path = tmp_path / "trace.bin"
+        save_trace_binary(sample_trace, path)
+        data = path.read_bytes()
+        header = len(data) - len(sample_trace.records) * _RECORD_STRUCT.size
+        # Cut 7 bytes into the third record (index 2).
+        path.write_bytes(data[: header + 2 * _RECORD_STRUCT.size + 7])
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace_binary(path)
+        message = str(excinfo.value)
+        assert "byte offset" in message
+        assert "record 2" in message
+        assert "cut 7 bytes into a record" in message
+
+    def test_truncated_header_is_typed(self, tmp_path):
+        from repro.traces.trace_io import load_trace_binary
+
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"RPTR\x01")  # magic + version, no name length
+        with pytest.raises(TraceFormatError, match="truncated header"):
+            load_trace_binary(path)
+
+    def test_unsupported_version(self, tmp_path):
+        from repro.traces.trace_io import load_trace_binary
+
+        path = tmp_path / "t.bin"
+        path.write_bytes(b"RPTR\x63\x00" + b"\x00" * 8)
+        with pytest.raises(TraceFormatError, match="version 99"):
+            load_trace_binary(path)
+
+    def test_trailing_garbage_detected(self, tmp_path, sample_trace):
+        from repro.traces.trace_io import load_trace_binary, save_trace_binary
+
+        path = tmp_path / "t.bin"
+        save_trace_binary(sample_trace, path)
+        path.write_bytes(path.read_bytes() + b"\xff\xff\xff")
+        with pytest.raises(TraceFormatError, match="3 trailing byte"):
+            load_trace_binary(path)
+
+    def test_out_of_range_access_type_byte(self, tmp_path, sample_trace):
+        from repro.traces.trace_io import (
+            _RECORD_STRUCT,
+            load_trace_binary,
+            save_trace_binary,
+        )
+
+        path = tmp_path / "t.bin"
+        save_trace_binary(sample_trace, path)
+        data = bytearray(path.read_bytes())
+        header = len(data) - len(sample_trace.records) * _RECORD_STRUCT.size
+        # access_type is the 17th byte (<QQBHB) of record 1.
+        data[header + 1 * _RECORD_STRUCT.size + 16] = 200
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace_binary(path)
+        assert "access_type 200" in str(excinfo.value)
+        assert "record 1" in str(excinfo.value)
+
+    def test_quarantine_skips_bad_records(self, tmp_path, sample_trace):
+        from repro.traces.trace_io import (
+            _RECORD_STRUCT,
+            load_trace_binary,
+            save_trace_binary,
+        )
+
+        path = tmp_path / "t.bin"
+        save_trace_binary(sample_trace, path)
+        data = bytearray(path.read_bytes())
+        header = len(data) - len(sample_trace.records) * _RECORD_STRUCT.size
+        data[header + 16] = 200
+        path.write_bytes(bytes(data))
+        with pytest.warns(TraceQuarantineWarning, match="1 bad record"):
+            trace = load_trace_binary(path, quarantine=True)
+        assert len(trace) == len(sample_trace.records) - 1
+        assert trace.records == sample_trace.records[1:]
+
+    def test_quarantine_salvages_truncated_file_prefix(
+        self, tmp_path, sample_trace
+    ):
+        from repro.traces.trace_io import (
+            _RECORD_STRUCT,
+            load_trace_binary,
+            save_trace_binary,
+        )
+
+        path = tmp_path / "t.bin"
+        save_trace_binary(sample_trace, path)
+        data = path.read_bytes()
+        header = len(data) - len(sample_trace.records) * _RECORD_STRUCT.size
+        path.write_bytes(data[: header + 2 * _RECORD_STRUCT.size + 7])
+        with pytest.warns(TraceQuarantineWarning, match="cut 7 bytes"):
+            trace = load_trace_binary(path, quarantine=True)
+        assert trace.records == sample_trace.records[:2]
+
+    def test_trace_format_error_is_a_value_error(self):
+        # Existing call sites catch ValueError; the typed error must keep
+        # satisfying them.
+        assert issubclass(TraceFormatError, ValueError)
+
