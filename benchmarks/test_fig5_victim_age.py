@@ -2,6 +2,10 @@
 
 Under the trained RL agent, prefetched lines are evicted at the lowest
 average age — the insight behind RLR's type priority.
+
+The statistics come off the shared per-eviction decision stream
+(``repro.eval.decision_stream``) — the same events ``repro inspect``
+renders from a ``decisions.jsonl`` log.
 """
 
 import pytest

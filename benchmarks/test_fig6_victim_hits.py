@@ -8,6 +8,7 @@ import pytest
 
 from repro.eval.experiments import agent_victim_statistics
 from repro.eval.reporting import format_table
+from repro.eval.victim_analysis import VictimStatistics
 
 from common import RL_BENCH_WORKLOADS
 
@@ -37,7 +38,11 @@ def test_fig6_victim_hits_histogram(benchmark, eval_config, rl_trainer_config):
     ))
 
     for workload, stats in results.items():
-        histogram = stats["hits_histogram"]
+        # The decision stream's profile, through the normalized accessors
+        # (key types survive a JSON round-trip of the stats dict).
+        profile = VictimStatistics.from_dict(stats)
         # Paper: >50% of victims were never hit; >=80% had at most one hit.
-        assert histogram["0"] > 0.5, workload
-        assert histogram["0"] + histogram["1"] > 0.8, workload
+        assert profile.zero_hit_fraction > 0.5, workload
+        assert (
+            profile.zero_hit_fraction + profile.hits_histogram["1"] > 0.8
+        ), workload

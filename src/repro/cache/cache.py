@@ -68,6 +68,7 @@ class Cache:
         self._seen_lines = set()
         self.access_observers = []
         self.eviction_observers = []
+        self.decision_observers = []
 
     # -- observers --------------------------------------------------------
 
@@ -78,6 +79,17 @@ class Cache:
     def add_eviction_observer(self, callback) -> None:
         """``callback(set_index, line, access)`` fires before each eviction."""
         self.eviction_observers.append(callback)
+
+    def add_decision_observer(self, callback) -> None:
+        """``callback(cache_set, way, victim_line, access)`` per eviction.
+
+        Fires with the full set state *before* the fill, so the observer
+        can see every resident line (the decision tracer grades the chosen
+        way against the alternatives).  When no observer is registered the
+        only cost is an empty-list ``for`` per eviction, identical to the
+        pre-existing ``eviction_observers`` loop.
+        """
+        self.decision_observers.append(callback)
 
     # -- main entry point ---------------------------------------------------
 
@@ -130,6 +142,8 @@ class Cache:
             victim_line = cache_set.lines[way]
             for callback in self.eviction_observers:
                 callback(cache_set.index, victim_line, access)
+            for callback in self.decision_observers:
+                callback(cache_set, way, victim_line, access)
             self.policy.on_evict(cache_set.index, way, victim_line, access)
             evicted_address = victim_line.line_address
             evicted_dirty = victim_line.dirty

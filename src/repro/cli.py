@@ -13,6 +13,12 @@ Commands:
   ``--metrics`` records telemetry to the run directory — see
   docs/observability.md)
 * ``metrics``   — render a run's recorded telemetry (tables or Prometheus)
+* ``replay``    — one workload under one policy; ``--decisions`` records a
+  graded per-eviction decision log to a new run directory
+* ``inspect``   — render a run's decision log: Figure 5-7 victim profiles,
+  set-level eviction heatmap, Belady regret, worst decisions
+  (``sweep --decisions[=SAMPLE_RATE]`` records the log during a sweep;
+  see docs/observability.md)
 * ``mpki``      — Figure-12-style demand-MPKI table
 * ``mix``       — a 4-core workload mix (Figure 13 / §IV-D)
 * ``table1``    — the hardware-overhead table
@@ -113,6 +119,7 @@ def cmd_compare(args) -> int:
 _SWEEP_MANIFEST_ARGS = (
     "suite", "policies", "jobs", "scale", "length", "seed",
     "cache_dir", "no_cache", "timeout", "retries", "metrics", "sanitize",
+    "decisions",
 )
 
 #: Default run-directory root for journaled sweeps.
@@ -138,6 +145,45 @@ def _write_sweep_metrics(run, report) -> None:
     write_metrics_json(run.metrics_path, payload)
     print(render_metrics(payload))
     print(f"metrics written to {run.metrics_path}", file=sys.stderr)
+
+
+def _write_sweep_decisions(run, report, sample_rate) -> None:
+    """Persist + summarize the per-eviction decision logs for one sweep."""
+    from repro.telemetry.decisions import (
+        write_decisions_binary,
+        write_decisions_jsonl,
+    )
+
+    missing = [cell for cell in report.cells
+               if cell.ok and not getattr(cell, "decisions", None)]
+    if missing:
+        print(f"note: {len(missing)} journaled cell(s) predate --decisions "
+              f"and carry no decision log", file=sys.stderr)
+    cells = report.decision_payloads()
+    if not cells:
+        print("no decision payloads to write", file=sys.stderr)
+        return
+    write_decisions_jsonl(run.decisions_path, cells)
+    write_decisions_binary(run.decisions_bin_path, cells)
+    rows = []
+    for cell in cells:
+        summary = cell.get("summary", {})
+        graded = summary.get("graded", 0)
+        rows.append({
+            "workload": cell.get("workload"),
+            "policy": cell.get("policy"),
+            "evictions": summary.get("evictions", 0),
+            "harmful": summary.get("harmful", 0),
+            "regret": round(summary.get("regret_x2", 0) / (2 * graded), 4)
+            if graded else "-",
+        })
+    print(format_table(
+        rows,
+        headers=["workload", "policy", "evictions", "harmful", "regret"],
+        title=f"Belady regret per cell (decision sample rate {sample_rate})",
+    ))
+    print(f"decision logs written to {run.decisions_path} "
+          f"(drill down with: repro inspect {run.run_id})", file=sys.stderr)
 
 
 def cmd_sweep(args) -> int:
@@ -183,6 +229,7 @@ def cmd_sweep(args) -> int:
                 retries=args.retries,
                 journal=run.journal(),
                 sanitize=args.sanitize,
+                decisions=args.decisions,
             )
     except SweepInterrupted as interrupt:
         run.mark("interrupted")
@@ -196,6 +243,8 @@ def cmd_sweep(args) -> int:
     telemetry.shutdown()
     if args.metrics:
         _write_sweep_metrics(run, report)
+    if args.decisions:
+        _write_sweep_decisions(run, report, args.decisions)
     table = report.table()
     series = {}
     for name in suite_names(args.suite):
@@ -256,7 +305,13 @@ def cmd_metrics(args) -> int:
     if not path.exists():
         path = Path(DEFAULT_RUN_ROOT) / args.run
     if not path.exists():
-        raise ValueError(f"no run directory or metrics file at {args.run!r}")
+        from repro.runs.supervisor import list_runs
+
+        known = ", ".join(list_runs(DEFAULT_RUN_ROOT)) or "none"
+        raise ValueError(
+            f"no run directory or metrics file at {args.run!r} "
+            f"(known runs under {DEFAULT_RUN_ROOT}: {known})"
+        )
     payload = load_metrics_json(path)
     if args.prometheus:
         print(to_prometheus(payload), end="")
@@ -280,6 +335,75 @@ def cmd_metrics(args) -> int:
                 rows, headers=["span", "count", "total_s", "mean_s", "max_s"],
                 title=f"spans ({spans_path.name})",
             ))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.runs.supervisor import create_run
+    from repro.telemetry.decisions import (
+        DecisionTrace,
+        write_decisions_binary,
+        write_decisions_jsonl,
+    )
+
+    if args.decisions is not None and args.decisions < 1:
+        raise ValueError(
+            f"--decisions sample rate must be >= 1, got {args.decisions}"
+        )
+    eval_config = _eval_config(args)
+    trace = eval_config.trace(args.workload)
+    prepared = _prepared(eval_config, trace, 1, None)
+    decisions = None
+    if args.decisions:
+        from repro.rl.reward import FutureOracle
+
+        decisions = DecisionTrace(
+            workload=args.workload,
+            policy=args.policy,
+            sample_rate=args.decisions,
+            oracle=FutureOracle(prepared.llc_line_stream),
+        )
+    result = replay(prepared, args.policy, decisions=decisions)
+    print(f"workload: {args.workload}   policy: {args.policy}")
+    print(f"  IPC:          {result.single_ipc:.4f}")
+    print(f"  LLC hit rate: {100 * result.llc_hit_rate:.2f}%")
+    if decisions is None:
+        return 0
+    summary = decisions.summary()
+    graded = summary["graded"]
+    if graded:
+        print(f"  evictions:    {summary['evictions']} "
+              f"({summary['optimal']} optimal / {summary['neutral']} neutral "
+              f"/ {summary['harmful']} harmful)")
+        print(f"  Belady regret: {summary['regret_x2'] / (2 * graded):.4f}")
+    run = create_run(args.run_dir or DEFAULT_RUN_ROOT, {
+        "kind": "replay",
+        "args": {key: getattr(args, key)
+                 for key in ("workload", "policy", "scale", "length",
+                             "seed", "decisions")},
+    })
+    cells = [decisions.cell_payload()]
+    write_decisions_jsonl(run.decisions_path, cells)
+    write_decisions_binary(run.decisions_bin_path, cells)
+    run.mark("complete")
+    print(f"decision log written to {run.decisions_path} "
+          f"(drill down with: repro inspect {run.run_id})", file=sys.stderr)
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.eval.inspect import (
+        load_decision_cells,
+        render_inspection,
+        resolve_decision_log,
+    )
+
+    log_path = resolve_decision_log(args.run, default_root=DEFAULT_RUN_ROOT)
+    cells = load_decision_cells(
+        log_path, workload=args.workload, policy=args.policy
+    )
+    print(f"reading {log_path}", file=sys.stderr)
+    print(render_inspection(cells, top=args.top))
     return 0
 
 
@@ -524,6 +648,13 @@ def build_parser() -> argparse.ArgumentParser:
                        const="normal",
                        help="shorthand for --sanitize normal (violations "
                             "degrade the cell to LRU)")
+    sweep.add_argument("--decisions", nargs="?", const=1, type=int,
+                       default=None, metavar="SAMPLE_RATE",
+                       help="record per-eviction decision logs with Belady "
+                            "regret grading (decisions.jsonl + decisions.bin "
+                            "in the run directory; optional value keeps "
+                            "every Nth event snapshot, aggregates always "
+                            "cover all evictions; see repro inspect)")
     _add_eval_arguments(sweep)
 
     metrics = commands.add_parser(
@@ -535,6 +666,36 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--prometheus", action="store_true",
                          help="emit Prometheus text exposition format "
                               "instead of tables")
+
+    replay_cmd = commands.add_parser(
+        "replay", help="replay one workload/policy, optionally tracing "
+                       "every eviction decision"
+    )
+    replay_cmd.add_argument("workload")
+    replay_cmd.add_argument("--policy", default="rlr")
+    replay_cmd.add_argument("--decisions", nargs="?", const=1, type=int,
+                            default=None, metavar="SAMPLE_RATE",
+                            help="record a Belady-graded decision log to a "
+                                 "new run directory (see repro inspect)")
+    replay_cmd.add_argument("--run-dir", default=None,
+                            help="root for run directories "
+                                 f"(default {DEFAULT_RUN_ROOT})")
+    _add_eval_arguments(replay_cmd)
+
+    inspect = commands.add_parser(
+        "inspect", help="render a run's decision log (victim profiles, "
+                        "regret, worst decisions)"
+    )
+    inspect.add_argument("run",
+                         help="run directory, decisions.jsonl/.bin path, or "
+                              f"a run id under {DEFAULT_RUN_ROOT} "
+                              "(e.g. run-0001)")
+    inspect.add_argument("--workload", default=None,
+                         help="only cells whose workload name contains this")
+    inspect.add_argument("--policy", default=None,
+                         help="only cells whose policy name contains this")
+    inspect.add_argument("--top", type=int, default=10,
+                         help="worst decisions to show per cell (default 10)")
 
     mpki = commands.add_parser("mpki", help="Figure-12-style MPKI table")
     mpki.add_argument("--suite", choices=("spec2006", "cloudsuite"),
@@ -608,6 +769,8 @@ _COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "metrics": cmd_metrics,
+    "replay": cmd_replay,
+    "inspect": cmd_inspect,
     "mpki": cmd_mpki,
     "mix": cmd_mix,
     "table1": cmd_table1,

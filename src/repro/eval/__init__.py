@@ -1,10 +1,12 @@
 """Experiment harness: workloads, runner, metrics, and per-figure experiments."""
 
 from repro.eval.agreement import belady_agreement, compare_agreement
+from repro.eval.decision_stream import trace_decisions
 from repro.eval.report import generate_report, write_report
 from repro.eval.statistics import SpeedupEstimate, seed_sweep
 from repro.eval.timeline import policy_timeline, render_sparkline
 from repro.eval.victim_analysis import (
+    VictimStatistics,
     compare_victim_profiles,
     policy_victim_statistics,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "PrepCache",
     "SpeedupEstimate",
     "SweepReport",
+    "VictimStatistics",
+    "trace_decisions",
     "attach_prep_cache",
     "parallel_sweep",
     "workload_cache_key",

@@ -7,6 +7,12 @@ same grading to *any* policy's decisions during a replay, yielding a
 decision-quality profile — how often a policy picks the OPT victim, and how
 often it makes an actively harmful choice.  RLR's profile can be compared
 directly against the RL agent's and against Belady's (always-optimal).
+
+:func:`belady_agreement` reads the grades off the shared decision stream
+(:mod:`repro.eval.decision_stream`); :class:`OracleProbePolicy`, the
+original proxy-policy implementation, is kept as an independent
+cross-check — the equivalence test asserts both gradings agree count for
+count.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.cache.cache import Cache
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.eval.decision_stream import trace_decisions
 from repro.eval.runner import _instantiate, _prepared
 from repro.rl.reward import (
     NEGATIVE_REWARD,
@@ -40,6 +47,16 @@ class AgreementProfile:
     @property
     def harmful_rate(self) -> float:
         return self.harmful / self.decisions if self.decisions else 0.0
+
+    @classmethod
+    def from_decision_trace(cls, decisions) -> "AgreementProfile":
+        """Profile from a graded :class:`DecisionTrace`'s counters."""
+        return cls(
+            decisions=decisions.graded,
+            optimal=decisions.optimal,
+            harmful=decisions.harmful,
+            neutral=decisions.neutral,
+        )
 
 
 class OracleProbePolicy(ReplacementPolicy):
@@ -87,16 +104,19 @@ class OracleProbePolicy(ReplacementPolicy):
 
 
 def belady_agreement(eval_config, workload_name: str, policy) -> AgreementProfile:
-    """Grade every eviction of ``policy`` on one workload against OPT."""
-    trace = eval_config.trace(workload_name)
-    prepared = _prepared(eval_config, trace, 1, None)
-    oracle = FutureOracle(prepared.llc_line_stream)
-    probe = OracleProbePolicy(_instantiate(policy, 1), oracle)
-    probe.bind(prepared.llc_config)
-    cache = Cache(prepared.llc_config, probe, detailed=True)
-    for record in prepared.llc_records:
-        cache.access(record)
-    return probe.profile
+    """Grade every eviction of ``policy`` on one workload against OPT.
+
+    Runs one decision-traced replay (sampling is irrelevant here — the
+    grade counters cover every eviction regardless).  Unlike the probe
+    implementation, which skips gradings when the wrapped policy returns
+    an out-of-contract way, the decision stream grades every eviction
+    that actually happens, including sanitizer LRU fallbacks; for a
+    contract-abiding policy the two are identical.
+    """
+    decisions = trace_decisions(
+        eval_config, workload_name, policy, graded=True, capacity=1
+    )
+    return AgreementProfile.from_decision_trace(decisions)
 
 
 def compare_agreement(eval_config, workload_name: str, policies) -> dict:

@@ -147,6 +147,9 @@ def agent_victim_statistics(
       * ``hits_histogram`` — Figure 6 (fraction of victims with 0/1/>1 hits);
       * ``recency_histogram`` — Figure 7 (fraction of victims per recency).
     """
+    from repro.eval.victim_analysis import VictimStatistics
+    from repro.telemetry.decisions import DecisionTrace
+
     trainer_config = trainer_config or TrainerConfig()
     results = {}
     for name in workloads:
@@ -155,38 +158,17 @@ def agent_victim_statistics(
         llc_config = prepared.llc_config
         trained = train_on_stream(llc_config, prepared.llc_records, trainer_config)
 
-        age_by_type = defaultdict(list)
-        hits_histogram = {"0": 0, "1": 0, ">1": 0}
-        recency_histogram = defaultdict(int)
-
-        def observe(set_index, line, access):
-            age_by_type[line.last_access_type].append(line.age_since_last_access)
-            if line.hits_since_insertion == 0:
-                hits_histogram["0"] += 1
-            elif line.hits_since_insertion == 1:
-                hits_histogram["1"] += 1
-            else:
-                hits_histogram[">1"] += 1
-            recency_histogram[line.recency] += 1
-
         adapter = AgentReplacementPolicy(trained.agent, trained.extractor, train=False)
-        replay(prepared, adapter, detailed=True, observers=[observe])
-        victims = sum(hits_histogram.values())
+        # The shared decision stream replaces the bespoke eviction
+        # observer this function used to carry (same events that feed
+        # Figures 5-7 for hardware policies and `repro inspect`).
+        decisions = DecisionTrace(workload=name, policy="agent", capacity=None)
+        replay(prepared, adapter, decisions=decisions)
+        stats = VictimStatistics.from_events(decisions.events())
         results[name] = {
-            "avg_age_by_type": {
-                access_type.short_name: (
-                    sum(ages) / len(ages) if ages else 0.0
-                )
-                for access_type, ages in age_by_type.items()
-            },
-            "hits_histogram": {
-                key: value / victims if victims else 0.0
-                for key, value in hits_histogram.items()
-            },
-            "recency_histogram": {
-                recency: count / victims if victims else 0.0
-                for recency, count in sorted(recency_histogram.items())
-            },
+            "avg_age_by_type": dict(stats.avg_age_by_type),
+            "hits_histogram": dict(stats.hits_histogram),
+            "recency_histogram": dict(stats.recency_histogram),
         }
     return results
 

@@ -83,6 +83,10 @@ class CellResult:
     #: degraded the policy to LRU mid-cell; the numbers are still a valid
     #: simulation, just not of the policy named in the row).
     violations: tuple = ()
+    #: Decision-trace payload (:meth:`DecisionTrace.cell_payload`) when the
+    #: sweep ran with ``decisions=``; never journaled (cells adopted on
+    #: --resume have ``decisions=None`` — the log cannot cover them).
+    decisions: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -137,6 +141,18 @@ class SweepReport:
     def failures(self) -> list:
         """Cells whose policy raised (pass-1 or pass-2 failures)."""
         return [cell for cell in self.cells if not cell.ok]
+
+    def decision_payloads(self) -> list:
+        """Per-cell decision-trace payloads, in deterministic cell order.
+
+        Empty unless the sweep ran with ``decisions=``; cells adopted from
+        a journal on --resume carry no payload and are skipped.
+        """
+        return [
+            cell.decisions
+            for cell in self.cells
+            if getattr(cell, "decisions", None)
+        ]
 
     def to_csv(self) -> str:
         """Full-precision deterministic serialization (byte-comparable)."""
@@ -252,7 +268,7 @@ def _prepare_task(eval_config, trace, num_cores, l2_prefetcher, core_config):
 
 
 def _replay_task(
-    prepared, workload, policy, allow_bypass, sanitize=None
+    prepared, workload, policy, allow_bypass, sanitize=None, decisions=None
 ) -> CellResult:
     """Pass-2 work item; never raises (fault isolation per cell).
 
@@ -262,6 +278,12 @@ def _replay_task(
     violation raises :class:`~repro.sanitize.errors.PolicyContractError`
     from inside the replay and lands in ``error`` like any other per-cell
     failure.
+
+    ``decisions`` (an integer sample rate) attaches a graded
+    :class:`~repro.telemetry.decisions.DecisionTrace` to the replay; its
+    payload rides back on :attr:`CellResult.decisions`.  The events are a
+    pure function of the deterministic replay, so the payload is identical
+    whichever worker runs the cell.
     """
     from repro.eval.runner import _instantiate
     from repro.sanitize import CheckedPolicy, wrap_policy
@@ -276,8 +298,20 @@ def _replay_task(
             )
         policy = _instantiate(policy, prepared.num_cores)
         policy = wrap_policy(policy, mode=sanitize, allow_bypass=allow_bypass)
+        trace = None
+        if decisions:
+            from repro.rl.reward import FutureOracle
+            from repro.telemetry.decisions import DecisionTrace
+
+            trace = DecisionTrace(
+                workload=workload,
+                policy=name,
+                sample_rate=decisions,
+                oracle=FutureOracle(prepared.llc_line_stream),
+            )
         result = replay(
-            prepared, policy, allow_bypass=allow_bypass, sanitize=sanitize
+            prepared, policy, allow_bypass=allow_bypass, sanitize=sanitize,
+            decisions=trace,
         )
         violations = ()
         if isinstance(policy, CheckedPolicy):
@@ -286,6 +320,7 @@ def _replay_task(
             workload, name, result=result,
             seconds=time.perf_counter() - started,
             violations=violations,
+            decisions=trace.cell_payload() if trace is not None else None,
         )
     except Exception:
         return CellResult(
@@ -348,6 +383,7 @@ def parallel_sweep(
     retry_backoff: float = 0.25,
     journal=None,
     sanitize: Optional[str] = None,
+    decisions: Optional[int] = None,
 ) -> SweepReport:
     """Run a (workload x policy) sweep, parallel over ``jobs`` processes.
 
@@ -373,9 +409,18 @@ def parallel_sweep(
     :mod:`repro.sanitize`).  In normal mode a misbehaving policy degrades
     to LRU and its cells are reported ``degraded``; in strict mode they
     fail with a typed error.
+
+    ``decisions`` (an integer sample rate, 1 = every eviction) turns on
+    per-eviction decision tracing with online Belady grading for every
+    cell; the payloads ride on :attr:`CellResult.decisions` (see
+    :meth:`SweepReport.decision_payloads` and
+    :mod:`repro.telemetry.decisions`).  ``None`` leaves the replay path
+    structurally unchanged.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if decisions is not None and decisions < 1:
+        raise ValueError("decisions sample rate must be >= 1")
     from repro.sanitize import resolve_mode
 
     # Resolve once in the parent: typos fail the sweep up front, and worker
@@ -539,7 +584,8 @@ def parallel_sweep(
                     for policy in needed:
                         complete(
                             _replay_task(
-                                prepared, name, policy, allow_bypass, sanitize
+                                prepared, name, policy, allow_bypass,
+                                sanitize, decisions,
                             )
                         )
                     notify(f"finished {name}")
@@ -561,6 +607,7 @@ def parallel_sweep(
                                 policy,
                                 allow_bypass,
                                 sanitize,
+                                decisions,
                                 tag=("replay", name, _policy_name(policy)),
                             )
 

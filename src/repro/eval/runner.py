@@ -140,6 +140,7 @@ def replay(
     detailed: Optional[bool] = None,
     observers: Optional[list] = None,
     sanitize: str = None,
+    decisions=None,
 ) -> SystemResult:
     """Replay the recorded LLC stream under ``policy``; compute IPC/stats.
 
@@ -149,37 +150,63 @@ def replay(
     ``sanitize`` selects the policy-contract sanitizer mode (see
     :mod:`repro.sanitize`); wrapping here, before ``bind``, lets the
     sanitizer observe the policy's full lifecycle.
+
+    ``decisions`` is an optional
+    :class:`repro.telemetry.decisions.DecisionTrace`: it is attached as an
+    access + decision observer, receives sanitizer contract violations
+    while the replay runs, and forces ``detailed=True`` so victim feature
+    snapshots are live (metadata maintenance does not change simulation
+    results — only what observers can read).  When ``None`` (the default)
+    the replay is structurally identical to a pre-tracing one.
     """
     policy = _instantiate(policy, prepared.num_cores)
     policy = wrap_policy(policy, mode=sanitize, allow_bypass=allow_bypass)
-    policy.bind(prepared.llc_config)
-    if detailed is None:
-        detailed = getattr(policy, "needs_line_metadata", True)
-    cache = Cache(
-        prepared.llc_config,
-        policy,
-        allow_bypass=allow_bypass,
-        detailed=detailed,
-        sanitize=sanitize,
-    )
-    for observer in observers or []:
-        cache.add_eviction_observer(observer)
-    cycles = list(prepared.base_cycles)
-    warmup_index = prepared.warmup_index
-    stall_llc, stall_mem = prepared.stall_llc, prepared.stall_mem
-    with span(
-        "replay",
-        workload=prepared.trace_name,
-        policy=getattr(policy, "name", "unknown"),
-    ):
-        for position, record in enumerate(
-            profiled(prepared.llc_records, "replay")
+    if decisions is not None:
+        from repro.telemetry.decisions import activate
+
+        detailed = True
+        decisions.begin(
+            total=len(prepared.llc_records),
+            policy_name=getattr(policy, "name", "unknown"),
+        )
+        activate(decisions)
+    try:
+        policy.bind(prepared.llc_config)
+        if detailed is None:
+            detailed = getattr(policy, "needs_line_metadata", True)
+        cache = Cache(
+            prepared.llc_config,
+            policy,
+            allow_bypass=allow_bypass,
+            detailed=detailed,
+            sanitize=sanitize,
+        )
+        for observer in observers or []:
+            cache.add_eviction_observer(observer)
+        if decisions is not None:
+            cache.add_decision_observer(decisions.on_decision)
+            cache.add_access_observer(decisions.on_access)
+        cycles = list(prepared.base_cycles)
+        warmup_index = prepared.warmup_index
+        stall_llc, stall_mem = prepared.stall_llc, prepared.stall_mem
+        with span(
+            "replay",
+            workload=prepared.trace_name,
+            policy=getattr(policy, "name", "unknown"),
         ):
-            if position == warmup_index:
-                cache.reset_stats()
-            result = cache.access(record)
-            if position >= warmup_index and record.access_type.is_demand:
-                cycles[record.core] += stall_llc if result.hit else stall_mem
+            for position, record in enumerate(
+                profiled(prepared.llc_records, "replay")
+            ):
+                if position == warmup_index:
+                    cache.reset_stats()
+                result = cache.access(record)
+                if position >= warmup_index and record.access_type.is_demand:
+                    cycles[record.core] += stall_llc if result.hit else stall_mem
+    finally:
+        if decisions is not None:
+            from repro.telemetry.decisions import deactivate
+
+            deactivate(decisions)
     ipc = [
         instr / cyc if cyc > 0 else 0.0
         for instr, cyc in zip(prepared.instructions, cycles)

@@ -50,6 +50,24 @@ class FutureOracle:
         queue = self._occurrences.get(line_address)
         return queue[0] if queue else NEVER
 
+    def next_use_after(self, line_address: int, position: int) -> float:
+        """First access to ``line_address`` strictly after ``position``.
+
+        Lets a consumer that advances the oracle at end-of-access (the
+        decision tracer) look past the in-flight occurrence of the line
+        being inserted: at decision time that line's queue still holds the
+        current position itself.  Queues hold at most one non-future entry
+        (everything earlier was consumed by ``advance``), so the scan is
+        O(1) in practice.
+        """
+        queue = self._occurrences.get(line_address)
+        if not queue:
+            return NEVER
+        for occurrence in queue:
+            if occurrence > position:
+                return occurrence
+        return NEVER
+
 
 def belady_reward_vector(oracle: FutureOracle, cache_set, access) -> list:
     """Counterfactual rewards for evicting EACH way (invalid ways: -1).

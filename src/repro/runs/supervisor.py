@@ -12,6 +12,9 @@ sweep``).  Its directory holds everything needed to resume after a crash:
         metrics.json    # telemetry payload (with --metrics; see
                         # docs/observability.md)
         spans.jsonl     # span trace events (with --metrics)
+        decisions.jsonl # per-eviction decision log (with --decisions;
+        decisions.bin   # rendered by `repro inspect` — see
+                        # repro.telemetry.decisions)
 
 Run ids are allocated sequentially (``run-0001``, ``run-0002``, ...) with a
 collision-safe exclusive ``mkdir``, so a freshly created root always starts
@@ -34,6 +37,8 @@ JOURNAL_NAME = "journal.jsonl"
 REPORT_NAME = "report.csv"
 METRICS_NAME = "metrics.json"
 SPANS_NAME = "spans.jsonl"
+DECISIONS_NAME = "decisions.jsonl"
+DECISIONS_BIN_NAME = "decisions.bin"
 
 
 class SweepInterrupted(RuntimeError):
@@ -74,6 +79,14 @@ class RunDirectory:
     @property
     def spans_path(self) -> Path:
         return self.path / SPANS_NAME
+
+    @property
+    def decisions_path(self) -> Path:
+        return self.path / DECISIONS_NAME
+
+    @property
+    def decisions_bin_path(self) -> Path:
+        return self.path / DECISIONS_BIN_NAME
 
     def journal(self) -> RunJournal:
         return RunJournal(self.journal_path)

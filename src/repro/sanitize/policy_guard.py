@@ -100,6 +100,15 @@ class CheckedPolicy:
         get_registry().counter(
             "sanitize.policy_violations", policy=str(name)
         ).inc()
+        # A replay with decision tracing active also logs the violation as
+        # a decision-log event (violations are decisions too — the wrong
+        # kind).  Imported lazily: violations are rare, and the sanitizer
+        # must not depend on the tracing module at import time.
+        from repro.telemetry.decisions import active_trace
+
+        trace = active_trace()
+        if trace is not None:
+            trace.record_violation(str(name), detail, set_index)
         if self._strict:
             raise PolicyContractError(str(name), detail, set_index=set_index)
         if not self._degraded:

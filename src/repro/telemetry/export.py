@@ -89,7 +89,10 @@ def load_metrics_json(path) -> dict:
             f"no {path.name} at {path.parent} (was the run started "
             f"with --metrics?)"
         )
-    payload = json.loads(path.read_text(encoding="utf-8"))
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(f"could not read {path}: {error}") from error
     problems = validate_metrics(payload)
     if problems:
         raise ValueError(

@@ -60,10 +60,46 @@ def cell_snapshot(cell) -> dict:
         registry.histogram(
             "replay.demand_mpki", buckets=MAGNITUDE_BUCKETS, policy=cell.policy
         ).observe(result.demand_mpki)
+        decisions = getattr(cell, "decisions", None)
+        if decisions:
+            record_decision_payload(registry, decisions, policy=cell.policy)
     else:
         registry.counter("sweep.cells_failed").inc()
         registry.counter("sweep.cells_failed_by", policy=cell.policy).inc()
     return registry.snapshot()
+
+
+def record_decision_payload(registry, payload: dict, **labels) -> None:
+    """Fold one decision-trace cell payload into decision metrics.
+
+    Everything here is computed from the payload's integer aggregates
+    (pure function of the deterministic replay), so the counters and the
+    epoch-regret histogram merge byte-identically across ``--jobs``
+    counts.  Regret per decision is ``(1 - grade) / 2``; the histogram
+    observes each epoch's *mean* regret, giving an epoch-bucketed view of
+    where in the stream a policy loses to OPT.
+    """
+    summary = payload.get("summary", {})
+    for key in ("evictions", "sampled", "dropped", "graded",
+                "optimal", "neutral", "harmful"):
+        value = summary.get(key, 0)
+        if value:
+            registry.counter(f"decisions.{key}", **labels).inc(value)
+    violations = summary.get("violations", 0)
+    if violations:
+        registry.counter("decisions.violations", **labels).inc(violations)
+    epochs = payload.get("epochs", {})
+    decisions_per_epoch = epochs.get("decisions", ())
+    neutral_per_epoch = epochs.get("neutral", ())
+    harmful_per_epoch = epochs.get("harmful", ())
+    histogram = registry.histogram(
+        "decisions.epoch_mean_regret", buckets=RATIO_BUCKETS, **labels
+    )
+    for decisions, neutral, harmful in zip(
+        decisions_per_epoch, neutral_per_epoch, harmful_per_epoch
+    ):
+        if decisions:
+            histogram.observe((neutral + 2 * harmful) / (2 * decisions))
 
 
 def hierarchy_snapshot(hierarchy_stats: dict) -> dict:

@@ -221,6 +221,161 @@ class TestMetricsCommand:
         code, out = run_cli(capsys, "metrics", "run-9999")
         assert code == 2
 
+    def test_missing_run_error_lists_known_runs(self, capsys, tmp_path,
+                                                monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module, "DEFAULT_RUN_ROOT", str(tmp_path / "runs")
+        )
+        self._sweep(capsys, tmp_path)
+        code = main(["metrics", "run-9999"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Traceback" not in captured.err
+        assert "run-0001" in captured.err
+
+    def test_partial_run_directory_is_clean_error(self, capsys, tmp_path):
+        # A run directory that exists but was never started with --metrics.
+        run_dir = tmp_path / "runs" / "run-0001"
+        run_dir.mkdir(parents=True)
+        (run_dir / "manifest.json").write_text('{"kind": "sweep"}')
+        code = main(["metrics", str(run_dir)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Traceback" not in captured.err
+        assert "--metrics" in captured.err
+
+    def test_corrupt_metrics_json_is_clean_error(self, capsys, tmp_path):
+        run_dir = tmp_path / "runs" / "run-0001"
+        run_dir.mkdir(parents=True)
+        (run_dir / "metrics.json").write_text("garbage{")
+        code = main(["metrics", str(run_dir)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Traceback" not in captured.err
+        assert "could not read" in captured.err
+
+
+class TestDecisionsFlag:
+    def _sweep(self, capsys, tmp_path, *extra):
+        code, out = run_cli(
+            capsys, "sweep", "--suite", "cloudsuite",
+            "--policies", "drrip", "--scale", "64", "--length", "1200",
+            "--run-dir", str(tmp_path / "runs"), *extra,
+        )
+        return code, out, tmp_path / "runs" / "run-0001"
+
+    def test_sweep_decisions_writes_both_logs(self, capsys, tmp_path):
+        code, out, run_dir = self._sweep(capsys, tmp_path, "--decisions")
+        assert code == 0
+        assert "Belady regret per cell" in out
+        assert (run_dir / "decisions.jsonl").is_file()
+        assert (run_dir / "decisions.bin").is_file()
+        from repro.telemetry.decisions import validate_decision_log
+
+        assert validate_decision_log(run_dir / "decisions.jsonl") == []
+        assert validate_decision_log(run_dir / "decisions.bin") == []
+
+    def test_sweep_without_decisions_writes_no_logs(self, capsys, tmp_path):
+        code, out, run_dir = self._sweep(capsys, tmp_path)
+        assert code == 0
+        assert "Belady regret" not in out
+        assert not (run_dir / "decisions.jsonl").exists()
+        assert not (run_dir / "decisions.bin").exists()
+
+    def test_sample_rate_round_trips_the_manifest(self, capsys, tmp_path):
+        import json
+
+        code, out, run_dir = self._sweep(capsys, tmp_path, "--decisions", "3")
+        assert code == 0
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["args"]["decisions"] == 3
+
+
+class TestReplayCommand:
+    def test_replay_without_decisions_prints_summary(self, capsys):
+        code, out = run_cli(capsys, "replay", "429.mcf", "--policy", "lru",
+                            *SMALL)
+        assert code == 0
+        assert "IPC:" in out
+        assert "regret" not in out
+
+    def test_replay_decisions_writes_inspectable_log(self, capsys, tmp_path):
+        run_root = str(tmp_path / "runs")
+        code, out = run_cli(
+            capsys, "replay", "429.mcf", "--policy", "lru", "--decisions",
+            "--run-dir", run_root, *SMALL,
+        )
+        assert code == 0
+        assert "Belady regret:" in out
+        run_dir = tmp_path / "runs" / "run-0001"
+        assert (run_dir / "decisions.jsonl").is_file()
+        assert (run_dir / "decisions.bin").is_file()
+        capsys.readouterr()
+        code, out = run_cli(capsys, "inspect", str(run_dir))
+        assert code == 0
+        assert "429.mcf" in out
+        assert "fig 5" in out
+        assert "worst decisions" in out
+
+    def test_replay_rejects_bad_sample_rate(self, capsys):
+        code = main(["replay", "429.mcf", "--decisions", "0", *SMALL])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "sample rate" in captured.err
+
+
+class TestInspectCommand:
+    def test_missing_run_is_clean_error(self, capsys):
+        code = main(["inspect", "run-9999"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Traceback" not in captured.err
+        assert "no run directory or decision log" in captured.err
+
+    def test_run_without_decisions_is_clean_error(self, capsys, tmp_path):
+        run_dir = tmp_path / "runs" / "run-0001"
+        run_dir.mkdir(parents=True)
+        (run_dir / "manifest.json").write_text('{"kind": "sweep"}')
+        code = main(["inspect", str(run_dir)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Traceback" not in captured.err
+        assert "--decisions" in captured.err
+
+    def test_filters_and_renders_profiles(self, capsys, tmp_path):
+        run_root = str(tmp_path / "runs")
+        run_cli(
+            capsys, "sweep", "--suite", "cloudsuite",
+            "--policies", "drrip", "--scale", "64", "--length", "1200",
+            "--run-dir", run_root, "--decisions",
+        )
+        capsys.readouterr()
+        run_dir = tmp_path / "runs" / "run-0001"
+        code, out = run_cli(
+            capsys, "inspect", str(run_dir), "--policy", "drrip",
+            "--workload", "cassandra", "--top", "3",
+        )
+        assert code == 0
+        assert "cassandra / drrip" in out
+        assert "lru" not in out.splitlines()[2]  # filtered table row
+        assert "fig 6" in out
+        assert "fig 7" in out
+
+    def test_unmatched_filter_is_clean_error(self, capsys, tmp_path):
+        run_root = str(tmp_path / "runs")
+        run_cli(
+            capsys, "replay", "429.mcf", "--policy", "lru", "--decisions",
+            "--run-dir", run_root, *SMALL,
+        )
+        capsys.readouterr()
+        code = main(["inspect", str(tmp_path / "runs" / "run-0001"),
+                     "--policy", "nosuchpolicy"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no decision-log cells match" in captured.err
+
 
 class TestTrainMetrics:
     def test_writes_training_metrics(self, capsys, tmp_path):

@@ -103,6 +103,69 @@ class TestWarmCache:
         assert report.to_csv() == serial_report.to_csv()
 
 
+class TestDecisionLogDeterminism:
+    """--decisions logs are byte-identical across job counts, and the
+    decision machinery never perturbs the simulation itself."""
+
+    DECISION_WORKLOADS = ["429.mcf", "403.gcc"]
+    DECISION_POLICIES = ["lru", "srrip", "rlr"]
+
+    def _sweep(self, jobs, decisions=None):
+        return parallel_sweep(
+            _fresh_config(), self.DECISION_WORKLOADS, self.DECISION_POLICIES,
+            jobs=jobs, decisions=decisions,
+        )
+
+    def test_jobs_1_vs_jobs_4_byte_identical_logs(self, tmp_path):
+        from repro.telemetry.decisions import (
+            write_decisions_binary,
+            write_decisions_jsonl,
+        )
+
+        serial = self._sweep(jobs=1, decisions=1)
+        parallel = self._sweep(jobs=4, decisions=1)
+        paths = {}
+        for label, report in (("serial", serial), ("parallel", parallel)):
+            cells = report.decision_payloads()
+            assert len(cells) == (
+                len(self.DECISION_WORKLOADS) * len(self.DECISION_POLICIES)
+            )
+            jsonl = write_decisions_jsonl(
+                tmp_path / f"{label}.jsonl", cells
+            )
+            binary = write_decisions_binary(tmp_path / f"{label}.bin", cells)
+            paths[label] = (jsonl, binary)
+        assert (
+            paths["serial"][0].read_bytes() == paths["parallel"][0].read_bytes()
+        )
+        assert (
+            paths["serial"][1].read_bytes() == paths["parallel"][1].read_bytes()
+        )
+
+    def test_decisions_do_not_change_the_report(self):
+        """A traced sweep's report is byte-identical to an untraced one."""
+        plain = self._sweep(jobs=2)
+        traced = self._sweep(jobs=2, decisions=1)
+        assert plain.to_csv().encode() == traced.to_csv().encode()
+        assert plain.format().encode() == traced.format().encode()
+        assert all(cell.decisions is None for cell in plain.cells)
+
+    def test_sample_rate_thins_events_not_aggregates(self):
+        full = self._sweep(jobs=1, decisions=1)
+        thinned = self._sweep(jobs=1, decisions=4)
+        for dense, sparse in zip(
+            full.decision_payloads(), thinned.decision_payloads()
+        ):
+            assert dense["summary"]["evictions"] == sparse["summary"]["evictions"]
+            assert dense["summary"]["regret_x2"] == sparse["summary"]["regret_x2"]
+            assert dense["set_evictions"] == sparse["set_evictions"]
+            assert len(sparse["events"]) <= len(dense["events"])
+
+    def test_invalid_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            self._sweep(jobs=1, decisions=0)
+
+
 class ExplodingPolicy(ReplacementPolicy):
     """Raises on the first eviction decision (module-level: picklable)."""
 

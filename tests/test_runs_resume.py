@@ -71,9 +71,11 @@ class TestJournalledSweep:
         replayed = []
         real_replay = parallel_module._replay_task
 
-        def counting(prepared, workload, policy, allow_bypass, sanitize=None):
+        def counting(prepared, workload, policy, allow_bypass,
+                     sanitize=None, decisions=None):
             replayed.append((workload, parallel_module._policy_name(policy)))
-            return real_replay(prepared, workload, policy, allow_bypass, sanitize)
+            return real_replay(prepared, workload, policy, allow_bypass,
+                               sanitize, decisions)
 
         monkeypatch.setattr(parallel_module, "_replay_task", counting)
         resumed = parallel_sweep(

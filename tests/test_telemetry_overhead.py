@@ -100,3 +100,72 @@ class TestDisabledOverheadBound:
 
         assert instrumented == baseline
         assert after == baseline
+
+
+class TestDecisionTracingDisabledPath:
+    """Decision tracing off must be as free as telemetry off."""
+
+    def test_untraced_cache_has_no_decision_observers(self):
+        """The only disabled-path residue is one empty-list ``for`` per
+        eviction — same shape as the pre-existing eviction_observers."""
+        from repro.cache import Cache, CacheConfig
+        from repro.cache.replacement import make_policy
+
+        config = CacheConfig("c", 4 * 4 * 64, 4, latency=1)
+        policy = make_policy("lru")
+        policy.bind(config)
+        cache = Cache(config, policy)
+        assert cache.decision_observers == []
+
+    def test_untraced_replay_leaves_no_active_trace(self):
+        from repro.telemetry.decisions import active_trace
+
+        eval_config = EvalConfig(scale=64, trace_length=1500, seed=7)
+        prepared = prepare_workload(eval_config, eval_config.trace("429.mcf"))
+        assert active_trace() is None
+        replay(prepared, "lru")
+        assert active_trace() is None
+
+    def test_replay_identical_with_and_without_decision_tracing(self):
+        """A traced replay returns bit-identical results, and the trace
+        leaves no residue on subsequent untraced replays."""
+        from repro.rl.reward import FutureOracle
+        from repro.telemetry.decisions import DecisionTrace
+
+        eval_config = EvalConfig(scale=64, trace_length=1500, seed=7)
+        prepared = prepare_workload(eval_config, eval_config.trace("429.mcf"))
+        baseline = replay(prepared, "lru")
+        decisions = DecisionTrace(
+            workload="429.mcf",
+            oracle=FutureOracle(prepared.llc_line_stream),
+        )
+        traced = replay(prepared, "lru", decisions=decisions)
+        after = replay(prepared, "lru")
+
+        assert traced == baseline
+        assert after == baseline
+        assert decisions.evictions > 0
+
+    def test_disabled_observer_loop_under_two_percent_of_replay(self):
+        """Bound the one remaining disabled-path cost: iterating the empty
+        ``decision_observers`` list once per eviction."""
+        eval_config = EvalConfig(scale=64, trace_length=1500, seed=7)
+        prepared = prepare_workload(eval_config, eval_config.trace("429.mcf"))
+
+        started = time.perf_counter()
+        repeats = 5
+        for _ in range(repeats):
+            result = replay(prepared, "lru")
+        replay_seconds = (time.perf_counter() - started) / repeats
+
+        evictions = result.llc_stats["evictions"]
+        empty = []
+        loop_seconds = timeit.timeit(
+            lambda: [None for callback in empty],
+            number=max(evictions, 1),
+        )
+
+        assert loop_seconds < 0.02 * replay_seconds, (
+            f"empty decision-observer loops cost {loop_seconds * 1e6:.2f}us "
+            f"per replay vs replay {replay_seconds * 1e3:.2f}ms"
+        )

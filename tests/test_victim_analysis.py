@@ -1,11 +1,14 @@
 """Tests for the generalized victim-profile analysis."""
 
+import json
+
 import pytest
 
 from repro.cache import Cache, CacheConfig
 from repro.cache.replacement import make_policy
 from repro.eval.victim_analysis import (
     VictimCollector,
+    VictimStatistics,
     compare_victim_profiles,
     policy_victim_statistics,
 )
@@ -78,3 +81,45 @@ class TestPolicyStatistics:
         stats = policy_victim_statistics(eval_config, "450.soplex", "drrip")
         assert sum(stats.hits_histogram.values()) == pytest.approx(1.0)
         assert sum(stats.recency_histogram.values()) == pytest.approx(1.0)
+
+
+class TestKeyNormalization:
+    """Histogram key types survive serialization (regression).
+
+    ``hits_histogram`` keys are strings ("0"/"1"/">1"), ``recency_histogram``
+    keys are ints — a JSON round-trip turns the latter into strings, which
+    used to silently zero ``upper_half_recency_fraction`` (string keys never
+    compare >= an int threshold) and break ``zero_hit_fraction`` lookups.
+    """
+
+    def test_json_round_trip_preserves_derived_fractions(self, eval_config):
+        stats = policy_victim_statistics(eval_config, "471.omnetpp", "rlr_unopt")
+        ways = eval_config.hierarchy(num_cores=1).llc.ways
+        restored = VictimStatistics.from_dict(
+            json.loads(json.dumps(stats.as_dict()))
+        )
+        assert restored.victims == stats.victims
+        assert restored.zero_hit_fraction == stats.zero_hit_fraction
+        assert (
+            restored.upper_half_recency_fraction(ways)
+            == stats.upper_half_recency_fraction(ways)
+        )
+        assert restored.recency_histogram == stats.recency_histogram
+        assert all(
+            isinstance(key, int) for key in restored.recency_histogram
+        )
+        assert all(
+            isinstance(key, str) for key in restored.hits_histogram
+        )
+
+    def test_from_dict_accepts_string_recency_keys(self):
+        payload = {
+            "victims": 4,
+            "avg_age_by_type": {"LD": 2.0},
+            "hits_histogram": {0: 0.75, 1: 0.25},
+            "recency_histogram": {"0": 0.5, "3": 0.5},
+        }
+        stats = VictimStatistics.from_dict(payload)
+        assert stats.zero_hit_fraction == 0.75
+        assert stats.recency_histogram == {0: 0.5, 3: 0.5}
+        assert stats.upper_half_recency_fraction(4) == 0.5
