@@ -1,9 +1,30 @@
-"""Shared constants for the benchmark harness."""
+"""Shared benchmark configuration, loaded from the scenario library.
+
+The checked-in files under ``scenarios/`` are the single source of truth
+for every figure/table configuration; this module resolves them once per
+session so benchmark modules share validated scenario objects instead of
+duplicated literals.
+"""
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.scenarios import resolve_scenario
+
+#: The repository's checked-in scenario library.
+SCENARIO_LIBRARY = Path(__file__).resolve().parents[1] / "scenarios"
+
+
+@lru_cache(maxsize=None)
+def scenario(name: str):
+    """One validated scenario from the checked-in library."""
+    return resolve_scenario(name, root=SCENARIO_LIBRARY)
+
 
 #: Workloads used by the RL-centric benchmarks (training is expensive).
-RL_BENCH_WORKLOADS = ["450.soplex", "471.omnetpp", "403.gcc"]
+RL_BENCH_WORKLOADS = list(scenario("fig3").workload_names)
 
 #: Policy lineup of Figures 10-13 (LRU is always the baseline).
-FIGURE_POLICIES = (
-    "drrip", "kpc_r", "ship", "rlr", "rlr_unopt", "rlr_tuned", "hawkeye", "ship++"
+FIGURE_POLICIES = tuple(
+    policy for policy in scenario("fig10").policies if policy != "lru"
 )

@@ -16,12 +16,10 @@ import os
 
 import pytest
 
-from repro.eval import EvalConfig
 from repro.eval.prep_cache import attach_prep_cache
 from repro.rl.trainer import TrainerConfig
 
-#: Workloads used by the RL-centric benchmarks (training is expensive).
-RL_BENCH_WORKLOADS = ["450.soplex", "471.omnetpp", "403.gcc"]
+from common import RL_BENCH_WORKLOADS, scenario  # noqa: F401 (re-export)
 
 
 @pytest.fixture(scope="session")
@@ -36,7 +34,7 @@ def prep_cache_dir(tmp_path_factory):
 @pytest.fixture(scope="session")
 def eval_config(prep_cache_dir):
     """Single-core evaluation configuration shared by all benchmarks."""
-    config = EvalConfig(scale=16, trace_length=20_000, seed=7)
+    config = scenario("fig10").eval_config()
     attach_prep_cache(config, prep_cache_dir)
     return config
 
@@ -44,7 +42,7 @@ def eval_config(prep_cache_dir):
 @pytest.fixture(scope="session")
 def eval_config_4core(prep_cache_dir):
     """Shorter traces for the 4-core benchmarks (4x the simulation work)."""
-    config = EvalConfig(scale=16, trace_length=8_000, seed=7, num_cores=4)
+    config = scenario("fig13").eval_config()
     attach_prep_cache(config, prep_cache_dir)
     return config
 
@@ -52,4 +50,4 @@ def eval_config_4core(prep_cache_dir):
 @pytest.fixture(scope="session")
 def rl_trainer_config():
     """Downscaled agent for benchmark runtime (paper: 175 hidden, 1+ epochs)."""
-    return TrainerConfig(hidden_size=48, epochs=1, seed=1)
+    return TrainerConfig(**scenario("fig3").params["trainer"])

@@ -8,16 +8,18 @@ import pytest
 
 from repro.eval.experiments import ablation_age_bits
 from repro.eval.reporting import format_table
-from repro.eval.workloads import RL_TRAINING_BENCHMARKS
 
-BIT_WIDTHS = (2, 3, 5, 8)
+from common import scenario
+
+SCENARIO = scenario("ablation-age-bits")
+BIT_WIDTHS = tuple(SCENARIO.params["bit_widths"])
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_age_counter_width_sweep(benchmark, eval_config):
     results = benchmark.pedantic(
         ablation_age_bits,
-        args=(eval_config, RL_TRAINING_BENCHMARKS[:4], BIT_WIDTHS),
+        args=(eval_config, SCENARIO.workload_names, BIT_WIDTHS),
         rounds=1,
         iterations=1,
     )

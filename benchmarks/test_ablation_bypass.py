@@ -12,7 +12,9 @@ from repro.eval.metrics import geomean
 from repro.eval.reporting import format_speedup_series
 from repro.eval.runner import _prepared, replay
 
-WORKLOADS = ["429.mcf", "471.omnetpp", "450.soplex", "483.xalancbmk"]
+from common import scenario
+
+WORKLOADS = scenario("ablation-bypass").workload_names
 
 
 def _sweep(eval_config):

@@ -8,14 +8,15 @@ import pytest
 
 from repro.eval.experiments import ablation_priorities
 from repro.eval.reporting import format_table
-from repro.eval.workloads import RL_TRAINING_BENCHMARKS
+
+from common import scenario
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_priority_term_ablation(benchmark, eval_config):
     results = benchmark.pedantic(
         ablation_priorities,
-        args=(eval_config, RL_TRAINING_BENCHMARKS),
+        args=(eval_config, scenario("ablation-priorities").workload_names),
         rounds=1,
         iterations=1,
     )

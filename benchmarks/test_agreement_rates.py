@@ -10,8 +10,10 @@ import pytest
 from repro.eval.agreement import compare_agreement
 from repro.eval.reporting import format_table
 
-WORKLOADS = ["450.soplex", "471.omnetpp"]
-POLICIES = ["lru", "drrip", "ship++", "rlr", "rlr_unopt"]
+from common import scenario
+
+WORKLOADS = scenario("agreement").workload_names
+POLICIES = list(scenario("agreement").policies)
 
 
 @pytest.mark.benchmark(group="agreement")

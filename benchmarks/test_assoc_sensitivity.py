@@ -5,16 +5,20 @@ the priority weights are associativity-independent by construction.  This
 sweep checks the policy degrades gracefully at lower associativity.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.eval.metrics import geomean
 from repro.eval.reporting import format_table
 from repro.eval.runner import compare_policies
-from repro.eval.workloads import EvalConfig
 
-WAYS = (4, 8, 16)
-WORKLOADS = ["471.omnetpp", "450.soplex", "483.xalancbmk"]
-POLICIES = ["drrip", "rlr", "ship++"]
+from common import scenario
+
+SCENARIO = scenario("assoc-sensitivity")
+WAYS = tuple(SCENARIO.params["ways"])
+WORKLOADS = SCENARIO.workload_names
+POLICIES = [p for p in SCENARIO.policies if p != "lru"]
 
 
 @pytest.mark.benchmark(group="sensitivity")
@@ -22,9 +26,7 @@ def test_associativity_sensitivity(benchmark, eval_config):
     def run():
         table = {}
         for ways in WAYS:
-            config = EvalConfig(
-                scale=16, trace_length=12_000, seed=7, llc_ways=ways
-            )
+            config = replace(SCENARIO.eval_config(), llc_ways=ways)
             speedups = {policy: [] for policy in POLICIES}
             for workload in WORKLOADS:
                 trace = config.trace(workload)

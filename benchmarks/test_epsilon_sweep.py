@@ -12,21 +12,25 @@ from repro.eval.runner import _prepared
 from repro.eval.reporting import format_table
 from repro.rl.trainer import TrainerConfig, evaluate_on_stream, train_on_stream
 
-EPSILONS = (0.0, 0.1, 0.3)
-WORKLOAD = "450.soplex"
+from common import scenario
+
+SCENARIO = scenario("epsilon-sweep")
+EPSILONS = tuple(SCENARIO.params["epsilons"])
+WORKLOAD = SCENARIO.workload_names[0]
 
 
 @pytest.mark.benchmark(group="rl-sweep")
 def test_epsilon_sweep(benchmark, eval_config):
     trace = eval_config.trace(WORKLOAD)
     prepared = _prepared(eval_config, trace, 1, None)
-    records = prepared.llc_records[:12_000]
+    records = prepared.llc_records[: SCENARIO.params["max_records"]]
 
     def run():
         results = {}
         for epsilon in EPSILONS:
-            config = TrainerConfig(hidden_size=32, epochs=1, seed=1,
-                                   epsilon=epsilon)
+            config = TrainerConfig(
+                **SCENARIO.params["trainer"], epsilon=epsilon
+            )
             trained = train_on_stream(prepared.llc_config, records, config)
             stats = evaluate_on_stream(trained, prepared.llc_config, records)
             results[epsilon] = stats.hit_rate

@@ -6,14 +6,14 @@ from repro.eval.experiments import single_core_speedups
 from repro.eval.metrics import geomean
 from repro.eval.reporting import format_speedup_series
 
-from common import FIGURE_POLICIES
+from common import FIGURE_POLICIES, scenario
 
 
 @pytest.mark.benchmark(group="fig10")
 def test_fig10_spec2006_speedups(benchmark, eval_config):
     results = benchmark.pedantic(
         single_core_speedups,
-        args=(eval_config, "spec2006", FIGURE_POLICIES),
+        kwargs=dict(eval_config=eval_config, scenario=scenario("fig10")),
         rounds=1,
         iterations=1,
     )

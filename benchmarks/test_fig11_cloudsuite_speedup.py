@@ -6,14 +6,14 @@ from repro.eval.experiments import single_core_speedups
 from repro.eval.metrics import geomean
 from repro.eval.reporting import format_speedup_series
 
-from common import FIGURE_POLICIES
+from common import FIGURE_POLICIES, scenario
 
 
 @pytest.mark.benchmark(group="fig11")
 def test_fig11_cloudsuite_speedups(benchmark, eval_config):
     results = benchmark.pedantic(
         single_core_speedups,
-        args=(eval_config, "cloudsuite", FIGURE_POLICIES),
+        kwargs=dict(eval_config=eval_config, scenario=scenario("fig11")),
         rounds=1,
         iterations=1,
     )

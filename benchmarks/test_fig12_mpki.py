@@ -5,14 +5,14 @@ import pytest
 from repro.eval.experiments import mpki_comparison
 from repro.eval.reporting import format_table
 
-from common import FIGURE_POLICIES
+from common import FIGURE_POLICIES, scenario
 
 
 @pytest.mark.benchmark(group="fig12")
 def test_fig12_demand_mpki(benchmark, eval_config):
     results = benchmark.pedantic(
         mpki_comparison,
-        kwargs=dict(eval_config=eval_config, policies=FIGURE_POLICIES),
+        kwargs=dict(eval_config=eval_config, scenario=scenario("fig12")),
         rounds=1,
         iterations=1,
     )

@@ -11,9 +11,9 @@ from repro.eval.experiments import multicore_speedups
 from repro.eval.metrics import geomean
 from repro.eval.reporting import format_speedup_series
 
-from common import FIGURE_POLICIES
+from common import FIGURE_POLICIES, scenario
 
-NUM_MIXES = 4
+NUM_MIXES = scenario("fig13").mixes.random_count
 
 
 @pytest.mark.benchmark(group="fig13")
@@ -22,8 +22,7 @@ def test_fig13_multicore_spec_mixes(benchmark, eval_config_4core):
         multicore_speedups,
         kwargs=dict(
             eval_config=eval_config_4core,
-            num_mixes=NUM_MIXES,
-            policies=FIGURE_POLICIES,
+            scenario=scenario("fig13"),
         ),
         rounds=1,
         iterations=1,

@@ -12,8 +12,10 @@ import pytest
 from repro.eval.experiments import fig1_hit_rates
 from repro.eval.reporting import format_percent_matrix
 
-WORKLOADS = ["450.soplex", "471.omnetpp", "483.xalancbmk", "470.lbm"]
-POLICIES = ("lru", "drrip", "ship", "ship++", "hawkeye", "rlr")
+from common import scenario
+
+SCENARIO = scenario("fig1")
+POLICIES = tuple(p for p in SCENARIO.policies if p != "belady")
 
 
 @pytest.mark.benchmark(group="fig1")
@@ -22,9 +24,7 @@ def test_fig1_llc_hit_rates(benchmark, eval_config, rl_trainer_config):
         fig1_hit_rates,
         kwargs=dict(
             eval_config=eval_config,
-            workloads=WORKLOADS,
-            policies=POLICIES,
-            include_rl=True,
+            scenario=SCENARIO,
             rl_config=rl_trainer_config,
         ),
         rounds=1,

@@ -9,14 +9,15 @@ import pytest
 
 from repro.eval.experiments import fig4_preuse_vs_reuse
 from repro.eval.reporting import format_table
-from repro.eval.workloads import RL_TRAINING_BENCHMARKS
+
+from common import scenario
 
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4_preuse_vs_reuse(benchmark, eval_config):
     results = benchmark.pedantic(
         fig4_preuse_vs_reuse,
-        args=(eval_config, RL_TRAINING_BENCHMARKS),
+        args=(eval_config, scenario("fig4").workload_names),
         rounds=1,
         iterations=1,
     )

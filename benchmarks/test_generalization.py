@@ -13,8 +13,11 @@ from repro.eval.reporting import format_percent_matrix
 from repro.rl.generalization import generalization_experiment
 from repro.rl.trainer import TrainerConfig
 
-TRAINING = ("450.soplex", "471.omnetpp")
-HELD_OUT = ["403.gcc", "483.xalancbmk"]
+from common import scenario
+
+SCENARIO = scenario("generalization")
+TRAINING = tuple(SCENARIO.params["training"])
+HELD_OUT = list(SCENARIO.workload_names)
 
 
 @pytest.mark.benchmark(group="generalization")
@@ -25,8 +28,10 @@ def test_unseen_benchmark_generalization(benchmark, eval_config):
             eval_config=eval_config,
             held_out=HELD_OUT,
             training_benchmarks=TRAINING,
-            config=TrainerConfig(hidden_size=48, epochs=1, seed=1),
-            max_records_per_benchmark=10_000,
+            config=TrainerConfig(**SCENARIO.params["trainer"]),
+            max_records_per_benchmark=SCENARIO.params[
+                "max_records_per_benchmark"
+            ],
         ),
         rounds=1,
         iterations=1,

@@ -6,27 +6,23 @@ on one training workload's LLC stream, printing each round's winner.
 
 import pytest
 
-from repro.eval.workloads import EvalConfig
 from repro.rl.hill_climbing import hill_climb
 from repro.rl.trainer import TrainerConfig, llc_stream_records
 
-CANDIDATES = (
-    "access_preuse",
-    "line_preuse",
-    "line_last_access_type",
-    "line_hits",
-    "line_recency",
-    "line_dirty",
-    "set_number",
-    "line_age_last_access",
-)
+from common import scenario
+
+SCENARIO = scenario("hillclimb")
+CANDIDATES = tuple(SCENARIO.params["candidates"])
 
 
 @pytest.mark.benchmark(group="hillclimb")
 def test_hill_climbing_feature_selection(benchmark, eval_config):
     llc_config = eval_config.hierarchy(num_cores=1).llc
-    stream = llc_stream_records(eval_config, "450.soplex")[:6000]
-    config = TrainerConfig(hidden_size=16, epochs=1, max_records=4000, seed=2)
+    workload = SCENARIO.workload_names[0]
+    stream = llc_stream_records(eval_config, workload)[
+        : SCENARIO.params["max_stream_records"]
+    ]
+    config = TrainerConfig(**SCENARIO.params["trainer"])
 
     result = benchmark.pedantic(
         hill_climb,
@@ -35,7 +31,7 @@ def test_hill_climbing_feature_selection(benchmark, eval_config):
             streams=[stream],
             candidates=CANDIDATES,
             config=config,
-            max_features=4,
+            max_features=SCENARIO.params["max_features"],
         ),
         rounds=1,
         iterations=1,

@@ -10,17 +10,22 @@ import pytest
 from repro.eval.metrics import geomean
 from repro.eval.reporting import format_speedup_series
 from repro.eval.runner import compare_policies
-from repro.eval.workloads import RL_TRAINING_BENCHMARKS
 
-POLICIES = ("kpc_r", "rlr")
+from common import scenario
+
+SCENARIO = scenario("kpcp-prefetcher")
+POLICIES = tuple(p for p in SCENARIO.policies if p != "lru")
 
 
 def _sweep(eval_config):
     series = {}
-    for name in RL_TRAINING_BENCHMARKS[:5]:
+    for name in SCENARIO.workload_names:
         trace = eval_config.trace(name)
         results = compare_policies(
-            eval_config, trace, ["lru"] + list(POLICIES), l2_prefetcher="kpc_p"
+            eval_config,
+            trace,
+            list(SCENARIO.policies),
+            l2_prefetcher=SCENARIO.params["l2_prefetcher"],
         )
         baseline = results["lru"].single_ipc
         series[name] = {

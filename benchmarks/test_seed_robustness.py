@@ -11,9 +11,12 @@ import pytest
 from repro.eval.reporting import format_table
 from repro.eval.statistics import seed_sweep
 
-WORKLOADS = ["470.lbm", "471.omnetpp", "450.soplex"]
-POLICIES = ("drrip", "rlr", "ship++")
-SEEDS = (7, 11, 13)
+from common import scenario
+
+SCENARIO = scenario("seed-robustness")
+WORKLOADS = SCENARIO.workload_names
+POLICIES = tuple(p for p in SCENARIO.policies if p != "lru")
+SEEDS = SCENARIO.run_seeds
 
 
 @pytest.mark.benchmark(group="robustness")
@@ -21,7 +24,11 @@ def test_seed_robustness(benchmark):
     def run():
         return {
             workload: seed_sweep(
-                workload, POLICIES, seeds=SEEDS, scale=32, trace_length=10_000
+                workload,
+                POLICIES,
+                seeds=SEEDS,
+                scale=SCENARIO.config.scale,
+                trace_length=SCENARIO.config.trace_length,
             )
             for workload in WORKLOADS
         }

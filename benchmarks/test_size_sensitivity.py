@@ -6,16 +6,20 @@ interesting axis is the policy's robustness to absolute set counts and the
 RD estimator's behaviour at different scales).
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.eval.metrics import geomean
 from repro.eval.reporting import format_table
 from repro.eval.runner import compare_policies
-from repro.eval.workloads import EvalConfig
 
-SCALES = (32, 16, 8)
-WORKLOADS = ["471.omnetpp", "450.soplex", "470.lbm"]
-POLICIES = ["drrip", "rlr", "ship++"]
+from common import scenario
+
+SCENARIO = scenario("size-sensitivity")
+SCALES = tuple(SCENARIO.params["scales"])
+WORKLOADS = SCENARIO.workload_names
+POLICIES = [p for p in SCENARIO.policies if p != "lru"]
 
 
 @pytest.mark.benchmark(group="sensitivity")
@@ -23,7 +27,7 @@ def test_scale_sensitivity(benchmark, eval_config):
     def run():
         table = {}
         for scale in SCALES:
-            config = EvalConfig(scale=scale, trace_length=12_000, seed=7)
+            config = replace(SCENARIO.eval_config(), scale=scale)
             speedups = {policy: [] for policy in POLICIES}
             for workload in WORKLOADS:
                 trace = config.trace(workload)

@@ -8,16 +8,17 @@ write-heavy models actually write.
 
 import pytest
 
-from repro.eval.workloads import suite_names
 from repro.traces.profiling import compare_profiles, profile_trace
 from repro.traces.spec_models import ALL_WORKLOADS
+
+from common import scenario
 
 
 @pytest.mark.benchmark(group="suite-profile")
 def test_suite_characterization(benchmark, eval_config):
     def run():
         profiles = {}
-        for name in suite_names("spec2006") + suite_names("cloudsuite"):
+        for name in scenario("suite-profile").workload_names:
             trace = eval_config.trace(name)
             profiles[name] = profile_trace(trace, num_sets=128)
         return profiles

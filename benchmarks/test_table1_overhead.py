@@ -5,10 +5,15 @@ import pytest
 from repro.eval.reporting import format_table
 from repro.eval.experiments import table1_overhead
 
+from common import scenario
+
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_overhead(benchmark):
     rows = benchmark.pedantic(table1_overhead, rounds=1, iterations=1)
+
+    # The scenario file pins the Table I policy lineup.
+    assert [row.policy for row in rows] == list(scenario("table1").policies)
 
     table = [
         {

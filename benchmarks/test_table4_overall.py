@@ -5,7 +5,7 @@ import pytest
 from repro.eval.experiments import table4_overall
 from repro.eval.reporting import format_table
 
-from common import FIGURE_POLICIES
+from common import scenario
 
 
 @pytest.mark.benchmark(group="table4")
@@ -15,8 +15,7 @@ def test_table4_overall_speedups(benchmark, eval_config, eval_config_4core):
         kwargs=dict(
             eval_config_1core=eval_config,
             eval_config_4core=eval_config_4core,
-            policies=FIGURE_POLICIES,
-            num_mixes=3,
+            scenario=scenario("table4"),
         ),
         rounds=1,
         iterations=1,

@@ -25,9 +25,15 @@ Commands:
 * ``train``     — train an RL agent on a workload (optionally save it)
 * ``hillclimb`` — §III-B greedy feature selection
 * ``trace``     — generate a workload trace and write it to a file
-* ``validate``  — preflight-check trace files / saved agents before a run
-  (see docs/validation.md; ``sweep --sanitize {off,normal,strict}`` selects
-  the policy-contract sanitizer mode, ``--strict`` is shorthand)
+* ``validate``  — preflight-check trace files / saved agents / scenario
+  files before a run (see docs/validation.md; ``sweep --sanitize
+  {off,normal,strict}`` selects the policy-contract sanitizer mode,
+  ``--strict`` is shorthand)
+* ``scenario``  — the declarative scenario library (see docs/scenarios.md):
+  ``list`` browses ``scenarios/``, ``run`` executes one scenario and checks
+  its expectations (+ golden digest when pinned), ``diff`` renders the
+  readable report diff against the golden, ``bless`` re-records goldens
+  after an intentional behaviour change
 """
 
 from __future__ import annotations
@@ -566,6 +572,7 @@ def cmd_trace(args) -> int:
 def cmd_validate(args) -> int:
     from repro.sanitize.preflight import (
         validate_agent_file,
+        validate_scenario_file,
         validate_trace_file,
     )
 
@@ -573,15 +580,200 @@ def cmd_validate(args) -> int:
     for path in args.paths:
         kind = args.kind
         if kind == "auto":
-            kind = "agent" if str(path).endswith(".npz") else "trace"
+            name = str(path)
+            if name.endswith(".npz"):
+                kind = "agent"
+            elif name.endswith((".yaml", ".yml", ".json")):
+                kind = "scenario"
+            else:
+                kind = "trace"
         if kind == "agent":
             report = validate_agent_file(path)
+        elif kind == "scenario":
+            report = validate_scenario_file(path)
         else:
             report = validate_trace_file(path, quarantine=args.quarantine)
         print(report.format())
         if not report.ok:
             failures += 1
     return 1 if failures else 0
+
+
+# -- scenarios ----------------------------------------------------------------
+
+
+def _scenario_library(args):
+    from repro.scenarios import load_library
+
+    return load_library(args.library)
+
+
+def _print_scenario_report(scenario, payload) -> None:
+    rows = []
+    for cell in payload["cells"]:
+        row = {
+            "workload": cell["workload"],
+            "policy": cell["policy"],
+            "seed": cell["seed"],
+            "ipc": round(cell["ipc"][0], 4),
+            "hit%": round(100 * cell["hit_rate"], 2),
+            "mpki": round(cell["demand_mpki"], 2),
+        }
+        regret = cell.get("regret")
+        if regret and regret.get("graded"):
+            row["regret"] = round(
+                regret["regret_x2"] / (2 * regret["graded"]), 4
+            )
+        rows.append(row)
+    headers = ["workload", "policy", "seed", "ipc", "hit%", "mpki"]
+    if any("regret" in row for row in rows):
+        headers.append("regret")
+    print(format_table(rows, headers=headers,
+                       title=scenario.title or scenario.name))
+    for result in payload["expectations"]:
+        status = "PASS" if result["status"] == "pass" else "FAIL"
+        print(f"  expect {result['expect']}: {status}")
+        for failure in result["failures"]:
+            print(f"    - {failure}")
+    conservation = payload["conservation"]
+    if not conservation["ok"]:
+        print("  conservation violations:")
+        for problem in conservation["problems"]:
+            print(f"    - {problem}")
+
+
+def cmd_scenario_list(args) -> int:
+    library = _scenario_library(args)
+    if not library:
+        print("no scenarios found (looked under "
+              f"{args.library or 'the default library dir'})", file=sys.stderr)
+        return 1
+    rows = []
+    for name in sorted(library):
+        scenario = library[name]
+        rows.append({
+            "name": name,
+            "figure": scenario.figure or "-",
+            "workloads": len(scenario.workload_names),
+            "policies": len(scenario.policies),
+            "seeds": len(scenario.run_seeds),
+            "golden": "yes" if scenario.golden else "-",
+            "title": scenario.title[:48] or "-",
+        })
+    print(format_table(
+        rows,
+        headers=["name", "figure", "workloads", "policies", "seeds",
+                 "golden", "title"],
+        title=f"scenario library ({len(library)} scenarios)",
+    ))
+    return 0
+
+
+def cmd_scenario_run(args) -> int:
+    import json as json_module
+
+    from repro.scenarios import (
+        check_report,
+        compare_to_golden,
+        report_digest,
+        resolve_scenario,
+        run_scenario,
+    )
+
+    scenario = resolve_scenario(args.name, root=args.library)
+    payload = run_scenario(
+        scenario, jobs=args.jobs, cache_dir=args.cache_dir,
+        progress=lambda message: print(message, file=sys.stderr),
+        decisions=args.decisions,
+    )
+    _print_scenario_report(scenario, payload)
+    print(f"report digest: {report_digest(payload)}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, sort_keys=True, indent=1)
+        print(f"report written to {args.json}", file=sys.stderr)
+    failed = check_report(payload)
+    if scenario.golden and not args.no_golden_check:
+        diff = compare_to_golden(scenario.name, payload, root=args.goldens)
+        if diff is None:
+            print("no golden recorded yet (pin one with: repro scenario "
+                  f"bless {scenario.name})", file=sys.stderr)
+        elif diff:
+            print("\ngolden regression:")
+            for line in diff:
+                print(f"  {line}")
+            return 1
+        else:
+            print("golden check: report matches the blessed digest")
+    return 1 if failed else 0
+
+
+def cmd_scenario_diff(args) -> int:
+    import json as json_module
+
+    from repro.scenarios import (
+        diff_reports,
+        read_golden,
+        resolve_scenario,
+        run_scenario,
+    )
+
+    scenario = resolve_scenario(args.name, root=args.library)
+    if args.against:
+        with open(args.against, encoding="utf-8") as handle:
+            document = json_module.load(handle)
+        baseline = document.get("report", document)
+        source = args.against
+    else:
+        stored = read_golden(scenario.name, root=args.goldens)
+        if stored is None:
+            raise ValueError(
+                f"no golden recorded for {scenario.name!r} (bless one first "
+                "or pass --against REPORT.json)"
+            )
+        baseline = stored["report"]
+        source = f"golden {scenario.name}"
+    payload = run_scenario(scenario, jobs=args.jobs)
+    lines = diff_reports(baseline, payload)
+    if not lines:
+        print(f"no differences against {source}")
+        return 0
+    print(f"differences against {source}:")
+    for line in lines:
+        print(f"  {line}")
+    return 1
+
+
+def cmd_scenario_bless(args) -> int:
+    from repro.scenarios import resolve_scenario, run_scenario, write_golden
+
+    if args.all:
+        library = _scenario_library(args)
+        scenarios = [library[name] for name in sorted(library)
+                     if library[name].golden]
+        if not scenarios:
+            print("no scenarios are marked 'golden: true'", file=sys.stderr)
+            return 1
+    elif args.names:
+        scenarios = [resolve_scenario(name, root=args.library)
+                     for name in args.names]
+    else:
+        raise ValueError("give scenario names or --all")
+    for scenario in scenarios:
+        payload = run_scenario(scenario, jobs=args.jobs)
+        path = write_golden(scenario.name, payload, root=args.goldens)
+        print(f"blessed {scenario.name} -> {path}")
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    handlers = {
+        "list": cmd_scenario_list,
+        "run": cmd_scenario_run,
+        "diff": cmd_scenario_diff,
+        "bless": cmd_scenario_bless,
+    }
+    return handlers[args.scenario_command](args)
 
 
 # -- parser ---------------------------------------------------------------------
@@ -752,13 +944,76 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("paths", nargs="+", metavar="PATH",
                           help="trace (.csv/.csv.gz/.bin) or agent (.npz) "
                                "files to check")
-    validate.add_argument("--kind", choices=("auto", "trace", "agent"),
+    validate.add_argument("--kind",
+                          choices=("auto", "trace", "agent", "scenario"),
                           default="auto",
                           help="what the paths are (auto: .npz = agent, "
-                               "anything else = trace)")
+                               ".yaml/.yml/.json = scenario, anything else "
+                               "= trace)")
     validate.add_argument("--quarantine", action="store_true",
                           help="report bad trace records as warnings, the "
                                "way a quarantining load would skip them")
+
+    scenario = commands.add_parser(
+        "scenario", help="browse / run / diff / bless declarative scenarios"
+    )
+    scenario_commands = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    def _scenario_common(sub, golden_dir: bool = True) -> None:
+        sub.add_argument("--library", default=None, metavar="DIR",
+                         help="scenario library root (default: scenarios/ "
+                              "or REPRO_SCENARIO_DIR)")
+        if golden_dir:
+            sub.add_argument("--goldens", default=None, metavar="DIR",
+                             help="golden-report directory (default: "
+                                  "tests/goldens/ or REPRO_GOLDEN_DIR)")
+            sub.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for the sweep")
+
+    scenario_list = scenario_commands.add_parser(
+        "list", help="browse the scenario library"
+    )
+    _scenario_common(scenario_list, golden_dir=False)
+
+    scenario_run = scenario_commands.add_parser(
+        "run", help="run one scenario, check expectations and golden"
+    )
+    scenario_run.add_argument("name",
+                              help="scenario name (library) or file path")
+    _scenario_common(scenario_run)
+    scenario_run.add_argument("--json", metavar="PATH", default=None,
+                              help="also write the full report payload here")
+    scenario_run.add_argument("--cache-dir", default=None,
+                              help="prepared-workload cache directory")
+    scenario_run.add_argument("--decisions", nargs="?", const=1, type=int,
+                              default=None, metavar="SAMPLE_RATE",
+                              help="force per-eviction decision grading "
+                                   "(automatic for regret expectations)")
+    scenario_run.add_argument("--no-golden-check", action="store_true",
+                              help="skip the golden-digest comparison")
+
+    scenario_diff = scenario_commands.add_parser(
+        "diff", help="readable report diff against the golden (or a report)"
+    )
+    scenario_diff.add_argument("name",
+                               help="scenario name (library) or file path")
+    _scenario_common(scenario_diff)
+    scenario_diff.add_argument("--against", metavar="REPORT.json",
+                               default=None,
+                               help="diff against this saved report instead "
+                                    "of the golden")
+
+    scenario_bless = scenario_commands.add_parser(
+        "bless", help="re-record golden reports (after intended changes)"
+    )
+    scenario_bless.add_argument("names", nargs="*", metavar="NAME",
+                                help="scenarios to bless (default: --all)")
+    _scenario_common(scenario_bless)
+    scenario_bless.add_argument("--all", action="store_true",
+                                help="bless every scenario marked "
+                                     "'golden: true'")
 
     return parser
 
@@ -779,6 +1034,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "report": cmd_report,
     "validate": cmd_validate,
+    "scenario": cmd_scenario,
 }
 
 

@@ -25,10 +25,24 @@ from repro.rl.trainer import (
 )
 from repro.rl.policy_adapter import AgentReplacementPolicy
 
-#: Policy lineup of Figures 10-13 (LRU is the baseline).
+#: Policy lineup of Figures 10-13 (LRU is the baseline).  The checked-in
+#: scenario files under ``scenarios/figures/`` are the canonical source for
+#: benchmark configuration; this literal is only the fallback default when a
+#: function is called without a scenario (``benchmarks/common.py`` reads the
+#: lineup from the fig10 scenario).
 FIGURE_POLICIES = (
     "drrip", "kpc_r", "ship", "rlr", "rlr_unopt", "rlr_tuned", "hawkeye", "ship++"
 )
+
+
+def _scenario_policies(scenario, exclude=("lru", "belady")) -> tuple:
+    """A scenario's policy lineup minus the baselines experiments add."""
+    return tuple(p for p in scenario.policies if p not in exclude)
+
+
+def _scenario_eval_config(scenario, eval_config):
+    """The explicit eval_config wins (benchmarks attach prep caches to it)."""
+    return eval_config if eval_config is not None else scenario.eval_config()
 
 
 # -- Table I ----------------------------------------------------------------
@@ -43,17 +57,28 @@ def table1_overhead(config=None):
 
 
 def fig1_hit_rates(
-    eval_config: EvalConfig,
+    eval_config: EvalConfig = None,
     workloads=None,
-    policies=("lru", "drrip", "ship", "ship++", "hawkeye", "rlr"),
+    policies=None,
     include_rl: bool = False,
     rl_config: TrainerConfig = None,
+    scenario=None,
 ) -> dict:
     """Overall LLC hit rate per workload per policy, plus Belady (and RL).
 
     Belady is the theoretical optimum for this metric (it maximizes total
     hits over all access types), exactly as in the paper's Figure 1.
+
+    A :class:`repro.scenarios.Scenario` supplies workloads, policies, the
+    evaluation config, and ``params.include_rl`` — explicit arguments
+    override its values.
     """
+    if scenario is not None:
+        eval_config = _scenario_eval_config(scenario, eval_config)
+        workloads = workloads or scenario.workload_names
+        policies = policies or ("lru",) + _scenario_policies(scenario)
+        include_rl = scenario.params.get("include_rl", include_rl)
+    policies = policies or ("lru", "drrip", "ship", "ship++", "hawkeye", "rlr")
     workloads = workloads or suite_names("spec2006")
     results = {}
     for name in workloads:
@@ -177,13 +202,14 @@ def agent_victim_statistics(
 
 
 def single_core_speedups(
-    eval_config: EvalConfig,
-    suite: str,
-    policies=FIGURE_POLICIES,
+    eval_config: EvalConfig = None,
+    suite: str = None,
+    policies=None,
     jobs: int = 1,
     cache_dir=None,
     timeout=None,
     retries: int = 0,
+    scenario=None,
 ) -> dict:
     """IPC speedup over LRU per workload (Figure 10 = spec2006, 11 = cloud).
 
@@ -191,8 +217,17 @@ def single_core_speedups(
     fans the sweep out over worker processes, ``cache_dir`` enables the
     on-disk prepared-workload cache, and ``timeout``/``retries`` arm the
     per-cell watchdog and transient-failure retry.
+
+    A scenario supplies the workload list (in place of ``suite``), the
+    policy lineup, and the evaluation config.
     """
-    names = suite_names(suite)
+    if scenario is not None:
+        eval_config = _scenario_eval_config(scenario, eval_config)
+        policies = policies or _scenario_policies(scenario)
+        names = scenario.workload_names
+    else:
+        names = suite_names(suite)
+    policies = policies or FIGURE_POLICIES
     lineup = ["lru"] + [policy for policy in policies if policy != "lru"]
     report = parallel_sweep(
         eval_config, names, lineup, jobs=jobs, cache_dir=cache_dir,
@@ -217,22 +252,34 @@ def single_core_speedups(
 
 
 def mpki_comparison(
-    eval_config: EvalConfig,
-    policies=FIGURE_POLICIES,
-    min_mpki: float = 3.0,
+    eval_config: EvalConfig = None,
+    policies=None,
+    min_mpki: float = None,
     suite: str = "spec2006",
     jobs: int = 1,
     cache_dir=None,
     timeout=None,
     retries: int = 0,
+    scenario=None,
 ) -> dict:
     """Demand MPKI per policy for workloads with LRU MPKI > ``min_mpki``.
 
     Two sweeps through the parallel engine: an LRU-only pass filters the
     suite, then the full policy lineup runs on the surviving workloads
     (prepared workloads are shared between the passes via the caches).
+
+    A scenario supplies the workloads, policies, and ``params.min_mpki``.
     """
-    names = suite_names(suite)
+    if scenario is not None:
+        eval_config = _scenario_eval_config(scenario, eval_config)
+        policies = policies or _scenario_policies(scenario)
+        if min_mpki is None:
+            min_mpki = scenario.params.get("min_mpki")
+        names = scenario.workload_names
+    else:
+        names = suite_names(suite)
+    policies = policies or FIGURE_POLICIES
+    min_mpki = 3.0 if min_mpki is None else min_mpki
     lru_report = parallel_sweep(
         eval_config, names, ["lru"], jobs=jobs, cache_dir=cache_dir,
         timeout=timeout, retries=retries,
@@ -263,26 +310,48 @@ def mpki_comparison(
 
 
 def multicore_speedups(
-    eval_config: EvalConfig,
-    num_mixes: int = 10,
-    policies=FIGURE_POLICIES,
+    eval_config: EvalConfig = None,
+    num_mixes: int = None,
+    policies=None,
     suite: str = "spec2006",
     jobs: int = 1,
     cache_dir=None,
     timeout=None,
     retries: int = 0,
+    scenario=None,
 ) -> dict:
     """4-core mix speedups over LRU (paper: 100 random SPEC mixes).
 
     Returns {mix_name: {policy: speedup}}; each speedup is the geometric
     mean of the four cores' IPC ratios.  Mix traces are built in the parent
     and swept through the parallel engine.
+
+    A scenario supplies policies and mixes (``mixes: {random: N}`` sets the
+    mix count; explicit mixes are used verbatim).
     """
-    if suite == "spec2006":
-        mixes = spec_mixes(eval_config, num_mixes)
-    else:
-        names = suite_names(suite)
-        mixes = [tuple(names[:4])]
+    from repro.traces.mix import random_mixes
+
+    mixes = None
+    if scenario is not None:
+        eval_config = _scenario_eval_config(scenario, eval_config)
+        policies = policies or _scenario_policies(scenario)
+        if scenario.mixes is not None and scenario.mixes.explicit:
+            mixes = list(scenario.mixes.explicit)
+        elif scenario.mixes is not None and num_mixes is None:
+            num_mixes = scenario.mixes.random_count
+        if mixes is None:
+            mixes = random_mixes(
+                scenario.workload_names, num_mixes or 10, mix_size=4,
+                seed=eval_config.seed,
+            )
+    policies = policies or FIGURE_POLICIES
+    num_mixes = 10 if num_mixes is None else num_mixes
+    if mixes is None:
+        if suite == "spec2006":
+            mixes = spec_mixes(eval_config, num_mixes)
+        else:
+            names = suite_names(suite)
+            mixes = [tuple(names[:4])]
     traces = [eval_config.mix_trace(mix) for mix in mixes]
     lineup = ["lru"] + [policy for policy in policies if policy != "lru"]
     report = parallel_sweep(
@@ -305,13 +374,26 @@ def multicore_speedups(
 
 
 def table4_overall(
-    eval_config_1core: EvalConfig,
+    eval_config_1core: EvalConfig = None,
     eval_config_4core: EvalConfig = None,
-    policies=FIGURE_POLICIES,
-    num_mixes: int = 10,
+    policies=None,
+    num_mixes: int = None,
     jobs: int = 1,
+    scenario=None,
 ) -> dict:
-    """Table IV: overall % speedup for 1-core/4-core, SPEC and CloudSuite."""
+    """Table IV: overall % speedup for 1-core/4-core, SPEC and CloudSuite.
+
+    A scenario supplies the policy lineup and ``params.num_mixes``; both
+    suites are always swept (the table's columns), so the scenario's
+    workloads only document the configuration.
+    """
+    if scenario is not None:
+        eval_config_1core = _scenario_eval_config(scenario, eval_config_1core)
+        policies = policies or _scenario_policies(scenario)
+        if num_mixes is None:
+            num_mixes = scenario.params.get("num_mixes")
+    policies = policies or FIGURE_POLICIES
+    num_mixes = 10 if num_mixes is None else num_mixes
     table = {}
     for suite in ("spec2006", "cloudsuite"):
         single = single_core_speedups(eval_config_1core, suite, policies, jobs=jobs)

@@ -159,3 +159,34 @@ def validate_agent_file(path) -> ValidationReport:
             f"{len(data['features'])} features, {ways}-way x {num_sets} sets"
         )
     return report
+
+
+def validate_scenario_file(path) -> ValidationReport:
+    """Schema-validate a scenario file (YAML/JSON) without running it.
+
+    Every problem the scenario loader collects — unknown keys, unknown
+    policy or workload names, out-of-range geometry — becomes one error
+    line, so a hand-edited scenario fails with a complete fix list.
+    """
+    from repro.scenarios.loader import load_scenario
+    from repro.scenarios.schema import ScenarioError
+
+    path = Path(path)
+    report = ValidationReport(target=str(path), kind="scenario")
+    try:
+        scenario = load_scenario(path)
+    except ScenarioError as error:
+        for problem in error.problems:
+            report.fail(problem)
+        return report
+    cells = (
+        len(scenario.workload_names) * len(scenario.policies)
+        * len(scenario.run_seeds)
+    )
+    report.summary = (
+        f"scenario {scenario.name!r}: {len(scenario.workloads)} workload(s), "
+        f"{len(scenario.policies)} policy(ies), {len(scenario.run_seeds)} "
+        f"seed(s) -> {cells} cell(s), sanitize={scenario.sanitize}"
+        + (", golden" if scenario.golden else "")
+    )
+    return report

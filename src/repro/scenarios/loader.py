@@ -1,0 +1,170 @@
+"""Scenario file parsing and the browsable scenario library.
+
+Scenario files are YAML (``.yaml``/``.yml``) or JSON (``.json``) documents
+validated by :func:`repro.scenarios.schema.scenario_from_dict`.  The
+checked-in library lives under ``scenarios/`` at the repository root
+(override with ``REPRO_SCENARIO_DIR``); :func:`load_library` maps scenario
+names to validated :class:`~repro.scenarios.schema.Scenario` objects.
+
+YAML support rides on :mod:`yaml` when it is installed; JSON scenarios
+always work, and a missing YAML dependency produces a clear error naming
+the file instead of an ImportError deep in a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.scenarios.schema import Scenario, ScenarioError, scenario_from_dict
+
+#: File suffixes the loader recognizes.
+SCENARIO_SUFFIXES = (".yaml", ".yml", ".json")
+
+ENV_SCENARIO_DIR = "REPRO_SCENARIO_DIR"
+
+
+def _load_yaml_module():
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - environment-dependent
+        return None
+    return yaml
+
+
+def parse_scenario_text(text: str, source: str = None,
+                        fmt: str = "yaml") -> Scenario:
+    """Parse + validate one scenario document from a string."""
+    if fmt == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError([f"not valid JSON: {error}"], source=source)
+    else:
+        yaml = _load_yaml_module()
+        if yaml is None:
+            raise ScenarioError(
+                ["PyYAML is not installed; use a .json scenario or install "
+                 "pyyaml"], source=source,
+            )
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as error:
+            raise ScenarioError([f"not valid YAML: {error}"], source=source)
+    return scenario_from_dict(data, source=source)
+
+
+def load_scenario(path) -> Scenario:
+    """Load + validate one scenario file (YAML or JSON by suffix)."""
+    path = Path(path)
+    if not path.is_file():
+        raise ScenarioError(["file does not exist"], source=str(path))
+    if path.suffix not in SCENARIO_SUFFIXES:
+        raise ScenarioError(
+            [f"unrecognized suffix {path.suffix!r} (expected one of "
+             f"{', '.join(SCENARIO_SUFFIXES)})"], source=str(path),
+        )
+    fmt = "json" if path.suffix == ".json" else "yaml"
+    return parse_scenario_text(
+        path.read_text(encoding="utf-8"), source=str(path), fmt=fmt
+    )
+
+
+def default_library_dir() -> Path:
+    """The checked-in scenario library root.
+
+    ``REPRO_SCENARIO_DIR`` wins; otherwise ``scenarios/`` under the current
+    directory, falling back to the repository checkout this module lives in.
+    """
+    configured = os.environ.get(ENV_SCENARIO_DIR)
+    if configured:
+        return Path(configured)
+    local = Path.cwd() / "scenarios"
+    if local.is_dir():
+        return local
+    return Path(__file__).resolve().parents[3] / "scenarios"
+
+
+def find_scenario_files(root=None) -> list:
+    """Every scenario file under ``root``, deterministically ordered."""
+    root = Path(root) if root is not None else default_library_dir()
+    if not root.is_dir():
+        return []
+    return sorted(
+        path for path in root.rglob("*")
+        if path.is_file() and path.suffix in SCENARIO_SUFFIXES
+    )
+
+
+def load_library(root=None) -> dict:
+    """Load every scenario under the library root: ``{name: Scenario}``.
+
+    Raises :class:`ScenarioError` on the first invalid file or on duplicate
+    scenario names — a broken library should fail loudly, not partially.
+    """
+    library = {}
+    for path in find_scenario_files(root):
+        scenario = load_scenario(path)
+        if scenario.name in library:
+            raise ScenarioError(
+                [f"duplicate scenario name {scenario.name!r} (also defined "
+                 f"in {library[scenario.name].source})"], source=str(path),
+            )
+        library[scenario.name] = scenario
+    return library
+
+
+def resolve_scenario(name_or_path, root=None) -> Scenario:
+    """A scenario by library name or by file path (paths win)."""
+    path = Path(str(name_or_path))
+    if path.suffix in SCENARIO_SUFFIXES or path.is_file():
+        return load_scenario(path)
+    library = load_library(root)
+    if name_or_path in library:
+        return library[name_or_path]
+    known = ", ".join(sorted(library)) or "none found"
+    raise ScenarioError(
+        [f"no scenario named {name_or_path!r} in the library "
+         f"(known: {known})"], source=str(name_or_path),
+    )
+
+
+# -- porting the built-in workload models --------------------------------------
+
+
+def model_scenario_dict(suite: str) -> dict:
+    """The built-in SPEC/CloudSuite models as one inline-workload scenario.
+
+    This is the generator behind ``scenarios/models/<suite>.yaml``: every
+    workload model is spelled out as an inline pattern mix, so the checked-in
+    files are a complete, greppable port of :mod:`repro.traces.spec_models`
+    — and a drift test can verify file and code still agree.
+    """
+    from repro.scenarios.schema import _pattern_to_dict
+    from repro.traces.spec_models import CLOUDSUITE, SPEC2006
+
+    specs = {"spec2006": SPEC2006, "cloudsuite": CLOUDSUITE}[suite]
+    workloads = []
+    for spec in specs:
+        workloads.append({
+            "name": spec.name,
+            "mean_instr_delta": spec.mean_instr_delta,
+            "write_fraction": spec.write_fraction,
+            "patterns": [_pattern_to_dict(p) for p in spec.patterns],
+        })
+    return {
+        "format": 1,
+        "name": f"models-{suite}",
+        "title": f"The {suite} workload models as inline scenario workloads",
+        "description": (
+            "Generated from repro.traces.spec_models (kept in sync by "
+            "tests/test_scenarios.py::test_model_port_matches_code). Inline "
+            "definitions here build byte-identical traces to the built-in "
+            "models."
+        ),
+        "config": {"scale": 64, "trace_length": 2000, "seed": 7},
+        "workloads": workloads,
+        "policies": ["lru"],
+        "sanitize": "normal",
+    }

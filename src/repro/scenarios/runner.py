@@ -1,0 +1,378 @@
+"""Execute scenarios: build traces, sweep, check invariants, report.
+
+:func:`run_scenario` turns a validated :class:`~repro.scenarios.schema.Scenario`
+into a *canonical report*: a plain-JSON payload whose cells are sorted by
+``(seed, workload, policy)`` and whose floats carry full ``repr`` precision,
+so the same scenario produces byte-identical payloads across job counts,
+interruptions, and machines (the guarantee the golden-regression harness in
+:mod:`repro.scenarios.golden` pins).
+
+Every run checks the *conservation invariants* on every cell — hits + misses
+== accesses, evictions never exceed fills (misses − bypasses), dirty
+evictions never exceed evictions — and then the scenario's declared
+expectations (hit-rate bounds, speedup floors, Belady-regret ceilings,
+Belady dominance).
+"""
+
+from __future__ import annotations
+
+from repro.eval.metrics import geomean, mix_speedup
+from repro.scenarios.schema import Scenario, WorkloadClause
+from repro.traces.record import Trace
+from repro.traces.spec_models import WorkloadSpec, build_trace, get_workload
+
+#: Report payload format (bumped on incompatible payload changes).
+REPORT_FORMAT = 1
+
+
+class ExpectationFailure(AssertionError):
+    """A scenario ran fine but one of its expected invariants failed."""
+
+    def __init__(self, scenario_name: str, failures):
+        self.failures = list(failures)
+        super().__init__(
+            f"scenario {scenario_name!r}: {len(self.failures)} expectation "
+            "failure(s):\n" +
+            "\n".join(f"  - {failure}" for failure in self.failures)
+        )
+
+
+# -- trace construction --------------------------------------------------------
+
+
+def build_clause_trace(
+    clause: WorkloadClause, llc_lines: int, length: int, seed: int,
+    core: int = 0,
+) -> Trace:
+    """Instantiate one workload clause as a concrete trace.
+
+    Model references delegate to the built-in workload models (identical
+    bytes to :meth:`EvalConfig.trace`); inline clauses build one
+    :class:`WorkloadSpec` per phase and concatenate the phases, which is
+    what lets a scenario shift its mix — or walk its working set across the
+    cache size — mid-run.
+    """
+    if not clause.inline:
+        trace = build_trace(
+            get_workload(clause.model), llc_lines=llc_lines, length=length,
+            seed=seed, core=core,
+        )
+        if clause.name != clause.model:
+            trace.name = clause.name
+        return trace
+    records = []
+    remaining = length
+    for index, phase in enumerate(clause.phases):
+        if index + 1 == len(clause.phases):
+            phase_length = remaining  # last phase absorbs rounding
+        else:
+            phase_length = min(remaining, max(1, round(phase.fraction * length)))
+        if phase_length <= 0:
+            continue
+        spec = WorkloadSpec(
+            name=clause.name,
+            suite="scenario",
+            patterns=phase.patterns,
+            mean_instr_delta=clause.mean_instr_delta,
+            write_fraction=clause.write_fraction,
+        )
+        phase_trace = build_trace(
+            spec, llc_lines=llc_lines, length=phase_length,
+            seed=seed + 7919 * index, core=core,
+        )
+        records.extend(phase_trace.records)
+        remaining -= phase_length
+    return Trace(clause.name, records)
+
+
+def scenario_traces(scenario: Scenario, eval_config, seed: int) -> list:
+    """The traces one scenario run sweeps (single-core cells or mixes)."""
+    llc_lines = eval_config.llc_lines
+    length = scenario.config.trace_length
+    clauses = {clause.name: clause for clause in scenario.workloads}
+    if scenario.mixes is None:
+        return [
+            build_clause_trace(clause, llc_lines, length, seed)
+            for clause in scenario.workloads
+        ]
+    if scenario.mixes.random_count:
+        from repro.traces.mix import random_mixes
+
+        mixes = random_mixes(
+            scenario.workload_names, scenario.mixes.random_count,
+            mix_size=scenario.config.num_cores, seed=seed,
+        )
+    else:
+        mixes = scenario.mixes.explicit
+    from repro.traces.mix import interleave
+
+    traces = []
+    for mix in mixes:
+        per_core = [
+            build_clause_trace(clauses[name], llc_lines, length, seed, core=i)
+            for i, name in enumerate(mix)
+        ]
+        traces.append(interleave(per_core))
+    return traces
+
+
+# -- conservation invariants ---------------------------------------------------
+
+#: The llc_stats counters a canonical cell carries (deterministic subset).
+CELL_STAT_KEYS = (
+    "accesses", "hits", "misses", "evictions", "dirty_evictions", "bypasses",
+)
+
+
+def conservation_problems(stats: dict) -> list:
+    """Violated conservation laws in one cell's LLC counters (empty = ok)."""
+    problems = []
+    if stats["hits"] + stats["misses"] != stats["accesses"]:
+        problems.append(
+            f"hits ({stats['hits']}) + misses ({stats['misses']}) != "
+            f"accesses ({stats['accesses']})"
+        )
+    fills = stats["misses"] - stats["bypasses"]
+    if stats["evictions"] > fills:
+        problems.append(
+            f"evictions ({stats['evictions']}) exceed fills ({fills} = "
+            f"misses - bypasses)"
+        )
+    if stats["dirty_evictions"] > stats["evictions"]:
+        problems.append(
+            f"dirty evictions ({stats['dirty_evictions']}) exceed total "
+            f"evictions ({stats['evictions']})"
+        )
+    if stats["bypasses"] > stats["misses"]:
+        problems.append(
+            f"bypasses ({stats['bypasses']}) exceed misses "
+            f"({stats['misses']})"
+        )
+    return problems
+
+
+# -- running -------------------------------------------------------------------
+
+
+def _cell_payload(cell, seed: int, decisions_enabled: bool) -> dict:
+    result = cell.result
+    payload = {
+        "workload": cell.workload,
+        "policy": cell.policy,
+        "seed": seed,
+        "status": cell.status,
+        "ipc": list(result.ipc),
+        "hit_rate": result.llc_hit_rate,
+        "demand_hit_rate": result.llc_demand_hit_rate,
+        "demand_mpki": result.demand_mpki,
+        "stats": {key: result.llc_stats[key] for key in CELL_STAT_KEYS},
+    }
+    if cell.violations:
+        payload["violations"] = list(cell.violations)
+    if decisions_enabled and cell.decisions:
+        summary = cell.decisions.get("summary", {})
+        payload["regret"] = {
+            key: summary.get(key, 0)
+            for key in ("evictions", "graded", "optimal", "neutral",
+                        "harmful", "regret_x2")
+        }
+    return payload
+
+
+def run_scenario(
+    scenario: Scenario,
+    jobs: int = 1,
+    cache_dir=None,
+    progress=None,
+    decisions: int = None,
+) -> dict:
+    """Run one scenario; return its canonical report payload.
+
+    ``decisions`` forces a per-eviction decision-log sample rate; when the
+    scenario carries ``regret`` expectations, decision tracing is enabled
+    automatically (rate 1) so regret is measurable.  Failed cells raise —
+    a scenario whose simulation crashes has no meaningful report.
+    """
+    from repro.eval.parallel import parallel_sweep
+
+    if decisions is None and any(e.check == "regret" for e in scenario.expect):
+        decisions = 1
+    cells = []
+    for seed in scenario.run_seeds:
+        eval_config = scenario.eval_config(seed)
+        traces = scenario_traces(scenario, eval_config, seed)
+        report = parallel_sweep(
+            eval_config,
+            traces,
+            list(scenario.policies),
+            jobs=jobs,
+            num_cores=scenario.config.num_cores,
+            cache_dir=cache_dir,
+            sanitize=scenario.sanitize,
+            decisions=decisions,
+            progress=progress,
+        )
+        failures = report.failures()
+        if failures:
+            first = failures[0]
+            last_line = (first.error or "?").strip().splitlines()[-1]
+            raise RuntimeError(
+                f"scenario {scenario.name!r}: {len(failures)} cell(s) failed "
+                f"(first: {first.workload}/{first.policy}: {last_line})"
+            )
+        for cell in sorted(report.cells,
+                           key=lambda c: (c.workload, c.policy)):
+            cells.append(_cell_payload(cell, seed, decisions is not None))
+    payload = {
+        "format": REPORT_FORMAT,
+        "scenario": scenario.as_dict(),
+        "cells": cells,
+        "conservation": _check_conservation(cells),
+        "expectations": evaluate_expectations(scenario, cells),
+    }
+    payload["ok"] = (
+        payload["conservation"]["ok"]
+        and all(e["status"] == "pass" for e in payload["expectations"])
+    )
+    return payload
+
+
+def _check_conservation(cells) -> dict:
+    problems = []
+    for cell in cells:
+        for problem in conservation_problems(cell["stats"]):
+            problems.append(
+                f"{cell['workload']}/{cell['policy']} (seed "
+                f"{cell['seed']}): {problem}"
+            )
+    return {"ok": not problems, "problems": problems}
+
+
+# -- expectations --------------------------------------------------------------
+
+
+def _matching(cells, expectation):
+    for cell in cells:
+        if expectation.policy and cell["policy"] != expectation.policy:
+            continue
+        if expectation.workload and cell["workload"] != expectation.workload:
+            continue
+        yield cell
+
+
+def _check_hit_rate(cells, expectation) -> list:
+    failures = []
+    for cell in _matching(cells, expectation):
+        rate = cell["hit_rate"]
+        if expectation.min is not None and rate < expectation.min:
+            failures.append(
+                f"{cell['workload']}/{cell['policy']}: hit rate {rate:.4f} "
+                f"below min {expectation.min}"
+            )
+        if expectation.max is not None and rate > expectation.max:
+            failures.append(
+                f"{cell['workload']}/{cell['policy']}: hit rate {rate:.4f} "
+                f"above max {expectation.max}"
+            )
+    return failures
+
+
+def _check_speedup(cells, expectation) -> list:
+    baselines = {
+        (cell["workload"], cell["seed"]): cell["ipc"]
+        for cell in cells if cell["policy"] == expectation.over
+    }
+    ratios = []
+    for cell in _matching(cells, expectation):
+        if cell["policy"] == expectation.over:
+            continue
+        baseline = baselines.get((cell["workload"], cell["seed"]))
+        if baseline is None:
+            continue
+        ratios.append(mix_speedup(cell["ipc"], baseline))
+    if not ratios:
+        return [f"no cells to compare against baseline {expectation.over!r}"]
+    overall = (geomean(ratios) - 1) * 100
+    if overall < expectation.min:
+        return [
+            f"geomean speedup over {expectation.over} is {overall:+.3f}%, "
+            f"below min {expectation.min}%"
+        ]
+    return []
+
+
+def _check_regret(cells, expectation) -> list:
+    failures = []
+    seen = False
+    for cell in _matching(cells, expectation):
+        regret = cell.get("regret")
+        if regret is None or not regret.get("graded"):
+            continue
+        seen = True
+        value = regret["regret_x2"] / (2 * regret["graded"])
+        if value > expectation.max:
+            failures.append(
+                f"{cell['workload']}/{cell['policy']}: Belady regret "
+                f"{value:.4f} above ceiling {expectation.max}"
+            )
+    if not seen:
+        return ["no graded decisions to check regret against"]
+    return failures
+
+
+def _check_belady_dominates(cells) -> list:
+    belady = {
+        (cell["workload"], cell["seed"]): cell["hit_rate"]
+        for cell in cells if cell["policy"] == "belady"
+    }
+    failures = []
+    for cell in cells:
+        if cell["policy"] == "belady":
+            continue
+        optimum = belady.get((cell["workload"], cell["seed"]))
+        if optimum is not None and cell["hit_rate"] > optimum + 1e-9:
+            failures.append(
+                f"{cell['workload']}/{cell['policy']}: hit rate "
+                f"{cell['hit_rate']:.4f} exceeds Belady's {optimum:.4f}"
+            )
+    return failures
+
+
+def evaluate_expectations(scenario: Scenario, cells) -> list:
+    """Check every declared expectation; returns one result row each."""
+    results = []
+    for expectation in scenario.expect:
+        if expectation.check == "conservation":
+            failures = [
+                problem for cell in _matching(cells, expectation)
+                for problem in conservation_problems(cell["stats"])
+            ]
+        elif expectation.check == "hit_rate":
+            failures = _check_hit_rate(cells, expectation)
+        elif expectation.check == "speedup":
+            failures = _check_speedup(cells, expectation)
+        elif expectation.check == "regret":
+            failures = _check_regret(cells, expectation)
+        else:  # belady_dominates (the schema admits nothing else)
+            failures = _check_belady_dominates(cells)
+        results.append({
+            "expect": expectation.as_dict(),
+            "status": "pass" if not failures else "fail",
+            "failures": failures,
+        })
+    return results
+
+
+def check_report(payload: dict) -> list:
+    """Every failure a report payload carries (conservation + expectations)."""
+    failures = list(payload.get("conservation", {}).get("problems", ()))
+    for row in payload.get("expectations", ()):
+        failures.extend(row.get("failures", ()))
+    return failures
+
+
+def require_ok(scenario: Scenario, payload: dict) -> None:
+    """Raise :class:`ExpectationFailure` unless the report is clean."""
+    failures = check_report(payload)
+    if failures:
+        raise ExpectationFailure(scenario.name, failures)

@@ -406,3 +406,111 @@ class TestPipeHandling:
         assert result.returncode == 0
         assert "Table I" in result.stdout
         assert "Traceback" not in result.stderr
+
+
+class TestScenarioCommands:
+    TINY = {
+        "format": 1,
+        "name": "cli-tiny",
+        "title": "CLI smoke scenario",
+        "config": {"scale": 64, "trace_length": 500, "seed": 3},
+        "workloads": [{"name": "loop", "patterns": [
+            {"kind": "cyclic", "working_set": 2.0},
+        ]}],
+        "policies": ["lru", "srrip"],
+        "golden": True,
+        "expect": [{"check": "conservation"}],
+    }
+
+    @pytest.fixture
+    def library(self, tmp_path):
+        import json
+
+        root = tmp_path / "scenarios"
+        root.mkdir()
+        (root / "cli-tiny.json").write_text(json.dumps(self.TINY))
+        return root
+
+    @staticmethod
+    def run(capsys, *argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out + captured.err
+
+    def test_list_names_scenarios(self, capsys, library):
+        code, out = self.run(capsys, "scenario", "list",
+                            "--library", str(library))
+        assert code == 0
+        assert "cli-tiny" in out
+        assert "CLI smoke scenario" in out
+
+    def test_run_prints_table_and_digest(self, capsys, library, tmp_path):
+        code, out = self.run(
+            capsys, "scenario", "run", "cli-tiny",
+            "--library", str(library), "--goldens", str(tmp_path / "g"),
+            "--json", str(tmp_path / "report.json"),
+        )
+        assert code == 0
+        assert "report digest: " in out
+        assert "expect {'check': 'conservation'}: PASS" in out
+        assert "no golden recorded yet" in out  # golden: true, not blessed
+        assert (tmp_path / "report.json").is_file()
+
+    def test_bless_then_run_checks_the_golden(self, capsys, library, tmp_path):
+        goldens = tmp_path / "goldens"
+        code, out = self.run(
+            capsys, "scenario", "bless", "--all",
+            "--library", str(library), "--goldens", str(goldens),
+        )
+        assert code == 0
+        assert (goldens / "cli-tiny.json").is_file()
+        code, out = self.run(
+            capsys, "scenario", "run", "cli-tiny",
+            "--library", str(library), "--goldens", str(goldens),
+        )
+        assert code == 0
+        assert "matches the blessed digest" in out
+
+    def test_diff_against_golden_is_clean(self, capsys, library, tmp_path):
+        goldens = tmp_path / "goldens"
+        self.run(capsys, "scenario", "bless", "cli-tiny",
+                "--library", str(library), "--goldens", str(goldens))
+        code, out = self.run(
+            capsys, "scenario", "diff", "cli-tiny",
+            "--library", str(library), "--goldens", str(goldens),
+        )
+        assert code == 0
+        assert "no differences" in out
+
+    def test_regression_renders_a_readable_diff(self, capsys, library, tmp_path):
+        import json
+
+        goldens = tmp_path / "goldens"
+        self.run(capsys, "scenario", "bless", "cli-tiny",
+                "--library", str(library), "--goldens", str(goldens))
+        # Tamper with the blessed report: a different hit_rate must surface
+        # as a per-cell metric line, not a bare digest mismatch.
+        path = goldens / "cli-tiny.json"
+        document = json.loads(path.read_text())
+        document["report"]["cells"][0]["hit_rate"] += 0.25
+        document["digest"] = "0" * 64
+        path.write_text(json.dumps(document))
+        code, out = self.run(
+            capsys, "scenario", "run", "cli-tiny",
+            "--library", str(library), "--goldens", str(goldens),
+        )
+        assert code == 1
+        assert "golden regression:" in out
+        assert "hit_rate" in out and "loop / lru" in out
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys, library):
+        code, out = self.run(capsys, "scenario", "run", "nope",
+                            "--library", str(library))
+        assert code == 2
+        assert "error:" in out
+
+    def test_validate_kind_scenario_via_library_file(self, capsys, library):
+        code, out = self.run(capsys, "validate",
+                            str(library / "cli-tiny.json"))
+        assert code == 0
+        assert "scenario 'cli-tiny'" in out

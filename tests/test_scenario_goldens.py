@@ -1,0 +1,123 @@
+"""Golden-report regression: every blessed scenario reproduces its digest.
+
+On a digest mismatch the failure message is a readable per-cell diff (which
+metric moved, by how much, on which workload/policy/seed) — a policy change
+shows up as scenario-level evidence, not a bare hash inequality.  After an
+*intentional* behaviour change, re-record with::
+
+    PYTHONPATH=src python -m repro.cli scenario bless --all
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("yaml")  # the library scenarios are YAML documents
+
+from repro.scenarios import (  # noqa: E402
+    canonical_json,
+    compare_to_golden,
+    diff_reports,
+    load_library,
+    read_golden,
+    report_digest,
+    run_scenario,
+    write_golden,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+LIBRARY = REPO_ROOT / "scenarios"
+GOLDENS = REPO_ROOT / "tests" / "goldens"
+
+_library = load_library(LIBRARY)
+GOLDEN_NAMES = sorted(n for n, s in _library.items() if s.golden)
+
+
+class TestGoldenRegression:
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_scenario_reproduces_its_golden(self, name):
+        scenario = _library[name]
+        payload = run_scenario(scenario)
+        stored = read_golden(name, root=GOLDENS)
+        assert stored is not None, (
+            f"no golden recorded for {name!r} — run: "
+            "repro scenario bless " + name
+        )
+        diff = compare_to_golden(name, payload, root=GOLDENS)
+        assert diff == [], (
+            f"scenario {name!r} diverged from its blessed golden:\n  "
+            + "\n  ".join(diff)
+        )
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_stored_digest_matches_stored_report(self, name):
+        """A hand-edited golden (digest != report) is caught immediately."""
+        stored = read_golden(name, root=GOLDENS)
+        assert stored["digest"] == report_digest(stored["report"])
+
+    def test_digest_identical_across_job_counts(self):
+        """The acceptance bar: --jobs 1 and --jobs 4 byte-identical."""
+        scenario = _library["smoke-quick"]
+        serial = run_scenario(scenario, jobs=1)
+        parallel = run_scenario(scenario, jobs=4)
+        assert canonical_json(serial) == canonical_json(parallel)
+        assert report_digest(serial) == read_golden(
+            "smoke-quick", root=GOLDENS
+        )["digest"]
+
+
+class TestDiffRendering:
+    """A regression failure reads as a scenario diff, not a hash mismatch."""
+
+    def _payload(self):
+        return run_scenario(_library["smoke-quick"])
+
+    def test_equal_reports_have_no_diff(self):
+        payload = self._payload()
+        assert diff_reports(payload, payload) == []
+
+    def test_metric_drift_names_the_cell_and_delta(self):
+        import copy
+
+        old = self._payload()
+        new = copy.deepcopy(old)
+        cell = new["cells"][0]
+        cell["hit_rate"] += 0.125
+        cell["stats"]["hits"] += 7
+        lines = diff_reports(old, new)
+        joined = "\n".join(lines)
+        assert f"{cell['workload']} / {cell['policy']}" in joined
+        assert "hit_rate" in joined and "+0.125000" in joined
+        assert "hits" in joined and "+7" in joined
+
+    def test_removed_cell_is_reported(self):
+        import copy
+
+        old = self._payload()
+        new = copy.deepcopy(old)
+        dropped = new["cells"].pop()
+        lines = diff_reports(old, new)
+        assert any(line.startswith("cell removed") and
+                   dropped["policy"] in line for line in lines)
+
+    def test_scenario_definition_change_is_called_out(self):
+        import copy
+
+        old = self._payload()
+        new = copy.deepcopy(old)
+        new["scenario"]["config"]["seed"] = 99
+        assert any("scenario definition changed" in line
+                   for line in diff_reports(old, new))
+
+
+class TestBlessCycle:
+    def test_write_then_compare_round_trips(self, tmp_path):
+        payload = run_scenario(_library["smoke-quick"])
+        write_golden("smoke-quick", payload, root=tmp_path)
+        assert compare_to_golden("smoke-quick", payload, root=tmp_path) == []
+
+    def test_missing_golden_returns_none(self, tmp_path):
+        payload = run_scenario(_library["smoke-quick"])
+        assert compare_to_golden("smoke-quick", payload, root=tmp_path) is None

@@ -1,0 +1,160 @@
+"""``repro validate`` on malformed inputs, and the poison fault action.
+
+The validate command must *explain* a broken file — every problem the
+loader collects becomes one error line — and exit non-zero without a
+traceback.  The poison action is the one :mod:`repro.testing.faults`
+verb with no behaviour of its own: instrumented code asks
+:func:`~repro.testing.faults.poisoned` and corrupts its *own* state, so
+the window/match/counter semantics are pinned here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sanitize.preflight import validate_scenario_file
+from repro.testing.faults import (
+    FaultSpec,
+    clear_faults,
+    injected_faults,
+    maybe_fault,
+    poisoned,
+)
+
+GOOD = {
+    "format": 1,
+    "name": "good",
+    "config": {"scale": 64, "trace_length": 400},
+    "workloads": ["450.soplex"],
+    "policies": ["lru"],
+}
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out + captured.err
+
+
+def write_scenario(tmp_path, data, name="scenario.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestValidateScenarioErrors:
+    def test_valid_file_passes_with_summary(self, capsys, tmp_path):
+        path = write_scenario(tmp_path, GOOD)
+        code, out = run_cli(capsys, "validate", str(path))
+        assert code == 0
+        assert "scenario 'good'" in out
+        assert "1 cell(s)" in out
+
+    def test_bad_yaml_reports_parse_error(self, capsys, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "broken.yaml"
+        path.write_text("name: [unclosed\npolicies: {")
+        code, out = run_cli(capsys, "validate", str(path))
+        assert code == 1
+        assert "not valid YAML" in out
+
+    def test_unknown_policy_is_named(self, capsys, tmp_path):
+        data = dict(GOOD, policies=["lru", "oracle9000"])
+        path = write_scenario(tmp_path, data)
+        code, out = run_cli(capsys, "validate", str(path))
+        assert code == 1
+        assert "unknown policy 'oracle9000'" in out
+        assert "known:" in out  # the fix is in the message
+
+    def test_out_of_range_assoc_and_sets(self, capsys, tmp_path):
+        data = dict(GOOD, config={"scale": 64, "llc_ways": 999})
+        path = write_scenario(tmp_path, data)
+        code, out = run_cli(capsys, "validate", str(path))
+        assert code == 1
+        assert "llc_ways" in out and "out of range" in out
+
+        # In-range knobs whose combination leaves the hierarchy without a
+        # single set still fail, at validate time rather than mid-sweep.
+        data = dict(GOOD, config={"scale": 2048})
+        path = write_scenario(tmp_path, data, name="degenerate.json")
+        code, out = run_cli(capsys, "validate", str(path))
+        assert code == 1
+        assert "geometry does not construct" in out
+
+    def test_every_problem_is_one_line(self, tmp_path):
+        data = dict(
+            GOOD,
+            policies=["nope"],
+            sanitize="nuclear",
+            config={"scale": 64, "warmup_fraction": 2.0},
+        )
+        report = validate_scenario_file(write_scenario(tmp_path, data))
+        assert not report.ok
+        assert len(report.errors) == 3
+        assert report.kind == "scenario"
+
+    def test_mixed_good_and_bad_paths_fail_overall(self, capsys, tmp_path):
+        good = write_scenario(tmp_path, GOOD, name="good.json")
+        bad = write_scenario(
+            tmp_path, dict(GOOD, policies=["zap"]), name="bad.json"
+        )
+        code, out = run_cli(capsys, "validate", str(good), str(bad))
+        assert code == 1
+        assert "scenario 'good'" in out  # the good one still reported
+
+    def test_kind_flag_forces_scenario_parsing(self, capsys, tmp_path):
+        path = tmp_path / "scenario.txt"  # extension sniffing would say trace
+        path.write_text(json.dumps(GOOD))
+        code, out = run_cli(
+            capsys, "validate", "--kind", "scenario", str(path)
+        )
+        # JSON text in a .txt: the loader rejects the suffix, so the
+        # report carries that error rather than a trace-parse traceback.
+        assert code == 1
+        assert "scenario" in out
+
+
+class TestPoisonAction:
+    @pytest.fixture(autouse=True)
+    def _no_leaked_faults(self):
+        yield
+        clear_faults()
+
+    def test_inactive_without_installation(self):
+        assert poisoned("train_epoch", epoch=0) is False
+
+    def test_fires_inside_its_window_only(self, tmp_path):
+        spec = FaultSpec(site="train_epoch", action="poison",
+                         after=1, times=2)
+        with injected_faults([spec], tmp_path):
+            assert poisoned("train_epoch") is False  # call 1: before window
+            assert poisoned("train_epoch") is True   # call 2
+            assert poisoned("train_epoch") is True   # call 3
+            assert poisoned("train_epoch") is False  # call 4: exhausted
+
+    def test_matches_identity(self, tmp_path):
+        spec = FaultSpec(site="train_epoch", action="poison",
+                         match={"epoch": 1})
+        with injected_faults([spec], tmp_path):
+            assert poisoned("train_epoch", epoch=0) is False
+            assert poisoned("train_epoch", epoch=1) is True
+
+    def test_poison_does_not_fire_through_maybe_fault(self, tmp_path):
+        """The harness itself never acts on poison — the caller does."""
+        spec = FaultSpec(site="train_epoch", action="poison")
+        with injected_faults([spec], tmp_path):
+            maybe_fault("train_epoch")  # must not raise or count
+            assert poisoned("train_epoch") is True  # window still unspent
+
+    def test_other_actions_invisible_to_poisoned(self, tmp_path):
+        spec = FaultSpec(site="train_epoch", action="error")
+        with injected_faults([spec], tmp_path):
+            assert poisoned("train_epoch") is False
+
+    def test_poison_round_trips_through_spec_dict(self):
+        spec = FaultSpec(site="train_epoch", action="poison",
+                         match={"epoch": 2}, times=3)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
