@@ -30,6 +30,8 @@ policy itself — structurally zero cost.
 
 from __future__ import annotations
 
+import threading
+
 from repro.cache.replacement.base import BYPASS
 from repro.telemetry import get_registry
 
@@ -68,6 +70,10 @@ class CheckedPolicy:
         self._bound = getattr(policy, "num_sets", 0) > 0
         self._pending_evictions = 0
         self.violations = []  #: recorded contract-violation descriptions
+        #: Serializes the degrade transition: concurrent callers (the
+        #: policy server shares one wrapper across connection handlers)
+        #: must record the first violation exactly once.
+        self._degrade_lock = threading.Lock()
         # Per-access hooks are rebound directly: zero wrapper overhead on
         # the hit path (see module docstring).
         self.on_hit = policy.on_hit
@@ -90,8 +96,7 @@ class CheckedPolicy:
 
     # -- violation handling ------------------------------------------------
 
-    def _violate(self, detail: str, set_index: int = -1) -> None:
-        name = getattr(self._inner, "name", self._inner.__class__.__name__)
+    def _record(self, name, detail: str, set_index: int) -> None:
         self.violations.append(
             f"policy {name!r}"
             + (f" (set {set_index})" if set_index >= 0 else "")
@@ -109,14 +114,24 @@ class CheckedPolicy:
         trace = active_trace()
         if trace is not None:
             trace.record_violation(str(name), detail, set_index)
+
+    def _violate(self, detail: str, set_index: int = -1) -> None:
+        name = getattr(self._inner, "name", self._inner.__class__.__name__)
         if self._strict:
+            self._record(name, detail, set_index)
             raise PolicyContractError(str(name), detail, set_index=set_index)
-        if not self._degraded:
+        # Normal mode degrades to LRU; the transition (and its recording)
+        # happens exactly once even when concurrent callers race past the
+        # ``self._degraded`` fast checks on the contract surface.
+        with self._degrade_lock:
+            if self._degraded:
+                return
             self._degraded = True
             # Disconnect the offending policy entirely: corrupt internal
             # state must not be able to raise from later hook calls.
             self.on_hit = _noop
             self.on_miss = _noop
+            self._record(name, detail, set_index)
 
     # -- guarded contract surface ------------------------------------------
 
@@ -177,6 +192,24 @@ class CheckedPolicy:
             )
             return cache_set.lru_way()
         return way
+
+    # -- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Locks and bound methods do not pickle; carry the inner policy and
+        # the plain state, and rebuild the rest on restore.
+        state = self.__dict__.copy()
+        del state["_degrade_lock"]
+        for hook in ("on_hit", "on_miss"):
+            state[hook] = None if state[hook] is not _noop else _noop
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._degrade_lock = threading.Lock()
+        for hook in ("on_hit", "on_miss"):
+            if self.__dict__[hook] is None:
+                self.__dict__[hook] = getattr(self._inner, hook)
 
     # -- introspection ------------------------------------------------------
 

@@ -1,0 +1,140 @@
+"""Crash-safe snapshots of the policy server's tenant state.
+
+Follows the :mod:`repro.runs.checkpoint` idiom: a versioned pickle payload
+written through :func:`repro.runs.atomic.atomic_write` (temp file + fsync
++ rename, so a SIGKILL mid-write leaves the previous snapshot intact) and
+guarded by a content fingerprint that :func:`load_server_snapshot`
+re-derives and compares, so a torn or hand-edited snapshot is rejected
+with a typed error instead of silently restoring garbage.
+
+What a snapshot carries, per tenant: the *inner* policy object (its whole
+learned/derived state — the strict sanitizer wrapper is rebuilt fresh on
+restore), the shard's :class:`~repro.serve.state.ShardHealth`, the cache
+geometry, and the idempotent-reply dedup cache.  Restoring and immediately
+re-saving produces byte-identical snapshot payloads — the
+restart-with-restore proof in the failure-matrix tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+
+from repro.runs.atomic import atomic_write
+
+SNAPSHOT_VERSION = 1
+SNAPSHOT_NAME = "serve-snapshot.pkl"
+
+
+class SnapshotError(RuntimeError):
+    """A missing, torn, or version-incompatible server snapshot."""
+
+
+def _fingerprint(body: bytes) -> str:
+    return hashlib.sha256(body).hexdigest()
+
+
+def shard_to_state(shard) -> dict:
+    """One tenant's serializable state (see module docstring)."""
+    from repro.serve.protocol import config_to_wire
+
+    return {
+        "policy_name": shard.policy_name,
+        "params": dict(shard.params),
+        "config": config_to_wire(shard.config),
+        "allow_bypass": shard.allow_bypass,
+        "health": shard.health.to_dict(),
+        "replies": list(shard.replies.items()),
+        "policy": shard.policy.wrapped,
+    }
+
+
+def shard_from_state(tenant: str, state: dict, health_config):
+    """Rebuild a live :class:`~repro.serve.server.TenantShard`."""
+    from collections import OrderedDict
+
+    from repro.sanitize.policy_guard import CheckedPolicy
+    from repro.serve.protocol import config_from_wire
+    from repro.serve.server import TenantShard
+    from repro.serve.state import ShardHealth
+
+    shard = TenantShard.__new__(TenantShard)
+    shard.tenant = tenant
+    shard.policy_name = state["policy_name"]
+    shard.params = dict(state["params"])
+    shard.config = config_from_wire(state["config"])
+    shard.allow_bypass = bool(state["allow_bypass"])
+    shard.health = ShardHealth.from_dict(state["health"])
+    shard.replies = OrderedDict(
+        (key, dict(value)) for key, value in state.get("replies", [])
+    )
+    # The restored inner policy is already bound (its geometry survived the
+    # pickle); the wrapper notices and will not re-bind.
+    shard.policy = CheckedPolicy(
+        state["policy"], strict=True, allow_bypass=shard.allow_bypass
+    )
+    return shard
+
+
+def save_server_snapshot(directory, server, name: str = SNAPSHOT_NAME) -> Path:
+    """Write the server's full tenant state; returns the snapshot path."""
+    path = Path(directory) / name
+    body = pickle.dumps(
+        {
+            "tenants": {tenant: shard_to_state(shard)
+                        for tenant, shard in sorted(server.shards.items())},
+            "victims_served": server._victims_served,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    payload = {
+        "version": SNAPSHOT_VERSION,
+        "fingerprint": _fingerprint(body),
+        "body": body,
+    }
+    atomic_write(path, lambda handle: pickle.dump(payload, handle))
+    return path
+
+
+def load_server_snapshot(path) -> dict:
+    """Read and verify a snapshot; returns the decoded state dict."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / SNAPSHOT_NAME
+    if not path.is_file():
+        raise SnapshotError(f"no server snapshot at {path}")
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError) as error:
+        raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
+    if not isinstance(payload, dict) or "body" not in payload:
+        raise SnapshotError(f"snapshot {path} has no body")
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} is version {payload.get('version')!r}, "
+            f"expected {SNAPSHOT_VERSION}"
+        )
+    if _fingerprint(payload["body"]) != payload.get("fingerprint"):
+        raise SnapshotError(
+            f"snapshot {path} failed its fingerprint check (torn write or "
+            f"manual edit)"
+        )
+    try:
+        return pickle.loads(payload["body"])
+    except Exception as error:
+        raise SnapshotError(
+            f"snapshot {path} body does not decode: {error}"
+        ) from error
+
+
+def restore_server_snapshot(path, server) -> int:
+    """Install a snapshot's tenants into ``server``; returns the count."""
+    state = load_server_snapshot(path)
+    server.shards = {
+        tenant: shard_from_state(tenant, shard_state, server.config.health)
+        for tenant, shard_state in state.get("tenants", {}).items()
+    }
+    server._victims_served = int(state.get("victims_served", 0))
+    return len(server.shards)

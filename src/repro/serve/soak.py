@@ -1,0 +1,381 @@
+"""The chaos soak harness behind ``repro serve --chaos``.
+
+Two phases over the workload/policy grid of a scenario (default
+``smoke-serve``):
+
+**Identity** — no faults.  Every cell replays twice, in-process and
+through a :class:`~repro.serve.client.ServerBackedPolicy`, and the two
+:class:`~repro.eval.parallel.SweepReport` CSVs must be **byte-identical**
+with zero fallbacks.  This pins the server as a pure transport.
+
+**Chaos** — deterministic fault specs (deadline-blowing decisions, slow
+decisions, injected policy errors, poisoned replies, dropped/stalled
+connections) while several client threads replay the grid concurrently.
+The soak fails on: any client exception, any cell that did not complete,
+a missing fallback (chaos must actually have fired and been absorbed), or
+any tenant not back to ``healthy`` by the end (probation recovery).  The
+chaos phase then runs a *second* time against a fresh server with the
+same specs, and both reports must match byte-for-byte — fault windows are
+scoped per tenant (each tenant's requests are sequential on its own
+connection), so even the chaos run is deterministic.  Connection-level
+faults are deliberately *unscoped*: they only delay transport, so they
+may land on any client without perturbing the report.
+
+Everything the harness observed — server logs, the telemetry payload,
+the per-phase reports — lands in an artifacts directory for CI upload.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import traceback
+from pathlib import Path
+
+from repro.eval.parallel import CellResult, SweepReport
+from repro.eval.runner import _prepared, replay
+from repro.serve.client import ServerBackedPolicy
+from repro.serve.server import ServeConfig, start_in_thread
+from repro.serve.state import HEALTHY
+from repro.testing.faults import injected_faults
+
+#: Client knobs for the chaos phase: fail fast, retry a little.
+CHAOS_CLIENT_OPTIONS = {"timeout": 2.0, "retries": 2, "backoff_base": 0.005}
+
+
+def soak_serve_config() -> ServeConfig:
+    """Small count-based thresholds so one cell covers the whole machine."""
+    return ServeConfig(
+        degrade_after=3, probation_ok=8, quarantine_requests=16,
+    )
+
+
+def chaos_specs(cells) -> list:
+    """Deterministic fault schedule, scoped per tenant (see module doc)."""
+    specs = [
+        # Transport-only chaos (unscoped): drop two connection attempts,
+        # stall a third for 20ms.  Clients retry through all of it.
+        {"site": "serve.conn", "action": "error", "after": 1, "times": 2},
+        {"site": "serve.conn", "action": "slow:20", "after": 4, "times": 1},
+    ]
+    for index, (workload, policy) in enumerate(cells):
+        tenant = soak_tenant(workload, policy)
+        kind = index % 4
+        if kind == 0:  # blow the deadline long enough to degrade + recover
+            specs.append({
+                "site": "serve.decide", "action": "hang_until_deadline",
+                "match": {"tenant": tenant}, "after": 5, "times": 5,
+            })
+        elif kind == 1:  # poisoned replies: client-side validation fallback
+            specs.append({
+                "site": "serve.reply", "action": "poison",
+                "match": {"tenant": tenant}, "after": 8, "times": 2,
+            })
+        elif kind == 2:  # injected policy error: immediate degradation
+            specs.append({
+                "site": "serve.decide", "action": "error",
+                "match": {"tenant": tenant}, "after": 6, "times": 1,
+            })
+        else:  # slow decisions past the 500us budget (real async sleep too)
+            specs.append({
+                "site": "serve.decide", "action": "slow:1",
+                "match": {"tenant": tenant}, "after": 3, "times": 2,
+            })
+    return specs
+
+
+def soak_tenant(workload: str, policy: str) -> str:
+    return f"soak-{workload}-{policy}"
+
+
+def _report_from_cells(cells) -> SweepReport:
+    ordered = sorted(cells, key=lambda cell: (cell.workload, cell.policy))
+    return SweepReport(
+        cells=ordered,
+        workloads=sorted({cell.workload for cell in ordered}),
+        policies=sorted({cell.policy for cell in ordered}),
+    )
+
+
+def soak_grid(scenario) -> list:
+    """The (workload, policy) cells one soak round replays."""
+    return [
+        (clause.name, policy)
+        for clause in scenario.workloads
+        for policy in scenario.sweep_policies
+    ]
+
+
+def prepare_cells(scenario, cache_dir=None):
+    """Prepare every workload once; returns {workload: PreparedWorkload}."""
+    from repro.scenarios.runner import scenario_traces
+
+    seed = scenario.run_seeds[0]
+    eval_config = scenario.eval_config(seed)
+    prepared = {}
+    for trace in scenario_traces(scenario, eval_config, seed):
+        prepared[trace.name] = _prepared(eval_config, trace, 1, None)
+    return prepared
+
+
+def _server_cell(prepared, workload, policy, host, port, tenant=None,
+                 client_options=None) -> CellResult:
+    adapter = ServerBackedPolicy(
+        policy, host, port, tenant=tenant,
+        client_options=dict(client_options or {}),
+    )
+    try:
+        result = replay(prepared[workload], adapter)
+    finally:
+        adapter.close()
+    cell = CellResult(workload=workload, policy=policy, result=result,
+                      error=None, seconds=0.0)
+    cell.client_stats = {
+        "requests": adapter._seq,
+        "local_fallbacks": adapter.local_fallbacks,
+        "server_fallbacks": adapter.server_fallbacks,
+    }
+    return cell
+
+
+# -- identity phase ------------------------------------------------------------
+
+
+def run_identity_phase(scenario, prepared, log=None) -> dict:
+    """No faults: server-backed report must equal the in-process report."""
+    cells = soak_grid(scenario)
+    inproc = []
+    for workload, policy in cells:
+        result = replay(prepared[workload], policy)
+        inproc.append(CellResult(workload=workload, policy=policy,
+                                 result=result, error=None, seconds=0.0))
+    handle = start_in_thread(soak_serve_config(), log=log)
+    served = []
+    fallbacks = 0
+    try:
+        for workload, policy in cells:
+            cell = _server_cell(prepared, workload, policy,
+                                handle.host, handle.port)
+            fallbacks += (cell.client_stats["local_fallbacks"]
+                          + cell.client_stats["server_fallbacks"])
+            served.append(cell)
+    finally:
+        handle.stop()
+    inproc_csv = _report_from_cells(inproc).to_csv()
+    served_csv = _report_from_cells(served).to_csv()
+    return {
+        "ok": inproc_csv == served_csv and fallbacks == 0,
+        "byte_identical": inproc_csv == served_csv,
+        "fallbacks": fallbacks,
+        "cells": len(cells),
+        "csv": served_csv,
+        "inproc_csv": inproc_csv,
+    }
+
+
+# -- chaos phase ---------------------------------------------------------------
+
+
+def _chaos_round(scenario, prepared, specs, state_dir, clients: int,
+                 log=None) -> dict:
+    """One chaos round: fresh server, fresh fault counters, N client threads."""
+    cells = soak_grid(scenario)
+    handle = start_in_thread(soak_serve_config(), log=log)
+    work = queue.Queue()
+    for cell in cells:
+        work.put(cell)
+    done = []
+    errors = []
+    lock = threading.Lock()
+
+    def client_loop() -> None:
+        while True:
+            try:
+                workload, policy = work.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                cell = _server_cell(
+                    prepared, workload, policy, handle.host, handle.port,
+                    tenant=soak_tenant(workload, policy),
+                    client_options=CHAOS_CLIENT_OPTIONS,
+                )
+                with lock:
+                    done.append(cell)
+            except Exception:
+                with lock:
+                    errors.append(
+                        f"{workload}/{policy}:\n{traceback.format_exc()}"
+                    )
+
+    try:
+        with injected_faults(specs, state_dir):
+            threads = [
+                threading.Thread(target=client_loop, daemon=True,
+                                 name=f"soak-client-{i}")
+                for i in range(max(1, clients))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=600)
+        # Post-chaos health: every tenant must be back to healthy.
+        from repro.serve.client import PolicyClient
+
+        probe = PolicyClient(handle.host, handle.port)
+        stats = probe.stats()
+        probe.close()
+    finally:
+        handle.stop()
+
+    tenants = (stats or {}).get("tenants", [])
+    unhealthy = [t for t in tenants if t["state"] != HEALTHY]
+    fallbacks = sum(t["fallbacks"] for t in tenants)
+    local_fallbacks = sum(c.client_stats["local_fallbacks"] for c in done)
+    return {
+        "ok": (not errors and len(done) == len(cells)
+               and not unhealthy
+               and fallbacks + local_fallbacks > 0),
+        "cells_completed": len(done),
+        "cells_expected": len(cells),
+        "errors": errors,
+        "unhealthy": unhealthy,
+        "server_fallbacks": fallbacks,
+        "client_fallbacks": local_fallbacks,
+        "tenants": tenants,
+        "csv": _report_from_cells(done).to_csv(),
+    }
+
+
+def run_chaos_phase(scenario, prepared, state_root, clients: int = 4,
+                    log=None) -> dict:
+    """Two identically-specced chaos rounds; reports must match bytewise."""
+    cells = soak_grid(scenario)
+    specs = chaos_specs(cells)
+    state_root = Path(state_root)
+    first = _chaos_round(scenario, prepared, specs,
+                         state_root / "round-1", clients, log=log)
+    second = _chaos_round(scenario, prepared, specs,
+                          state_root / "round-2", clients, log=log)
+    deterministic = first["csv"] == second["csv"]
+    return {
+        "ok": first["ok"] and second["ok"] and deterministic,
+        "deterministic": deterministic,
+        "specs": specs,
+        "rounds": [first, second],
+    }
+
+
+# -- driver --------------------------------------------------------------------
+
+
+def run_soak(scenario_name: str = "smoke-serve", clients: int = 4,
+             chaos: bool = True, artifacts=None, library=None,
+             cache_dir=None, progress=None) -> dict:
+    """Run the full soak; returns the report dict (``report["ok"]`` gates CI)."""
+    import tempfile
+
+    from repro import telemetry
+    from repro.scenarios import resolve_scenario
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    log_lines = []
+
+    def log(message: str) -> None:
+        log_lines.append(message)
+
+    scenario = resolve_scenario(scenario_name, root=library)
+    say(f"soak scenario {scenario.name}: "
+        f"{len(scenario.workloads)} workload(s) x "
+        f"{len(scenario.sweep_policies)} policies, {clients} client(s)")
+    telemetry.configure(registry=telemetry.MetricsRegistry())
+    try:
+        prepared = prepare_cells(scenario, cache_dir)
+        say("identity phase: no faults, server-backed vs in-process")
+        identity = run_identity_phase(scenario, prepared, log=log)
+        say(f"identity phase: byte_identical={identity['byte_identical']} "
+            f"fallbacks={identity['fallbacks']}")
+        report = {"scenario": scenario.name, "identity": identity,
+                  "ok": identity["ok"]}
+        if chaos:
+            say("chaos phase: two deterministic rounds under injected faults")
+            with tempfile.TemporaryDirectory(prefix="repro-soak-") as state:
+                chaos_report = run_chaos_phase(
+                    scenario, prepared, state, clients=clients, log=log
+                )
+            round_one = chaos_report["rounds"][0]
+            say(f"chaos phase: cells={round_one['cells_completed']}"
+                f"/{round_one['cells_expected']} "
+                f"server_fallbacks={round_one['server_fallbacks']} "
+                f"client_fallbacks={round_one['client_fallbacks']} "
+                f"deterministic={chaos_report['deterministic']}")
+            report["chaos"] = chaos_report
+            report["ok"] = report["ok"] and chaos_report["ok"]
+        from repro.telemetry.export import build_payload
+
+        report["metrics"] = build_payload(
+            "serve", telemetry.get_registry().snapshot(),
+            meta={"scenario": scenario.name, "clients": clients},
+        )
+    finally:
+        telemetry.shutdown()
+    report["log"] = log_lines
+    if artifacts is not None:
+        write_soak_artifacts(artifacts, report)
+    return report
+
+
+def write_soak_artifacts(directory, report: dict) -> Path:
+    """Server log, metrics payload, and the full report, for CI upload."""
+    from repro.runs.atomic import atomic_write_text
+    from repro.telemetry.export import write_metrics_json
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(directory / "server.log",
+                      "\n".join(report.get("log", [])) + "\n")
+    if "metrics" in report:
+        write_metrics_json(directory / "metrics.json", report["metrics"])
+    slim = {key: value for key, value in report.items()
+            if key not in ("log", "metrics")}
+    atomic_write_text(directory / "soak-report.json",
+                      json.dumps(slim, indent=2, sort_keys=True,
+                                 default=str) + "\n")
+    return directory
+
+
+def render_soak_report(report: dict) -> str:
+    """A terse human-readable pass/fail summary for the CLI."""
+    lines = []
+    identity = report["identity"]
+    lines.append(
+        f"identity phase: {'PASS' if identity['ok'] else 'FAIL'} "
+        f"({identity['cells']} cells, byte_identical="
+        f"{identity['byte_identical']}, fallbacks={identity['fallbacks']})"
+    )
+    chaos = report.get("chaos")
+    if chaos:
+        for number, round_report in enumerate(chaos["rounds"], start=1):
+            lines.append(
+                f"chaos round {number}: "
+                f"{'PASS' if round_report['ok'] else 'FAIL'} "
+                f"(cells {round_report['cells_completed']}"
+                f"/{round_report['cells_expected']}, "
+                f"server fallbacks {round_report['server_fallbacks']}, "
+                f"client fallbacks {round_report['client_fallbacks']}, "
+                f"unhealthy {len(round_report['unhealthy'])}, "
+                f"errors {len(round_report['errors'])})"
+            )
+            for error in round_report["errors"]:
+                lines.append(f"  client error: {error.splitlines()[-1]}")
+        lines.append(
+            f"chaos determinism: "
+            f"{'PASS' if chaos['deterministic'] else 'FAIL'} "
+            f"(round 1 report == round 2 report)"
+        )
+    lines.append(f"soak: {'PASS' if report['ok'] else 'FAIL'}")
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Per-tenant degradation state machine for the policy server.
+
+Three states, all transitions **count-based** (never wall-clock), so a
+given request sequence always walks the same path — the property that
+keeps chaos-soak reports deterministic:
+
+``healthy``
+    The tenant's policy decides.  A deadline miss answers that one request
+    from the LRU fallback and counts toward a consecutive-miss streak;
+    ``degrade_after`` consecutive misses (or any policy error — a
+    :class:`~repro.sanitize.errors.PolicyContractError` from the strict
+    sanitizer, or an unexpected exception) demote the shard.
+``degraded``
+    Every request is answered from the LRU fallback while the policy runs
+    in *shadow*: it still sees the request, but its answer is only used to
+    judge recovery.  ``probation_ok`` consecutive clean, in-budget shadow
+    decisions promote the shard back to ``healthy``; a policy error during
+    probation quarantines it.
+``quarantined``
+    LRU only; the policy is not consulted at all.  After
+    ``quarantine_requests`` requests the server rebuilds the policy from
+    scratch and re-enters ``degraded`` (probation) — an automatic restart
+    with a fresh brain, the last rung of graceful degradation.
+
+:class:`ShardHealth` is pure bookkeeping — the server calls
+:meth:`record_decision` / :meth:`record_error` and reads :attr:`state` —
+and serializes losslessly (``to_dict``/``from_dict``) so snapshots restore
+bit-identical health.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
+
+STATES = (HEALTHY, DEGRADED, QUARANTINED)
+
+#: Keep at most this many transition records (oldest dropped first).
+MAX_HISTORY = 64
+
+
+@dataclass
+class HealthConfig:
+    """Thresholds driving the state machine (all counts, no clocks)."""
+
+    degrade_after: int = 3  #: consecutive deadline misses before degrading
+    probation_ok: int = 16  #: clean shadow decisions to re-promote
+    quarantine_requests: int = 64  #: requests served in quarantine before rebuild
+
+    def to_dict(self) -> dict:
+        return {
+            "degrade_after": self.degrade_after,
+            "probation_ok": self.probation_ok,
+            "quarantine_requests": self.quarantine_requests,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HealthConfig":
+        return cls(
+            degrade_after=int(data.get("degrade_after", 3)),
+            probation_ok=int(data.get("probation_ok", 16)),
+            quarantine_requests=int(data.get("quarantine_requests", 64)),
+        )
+
+
+@dataclass
+class ShardHealth:
+    """One tenant's position in the healthy/degraded/quarantined machine."""
+
+    config: HealthConfig = field(default_factory=HealthConfig)
+    state: str = HEALTHY
+    consecutive_misses: int = 0
+    probation_clean: int = 0
+    quarantine_served: int = 0
+    requests: int = 0
+    deadline_misses: int = 0
+    fallbacks: int = 0
+    policy_errors: int = 0
+    rebuilds: int = 0
+    history: list = field(default_factory=list)
+
+    # -- transitions -------------------------------------------------------
+
+    def _transition(self, state: str, reason: str) -> None:
+        self.history.append(
+            {"from": self.state, "to": state, "reason": reason,
+             "request": self.requests}
+        )
+        del self.history[:-MAX_HISTORY]
+        self.state = state
+        self.consecutive_misses = 0
+        self.probation_clean = 0
+        self.quarantine_served = 0
+
+    def record_decision(self, deadline_miss: bool, served_fallback: bool) -> None:
+        """Account one answered victim request.
+
+        ``deadline_miss`` — the (shadow or live) policy decision blew its
+        simulated budget; ``served_fallback`` — the reply came from LRU.
+        """
+        self.requests += 1
+        if served_fallback:
+            self.fallbacks += 1
+        if deadline_miss:
+            self.deadline_misses += 1
+        if self.state == HEALTHY:
+            if deadline_miss:
+                self.consecutive_misses += 1
+                if self.consecutive_misses >= self.config.degrade_after:
+                    self._transition(
+                        DEGRADED,
+                        f"{self.consecutive_misses} consecutive deadline "
+                        f"misses",
+                    )
+            else:
+                self.consecutive_misses = 0
+        elif self.state == DEGRADED:
+            if deadline_miss:
+                self.probation_clean = 0
+            else:
+                self.probation_clean += 1
+                if self.probation_clean >= self.config.probation_ok:
+                    self._transition(
+                        HEALTHY,
+                        f"{self.probation_clean} clean probation decisions",
+                    )
+        else:  # QUARANTINED
+            self.quarantine_served += 1
+
+    def record_error(self, detail: str) -> None:
+        """A policy error (contract violation or unexpected exception)."""
+        self.policy_errors += 1
+        if self.state == HEALTHY:
+            self._transition(DEGRADED, f"policy error: {detail}")
+        elif self.state == DEGRADED:
+            self._transition(QUARANTINED, f"policy error in probation: {detail}")
+        # Quarantined shards never consult the policy, so an error there
+        # can only come from the rebuild itself; stay quarantined.
+
+    def should_rebuild(self) -> bool:
+        """True when a quarantined shard has served out its sentence."""
+        return (
+            self.state == QUARANTINED
+            and self.quarantine_served >= self.config.quarantine_requests
+        )
+
+    def record_rebuild(self) -> None:
+        """The server rebuilt the policy; re-enter probation."""
+        self.rebuilds += 1
+        self._transition(DEGRADED, "policy rebuilt after quarantine")
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def policy_decides(self) -> bool:
+        """Whether a live policy decision may be served (healthy only)."""
+        return self.state == HEALTHY
+
+    @property
+    def shadow_decides(self) -> bool:
+        """Whether the policy should run in shadow (degraded only)."""
+        return self.state == DEGRADED
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "state": self.state,
+            "consecutive_misses": self.consecutive_misses,
+            "probation_clean": self.probation_clean,
+            "quarantine_served": self.quarantine_served,
+            "requests": self.requests,
+            "deadline_misses": self.deadline_misses,
+            "fallbacks": self.fallbacks,
+            "policy_errors": self.policy_errors,
+            "rebuilds": self.rebuilds,
+            "history": [dict(entry) for entry in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardHealth":
+        state = str(data.get("state", HEALTHY))
+        if state not in STATES:
+            raise ValueError(f"unknown shard state {state!r}")
+        return cls(
+            config=HealthConfig.from_dict(data.get("config", {})),
+            state=state,
+            consecutive_misses=int(data.get("consecutive_misses", 0)),
+            probation_clean=int(data.get("probation_clean", 0)),
+            quarantine_served=int(data.get("quarantine_served", 0)),
+            requests=int(data.get("requests", 0)),
+            deadline_misses=int(data.get("deadline_misses", 0)),
+            fallbacks=int(data.get("fallbacks", 0)),
+            policy_errors=int(data.get("policy_errors", 0)),
+            rebuilds=int(data.get("rebuilds", 0)),
+            history=[dict(entry) for entry in data.get("history", [])],
+        )

@@ -5,9 +5,11 @@ journal resume, corrupt-cache fallback — only matter when things go wrong,
 so this harness makes things go wrong *on demand and deterministically*:
 
 * a :class:`FaultSpec` names an instrumented **site** (``"replay"``,
-  ``"prepare"``, ``"prep-cache"``), an optional identity **match** (e.g.
-  ``{"workload": "429.mcf", "policy": "lru"}``), an **action**, and a
-  trigger window (fire on matching calls ``after < n <= after + times``);
+  ``"prepare"``, ``"prep-cache"``, or one of the serving sites
+  ``"serve.decide"`` / ``"serve.reply"`` / ``"serve.conn"``), an optional
+  identity **match** (e.g. ``{"workload": "429.mcf", "policy": "lru"}``),
+  an **action**, and a trigger window (fire on matching calls
+  ``after < n <= after + times``);
 * specs travel to worker processes through two environment variables
   (``REPRO_FAULTS`` = JSON spec list, ``REPRO_FAULTS_STATE`` = a state
   directory), so forked and spawned workers inject identically;
@@ -32,10 +34,24 @@ Actions:
     Does nothing by itself; :func:`poisoned` returns True at matching call
     sites, letting instrumented code corrupt its *own* state in a
     domain-appropriate way (e.g. the trainer NaN-ing its network to
-    exercise the divergence guard).
+    exercise the divergence guard, or the policy server corrupting a
+    reply frame).
+``slow:<ms>``
+    Sleep for ``<ms>`` milliseconds, then return normally.  A
+    duration-bearing action: the caller learns the duration through
+    :func:`parse_action` and (in the policy server) charges it against
+    the request's simulated deadline budget.
+``hang_until_deadline``
+    Performs no real sleep at all; the *caller* interprets the returned
+    action as "this request consumed its whole deadline budget".  Used by
+    the policy server to exercise the degrade-to-LRU fallback path
+    deterministically, without wall-clock dependence.
 
 Instrumented production code calls :func:`maybe_fault` with its site and
 identity; the call is a single dict lookup when no faults are installed.
+Both :func:`maybe_fault` and its asyncio twin :func:`maybe_fault_async`
+return the action string that fired (or ``None``), so deadline-aware
+callers can account for ``slow``/``hang_until_deadline`` costs.
 """
 
 from __future__ import annotations
@@ -50,19 +66,56 @@ from pathlib import Path
 ENV_SPECS = "REPRO_FAULTS"
 ENV_STATE = "REPRO_FAULTS_STATE"
 
-_ACTIONS = ("crash", "hang", "error", "corrupt", "poison")
+#: Fixed action kinds; ``slow`` additionally carries a duration suffix
+#: (``slow:<ms>``), validated by :func:`parse_action`.
+_ACTIONS = (
+    "crash", "hang", "error", "corrupt", "poison", "slow",
+    "hang_until_deadline",
+)
 
 
 class InjectedFault(RuntimeError):
     """The deterministic exception raised by the ``error`` action."""
 
 
+def parse_action(action: str):
+    """Split an action string into ``(kind, duration_ms)``.
+
+    ``"slow:2.5"`` -> ``("slow", 2.5)``; every other action has no
+    duration (``("hang", None)``).  Raises :class:`ValueError` on unknown
+    kinds or malformed durations, so specs fail loudly at install / decode
+    time rather than silently never firing.
+    """
+    kind, _, suffix = str(action).partition(":")
+    if kind not in _ACTIONS:
+        raise ValueError(f"unknown fault action {action!r}")
+    if kind == "slow":
+        if not suffix:
+            raise ValueError(
+                f"action {action!r} needs a duration: use 'slow:<ms>'"
+            )
+        try:
+            duration = float(suffix)
+        except ValueError:
+            raise ValueError(
+                f"action {action!r} has a non-numeric duration {suffix!r}"
+            ) from None
+        if duration < 0:
+            raise ValueError(f"action {action!r} has a negative duration")
+        return kind, duration
+    if suffix:
+        raise ValueError(
+            f"action {action!r}: only 'slow' takes a ':<ms>' suffix"
+        )
+    return kind, None
+
+
 @dataclass
 class FaultSpec:
     """One injected fault: where, what, and when."""
 
-    site: str  #: instrumented call site ("replay", "prepare", "prep-cache")
-    action: str  #: "crash" | "hang" | "error" | "corrupt"
+    site: str  #: instrumented call site ("replay", "serve.decide", ...)
+    action: str  #: one of the actions above ("slow" spelled "slow:<ms>")
     match: dict = field(default_factory=dict)  #: identity keys that must match
     after: int = 0  #: skip the first ``after`` matching calls
     times: int = 1  #: fire on this many calls, then stand down
@@ -91,8 +144,7 @@ class FaultSpec:
             hang_seconds=float(data.get("hang_seconds", 3600.0)),
             exit_code=int(data.get("exit_code", 87)),
         )
-        if spec.action not in _ACTIONS:
-            raise ValueError(f"unknown fault action {spec.action!r}")
+        parse_action(spec.action)  # raises on unknown/malformed actions
         return spec
 
 
@@ -145,13 +197,49 @@ def _matches(spec: FaultSpec, identity: dict) -> bool:
     return all(identity.get(key) == value for key, value in spec.match.items())
 
 
+def _armed_spec(site: str, identity: dict, poison: bool):
+    """The first installed spec firing at this call site, or None.
+
+    Counting happens here (through the atomic marker files), so simply
+    *asking* advances each matching spec's trigger window — exactly one
+    global caller sees each firing.
+    """
+    raw = os.environ.get(ENV_SPECS)
+    if not raw:
+        return None
+    state_dir = os.environ.get(ENV_STATE)
+    if not state_dir:
+        return None
+    try:
+        specs = [FaultSpec.from_dict(data) for data in json.loads(raw)]
+    except (ValueError, KeyError):
+        return None  # malformed spec: never take down production code
+    for index, spec in enumerate(specs):
+        if spec.site != site or (spec.action == "poison") != poison:
+            continue
+        if not _matches(spec, identity):
+            continue
+        number = _count_call(state_dir, index)
+        if spec.after < number <= spec.after + spec.times:
+            return spec
+    return None
+
+
 def _fire(spec: FaultSpec, identity: dict) -> None:
-    if spec.action == "crash":
+    """Perform the synchronous side effect of a fired spec."""
+    kind, duration_ms = parse_action(spec.action)
+    if kind == "crash":
         os._exit(spec.exit_code)
-    if spec.action == "hang":
+    if kind == "hang":
         time.sleep(spec.hang_seconds)
         return
-    if spec.action == "corrupt":
+    if kind == "slow":
+        time.sleep(duration_ms / 1000.0)
+        return
+    if kind == "hang_until_deadline":
+        # No real sleep: the caller charges the deadline budget instead.
+        return
+    if kind == "corrupt":
         path = identity.get("path")
         if path and os.path.isfile(path):
             size = os.path.getsize(path)
@@ -163,30 +251,44 @@ def _fire(spec: FaultSpec, identity: dict) -> None:
     )
 
 
-def maybe_fault(site: str, **identity) -> None:
+def maybe_fault(site: str, **identity):
     """Fire any installed fault matching this call site and identity.
 
     Called from instrumented production code; a no-op (one environment
-    lookup) unless :func:`install_faults` is active.
+    lookup) unless :func:`install_faults` is active.  Returns the action
+    string that fired (``None`` when nothing fired) so deadline-aware
+    callers can account for duration-bearing actions.
     """
-    raw = os.environ.get(ENV_SPECS)
-    if not raw:
-        return
-    state_dir = os.environ.get(ENV_STATE)
-    if not state_dir:
-        return
-    try:
-        specs = [FaultSpec.from_dict(data) for data in json.loads(raw)]
-    except (ValueError, KeyError):
-        return  # malformed spec: never take down production code
-    for index, spec in enumerate(specs):
-        if spec.site != site or spec.action == "poison":
-            continue
-        if not _matches(spec, identity):
-            continue
-        number = _count_call(state_dir, index)
-        if spec.after < number <= spec.after + spec.times:
-            _fire(spec, identity)
+    spec = _armed_spec(site, identity, poison=False)
+    if spec is None:
+        return None
+    _fire(spec, identity)
+    return spec.action
+
+
+async def maybe_fault_async(site: str, **identity):
+    """Asyncio twin of :func:`maybe_fault` for instrumented coroutines.
+
+    ``hang``/``slow`` use ``asyncio.sleep`` so a fired fault stalls only
+    its own task, not the event loop — that is what makes ``slow`` a
+    *stalled-socket* fault rather than a stalled-server fault.  All other
+    actions behave exactly like the synchronous version, and the fired
+    action string is returned the same way.
+    """
+    spec = _armed_spec(site, identity, poison=False)
+    if spec is None:
+        return None
+    import asyncio
+
+    kind, duration_ms = parse_action(spec.action)
+    if kind == "hang":
+        await asyncio.sleep(spec.hang_seconds)
+        return spec.action
+    if kind == "slow":
+        await asyncio.sleep(duration_ms / 1000.0)
+        return spec.action
+    _fire(spec, identity)  # crash / error / corrupt / hang_until_deadline
+    return spec.action
 
 
 def poisoned(site: str, **identity) -> bool:
@@ -198,22 +300,4 @@ def poisoned(site: str, **identity) -> bool:
     domain knowledge.  Counted through the same atomic cross-process
     counter as the other actions.
     """
-    raw = os.environ.get(ENV_SPECS)
-    if not raw:
-        return False
-    state_dir = os.environ.get(ENV_STATE)
-    if not state_dir:
-        return False
-    try:
-        specs = [FaultSpec.from_dict(data) for data in json.loads(raw)]
-    except (ValueError, KeyError):
-        return False
-    for index, spec in enumerate(specs):
-        if spec.site != site or spec.action != "poison":
-            continue
-        if not _matches(spec, identity):
-            continue
-        number = _count_call(state_dir, index)
-        if spec.after < number <= spec.after + spec.times:
-            return True
-    return False
+    return _armed_spec(site, identity, poison=True) is not None

@@ -128,3 +128,142 @@ class TestPrepCacheFaultPath:
         # Re-simulation and re-store heal the entry.
         cache.store(key, prepare_workload(config, trace))
         assert cache.load(key) is not None
+
+
+class TestActionParsing:
+    """parse_action: the grammar behind slow:<ms> and friends."""
+
+    def test_plain_actions_have_no_duration(self):
+        from repro.testing.faults import parse_action
+
+        assert parse_action("error") == ("error", None)
+        assert parse_action("hang_until_deadline") == \
+               ("hang_until_deadline", None)
+
+    def test_slow_requires_a_millisecond_suffix(self):
+        from repro.testing.faults import parse_action
+
+        assert parse_action("slow:250") == ("slow", 250.0)
+        assert parse_action("slow:0.5") == ("slow", 0.5)
+
+    @pytest.mark.parametrize("action", [
+        "slow", "slow:", "slow:abc", "slow:-5", "error:10", "crash:1",
+    ])
+    def test_malformed_actions_rejected(self, action):
+        from repro.testing.faults import parse_action
+
+        with pytest.raises(ValueError):
+            parse_action(action)
+
+    def test_new_actions_round_trip_through_dicts(self):
+        for action in ("slow:30", "hang_until_deadline"):
+            spec = FaultSpec(site="serve.decide", action=action,
+                             match={"tenant": "t1"}, after=2, times=3)
+            assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_validates_the_action_grammar(self):
+        with pytest.raises(ValueError):
+            FaultSpec.from_dict({"site": "serve.decide", "action": "slow:x"})
+
+
+class TestReturnedAction:
+    """maybe_fault returns what fired so callers can charge budgets."""
+
+    def test_returns_none_when_nothing_fires(self):
+        assert maybe_fault("replay") is None
+
+    def test_returns_the_action_string(self, tmp_path):
+        install_faults(
+            [FaultSpec(site="serve.decide", action="hang_until_deadline")],
+            tmp_path,
+        )
+        assert maybe_fault("serve.decide") == "hang_until_deadline"
+
+    def test_slow_sleeps_and_reports(self, tmp_path):
+        import time
+
+        from repro.testing.faults import parse_action
+
+        install_faults(
+            [FaultSpec(site="serve.decide", action="slow:20")], tmp_path
+        )
+        start = time.monotonic()
+        action = maybe_fault("serve.decide")
+        elapsed = time.monotonic() - start
+        assert action == "slow:20"
+        assert elapsed >= 0.015
+        assert parse_action(action) == ("slow", 20.0)
+
+
+class TestAsyncTwin:
+    """maybe_fault_async mirrors the sync harness inside coroutines."""
+
+    def _run(self, coroutine):
+        import asyncio
+
+        return asyncio.run(coroutine)
+
+    def test_noop_without_installation(self):
+        from repro.testing.faults import maybe_fault_async
+
+        assert self._run(maybe_fault_async("serve.decide")) is None
+
+    def test_error_action_raises(self, tmp_path):
+        from repro.testing.faults import maybe_fault_async
+
+        install_faults(
+            [FaultSpec(site="serve.decide", action="error")], tmp_path
+        )
+        with pytest.raises(InjectedFault):
+            self._run(maybe_fault_async("serve.decide"))
+
+    def test_slow_uses_asyncio_sleep_and_reports(self, tmp_path):
+        import asyncio
+        import time
+
+        from repro.testing.faults import maybe_fault_async
+
+        install_faults(
+            [FaultSpec(site="serve.decide", action="slow:20")], tmp_path
+        )
+
+        async def other_task_keeps_running():
+            # The sleeping fault must not block the loop: a concurrent
+            # task finishes while the fault is mid-sleep.
+            fired = asyncio.create_task(maybe_fault_async("serve.decide"))
+            await asyncio.sleep(0.001)
+            assert not fired.done()
+            return await fired
+
+        start = time.monotonic()
+        assert self._run(other_task_keeps_running()) == "slow:20"
+        assert time.monotonic() - start >= 0.015
+
+    def test_hang_until_deadline_does_not_sleep(self, tmp_path):
+        import time
+
+        from repro.testing.faults import maybe_fault_async
+
+        install_faults(
+            [FaultSpec(site="serve.decide", action="hang_until_deadline")],
+            tmp_path,
+        )
+        start = time.monotonic()
+        action = self._run(maybe_fault_async("serve.decide"))
+        assert action == "hang_until_deadline"
+        assert time.monotonic() - start < 0.5  # budget charge, not a sleep
+
+    def test_window_and_match_apply(self, tmp_path):
+        from repro.testing.faults import maybe_fault_async
+
+        install_faults(
+            [FaultSpec(site="serve.decide", action="error",
+                       match={"tenant": "t1"}, after=1, times=1)],
+            tmp_path,
+        )
+        assert self._run(maybe_fault_async("serve.decide",
+                                           tenant="t2")) is None
+        assert self._run(maybe_fault_async("serve.decide",
+                                           tenant="t1")) is None  # call 1
+        with pytest.raises(InjectedFault):
+            self._run(maybe_fault_async("serve.decide", tenant="t1"))

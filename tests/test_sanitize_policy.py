@@ -354,3 +354,73 @@ class TestSweepDegradation:
         assert any("cells_degraded" in key for key in counters)
         clean = cell_snapshot(CellResult("w", "p", result=result))
         assert not any("cells_degraded" in key for key in clean["counters"])
+
+
+class TestConcurrentDegradation:
+    """Degradation must be idempotent and atomic under interleaved evicts.
+
+    The serve decide loop and replay workers can race a violating policy
+    from several threads; the violation must be recorded exactly once and
+    the degrade flip must never tear (hooks half-swapped).
+    """
+
+    def _racing_wrapper(self):
+        checked = wrap_policy(OutOfRangePolicy(), mode="normal")
+        checked.bind(_config())
+        return checked
+
+    def test_violation_recorded_exactly_once_across_threads(self):
+        import threading
+
+        checked = self._racing_wrapper()
+        cache = Cache(_config(), checked)
+        _fill_and_overflow(cache)  # arm: sets are full, next evict violates
+
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def interleaved_evicts(worker: int):
+            barrier.wait()
+            for n in range(50):
+                try:
+                    victim_set = cache.sets[0]
+                    checked.victim(0, victim_set, load(worker * 1000 + n))
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=interleaved_evicts, args=(worker,))
+            for worker in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert checked.degraded
+        assert len(checked.violations) == 1  # exactly once, not per-thread
+
+    def test_degraded_hooks_are_noops_after_the_flip(self):
+        checked = self._racing_wrapper()
+        cache = Cache(_config(), checked)
+        _fill_and_overflow(cache)
+        checked.victim(0, cache.sets[0], load(9999))  # trips the violation
+        assert checked.degraded
+        # The flip swapped the hot-path hooks for no-ops atomically.
+        assert checked.on_hit.__name__ == "_noop"
+        assert checked.on_miss.__name__ == "_noop"
+
+    def test_degraded_wrapper_survives_pickling(self):
+        import pickle
+
+        checked = self._racing_wrapper()
+        cache = Cache(_config(), checked)
+        _fill_and_overflow(cache)
+        checked.victim(0, cache.sets[0], load(9999))
+        assert checked.degraded
+        clone = pickle.loads(pickle.dumps(checked))
+        assert clone.degraded
+        assert len(clone.violations) == 1
+        # The restored wrapper still serves (LRU) without raising.
+        assert isinstance(clone.victim(0, cache.sets[0], load(1)), int)

@@ -1,0 +1,55 @@
+"""The no-fault byte-identity guarantee: server-backed == in-process.
+
+The acceptance bar for eviction-as-a-service (docs/serving.md): with no
+faults injected, replaying a workload through :class:`ServerBackedPolicy`
+produces a result byte-identical to the in-process replay — same IPC,
+same hit rates, same MPKI, full precision — with zero fallbacks on either
+side.  The server is a pure transport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.runner import _prepared, replay
+from repro.eval.workloads import EvalConfig
+from repro.serve.client import ServerBackedPolicy
+from repro.serve.server import ServeConfig, start_in_thread
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    config = EvalConfig(scale=64, trace_length=1200, seed=7)
+    return _prepared(config, config.trace("429.mcf"), 1, None)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with start_in_thread(ServeConfig()) as handle:
+        yield handle
+
+
+@pytest.mark.parametrize("policy", ["lru", "srrip", "rlr", "ship++"])
+def test_server_backed_replay_is_byte_identical(prepared, server, policy):
+    baseline = replay(prepared, policy)
+    adapter = ServerBackedPolicy(policy, server.host, server.port)
+    try:
+        served = replay(prepared, adapter)
+    finally:
+        adapter.close()
+    assert served == baseline  # full SystemResult equality, all floats
+    assert adapter.local_fallbacks == 0
+    assert adapter.server_fallbacks == 0
+
+
+def test_two_tenants_of_the_same_server_do_not_interfere(prepared, server):
+    first = ServerBackedPolicy("lru", server.host, server.port)
+    second = ServerBackedPolicy("srrip", server.host, server.port)
+    try:
+        served_lru = replay(prepared, first)
+        served_srrip = replay(prepared, second)
+    finally:
+        first.close()
+        second.close()
+    assert served_lru == replay(prepared, "lru")
+    assert served_srrip == replay(prepared, "srrip")

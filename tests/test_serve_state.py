@@ -1,0 +1,146 @@
+"""The healthy/degraded/quarantined shard state machine (repro.serve.state)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.state import (
+    DEGRADED,
+    HEALTHY,
+    QUARANTINED,
+    HealthConfig,
+    ShardHealth,
+)
+
+
+def _health(**overrides) -> ShardHealth:
+    config = HealthConfig(degrade_after=3, probation_ok=4,
+                          quarantine_requests=5)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return ShardHealth(config=config)
+
+
+def _miss(health, times=1):
+    for _ in range(times):
+        health.record_decision(deadline_miss=True, served_fallback=True)
+
+
+def _clean(health, times=1):
+    for _ in range(times):
+        health.record_decision(deadline_miss=False, served_fallback=False)
+
+
+class TestHealthyToDegraded:
+    def test_consecutive_misses_degrade(self):
+        health = _health()
+        _miss(health, 2)
+        assert health.state == HEALTHY
+        _miss(health)
+        assert health.state == DEGRADED
+        assert "3 consecutive deadline misses" in health.history[-1]["reason"]
+
+    def test_clean_decision_resets_the_streak(self):
+        health = _health()
+        _miss(health, 2)
+        _clean(health)
+        _miss(health, 2)
+        assert health.state == HEALTHY  # streak broken twice, never 3
+
+    def test_policy_error_degrades_immediately(self):
+        health = _health()
+        health.record_error("victim returned 99")
+        assert health.state == DEGRADED
+        assert health.policy_errors == 1
+
+
+class TestDegradedRecovery:
+    def test_probation_promotes_back_to_healthy(self):
+        health = _health()
+        _miss(health, 3)
+        _clean(health, 4)
+        assert health.state == HEALTHY
+        assert [entry["to"] for entry in health.history] == \
+               [DEGRADED, HEALTHY]
+
+    def test_probation_miss_resets_clean_streak(self):
+        health = _health()
+        _miss(health, 3)
+        _clean(health, 3)
+        _miss(health)  # probation reset
+        _clean(health, 3)
+        assert health.state == DEGRADED
+        _clean(health)
+        assert health.state == HEALTHY
+
+    def test_probation_error_quarantines(self):
+        health = _health()
+        _miss(health, 3)
+        health.record_error("shadow blew up")
+        assert health.state == QUARANTINED
+
+
+class TestQuarantine:
+    def _quarantined(self) -> ShardHealth:
+        health = _health()
+        _miss(health, 3)
+        health.record_error("boom")
+        return health
+
+    def test_serves_out_the_sentence_then_rebuilds(self):
+        health = self._quarantined()
+        for _ in range(4):
+            health.record_decision(deadline_miss=False, served_fallback=True)
+            assert not health.should_rebuild()
+        health.record_decision(deadline_miss=False, served_fallback=True)
+        assert health.should_rebuild()
+        health.record_rebuild()
+        assert health.state == DEGRADED
+        assert health.rebuilds == 1
+
+    def test_errors_in_quarantine_do_not_transition(self):
+        health = self._quarantined()
+        health.record_error("rebuild failed")
+        assert health.state == QUARANTINED
+
+    def test_full_cycle_back_to_healthy(self):
+        health = self._quarantined()
+        for _ in range(5):
+            health.record_decision(deadline_miss=False, served_fallback=True)
+        assert health.should_rebuild()
+        health.record_rebuild()
+        _clean(health, 4)
+        assert health.state == HEALTHY
+        assert [entry["to"] for entry in health.history] == \
+               [DEGRADED, QUARANTINED, DEGRADED, HEALTHY]
+
+    def test_decision_flags(self):
+        health = _health()
+        assert health.policy_decides and not health.shadow_decides
+        _miss(health, 3)
+        assert not health.policy_decides and health.shadow_decides
+        health.record_error("x")
+        assert not health.policy_decides and not health.shadow_decides
+
+
+class TestPersistence:
+    def test_round_trip_is_lossless(self):
+        health = _health()
+        _miss(health, 3)
+        _clean(health, 2)
+        health.record_error("mid-probation")
+        back = ShardHealth.from_dict(health.to_dict())
+        assert back == health
+        assert back.to_dict() == health.to_dict()
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard state"):
+            ShardHealth.from_dict({"state": "limping"})
+
+    def test_counters_accumulate(self):
+        health = _health()
+        _miss(health, 2)
+        _clean(health, 3)
+        assert health.requests == 5
+        assert health.deadline_misses == 2
+        assert health.fallbacks == 2

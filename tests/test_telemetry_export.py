@@ -209,3 +209,85 @@ class TestHTTPExporter:
         finally:
             server.shutdown()
             thread.join(timeout=5)
+
+
+class TestHttpExporterLifecycle:
+    """The exporter handle: explicit port, close(), context manager."""
+
+    def test_returns_a_handle_with_the_bound_port(self):
+        exporter = start_http_exporter(_sample_payload)
+        try:
+            assert exporter.host == "127.0.0.1"
+            assert exporter.port == exporter.server.server_address[1]
+            assert exporter.port > 0
+        finally:
+            exporter.close()
+
+    def test_legacy_tuple_unpacking_still_works(self):
+        server, thread = start_http_exporter(_sample_payload)
+        try:
+            assert server.server_address[1] > 0
+            assert thread.is_alive()
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+
+    def test_close_shuts_down_and_joins(self):
+        exporter = start_http_exporter(_sample_payload)
+        exporter.close()
+        assert not exporter.thread.is_alive()
+        # close() is idempotent.
+        exporter.close()
+
+    def test_context_manager_closes_on_exit(self):
+        with start_http_exporter(_sample_payload) as exporter:
+            port = exporter.port
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ) as response:
+                assert response.status == 200
+        assert not exporter.thread.is_alive()
+
+    def test_port_in_use_raises_a_clear_oserror(self):
+        first = start_http_exporter(_sample_payload)
+        try:
+            with pytest.raises(OSError, match="could not bind"):
+                start_http_exporter(_sample_payload, port=first.port)
+            try:
+                start_http_exporter(_sample_payload, port=first.port)
+            except OSError as error:
+                assert "port=0" in str(error)  # the remedy is in the message
+        finally:
+            first.close()
+
+
+class TestHealthEndpoint:
+    def test_healthy_payload_serves_200(self):
+        with start_http_exporter(
+            _sample_payload, health_fn=lambda: {"ok": True, "detail": "fine"}
+        ) as exporter:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{exporter.port}/healthz", timeout=5
+            ) as response:
+                body = json.loads(response.read())
+                assert response.status == 200
+            assert body["ok"] is True
+            assert body["detail"] == "fine"
+
+    def test_unhealthy_payload_serves_503(self):
+        with start_http_exporter(
+            _sample_payload, health_fn=lambda: {"ok": False}
+        ) as exporter:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{exporter.port}/healthz", timeout=5
+                )
+            assert excinfo.value.code == 503
+
+    def test_no_health_fn_means_404(self):
+        with start_http_exporter(_sample_payload) as exporter:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{exporter.port}/healthz", timeout=5
+                )
+            assert excinfo.value.code == 404
