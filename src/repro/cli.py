@@ -196,10 +196,90 @@ def _write_sweep_decisions(run, report, sample_rate) -> None:
           f"(drill down with: repro inspect {run.run_id})", file=sys.stderr)
 
 
+def _cmd_sweep_scenario(args) -> int:
+    """``repro sweep --scenario``: sweep one declarative scenario.
+
+    Object-cache scenarios get the full treatment — a run directory, a
+    deterministic CSV report, and a size-graded object decision log that
+    ``repro inspect`` renders as size-vs-victim profiles.  CPU scenarios
+    delegate to the scenario runner (same output as ``repro scenario run``).
+    """
+    from repro.scenarios import resolve_scenario
+
+    scenario = resolve_scenario(args.scenario)
+    if getattr(scenario, "scenario_kind", "cpu_cache") != "object_cache":
+        from repro.scenarios import run_scenario
+
+        payload = run_scenario(
+            scenario, jobs=args.jobs, cache_dir=args.cache_dir,
+            progress=lambda message: print(message, file=sys.stderr),
+            decisions=args.decisions,
+        )
+        _print_scenario_report(scenario, payload)
+        return 0 if payload["ok"] else 1
+
+    from repro.objcache.replay import object_sweep
+    from repro.runs.supervisor import create_run
+    from repro.scenarios.object_runner import object_scenario_traces
+    from repro.telemetry.object_decisions import write_object_decisions_jsonl
+
+    run_root = args.run_dir or DEFAULT_RUN_ROOT
+    run = create_run(run_root, {
+        "kind": "objcache-sweep",
+        "args": {"scenario": args.scenario, "jobs": args.jobs,
+                 "decisions": args.decisions},
+    })
+    print(f"run {run.run_id} -> {run.path}", file=sys.stderr)
+    # Object sweeps grade every eviction against the size-aware Belady
+    # oracle by default; --decisions N only thins the event snapshots.
+    decisions = args.decisions if args.decisions is not None else 1
+    seeds = scenario.run_seeds
+    csv_parts = []
+    decision_cells = []
+    failed = 0
+    for seed in seeds:
+        traces = object_scenario_traces(scenario, seed)
+        report = object_sweep(
+            traces,
+            scenario.config.capacity_bytes,
+            list(scenario.policies),
+            admission=scenario.admission,
+            policy_params=scenario.params,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            sanitize=scenario.sanitize,
+            decisions=decisions,
+        )
+        failed += len(report.failures())
+        if len(seeds) > 1:
+            csv_parts.append(f"# seed {seed}")
+        csv_parts.append(report.to_csv().rstrip("\n"))
+        for cell in report.decision_payloads():
+            payload = dict(cell)
+            payload["seed"] = seed
+            decision_cells.append(payload)
+        print(report.format())
+    run.write_report("\n".join(csv_parts) + "\n")
+    if decision_cells:
+        write_object_decisions_jsonl(run.decisions_path, decision_cells)
+        print(f"object decision log written to {run.decisions_path} "
+              f"(drill down with: repro inspect {run.run_id})",
+              file=sys.stderr)
+    run.mark("complete" if not failed else "failed")
+    if failed:
+        print(f"{failed} cell(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from repro import telemetry
     from repro.eval.parallel import parallel_sweep
     from repro.runs.supervisor import SweepInterrupted, create_run, load_run
+
+    if args.scenario:
+        return _cmd_sweep_scenario(args)
 
     run_root = args.run_dir or DEFAULT_RUN_ROOT
     if args.resume:
@@ -404,16 +484,43 @@ def cmd_replay(args) -> int:
 def cmd_inspect(args) -> int:
     from repro.eval.inspect import (
         load_decision_cells,
+        load_object_decision_cells,
         render_inspection,
+        render_object_inspection,
         resolve_decision_log,
     )
+    from repro.telemetry.object_decisions import sniff_object_decision_log
 
     log_path = resolve_decision_log(args.run, default_root=DEFAULT_RUN_ROOT)
+    print(f"reading {log_path}", file=sys.stderr)
+    if sniff_object_decision_log(log_path):
+        cells = load_object_decision_cells(
+            log_path, workload=args.workload, policy=args.policy
+        )
+        print(render_object_inspection(cells, top=args.top))
+        return 0
     cells = load_decision_cells(
         log_path, workload=args.workload, policy=args.policy
     )
-    print(f"reading {log_path}", file=sys.stderr)
     print(render_inspection(cells, top=args.top))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.eval.bench import BENCHES, write_bench
+
+    names = list(BENCHES) if args.which == "all" else [args.which]
+    for name in names:
+        payload, path = write_bench(
+            name, output_dir=args.output_dir, repeats=args.repeats
+        )
+        rows = [
+            {"policy": policy, payload["unit"]: rate}
+            for policy, rate in payload["rates"].items()
+        ]
+        print(format_table(rows, headers=["policy", payload["unit"]],
+                           title=f"bench {name} (best of {args.repeats})"))
+        print(f"wrote {path}")
     return 0
 
 
@@ -574,8 +681,10 @@ def cmd_trace(args) -> int:
 
 
 def cmd_validate(args) -> int:
+    from repro.objcache.trace_io import SUFFIXES as OBJTRACE_SUFFIXES
     from repro.sanitize.preflight import (
         validate_agent_file,
+        validate_object_trace_file,
         validate_scenario_file,
         validate_trace_file,
     )
@@ -587,12 +696,16 @@ def cmd_validate(args) -> int:
             name = str(path)
             if name.endswith(".npz"):
                 kind = "agent"
+            elif name.endswith(OBJTRACE_SUFFIXES):
+                kind = "objtrace"
             elif name.endswith((".yaml", ".yml", ".json")):
                 kind = "scenario"
             else:
                 kind = "trace"
         if kind == "agent":
             report = validate_agent_file(path)
+        elif kind == "objtrace":
+            report = validate_object_trace_file(path)
         elif kind == "scenario":
             report = validate_scenario_file(path)
         else:
@@ -614,22 +727,38 @@ def _scenario_library(args):
 
 def _print_scenario_report(scenario, payload) -> None:
     rows = []
+    object_cells = False
     for cell in payload["cells"]:
-        row = {
-            "workload": cell["workload"],
-            "policy": cell["policy"],
-            "seed": cell["seed"],
-            "ipc": round(cell["ipc"][0], 4),
-            "hit%": round(100 * cell["hit_rate"], 2),
-            "mpki": round(cell["demand_mpki"], 2),
-        }
+        if "byte_hit_rate" in cell:  # object-cache scenario cell
+            object_cells = True
+            row = {
+                "workload": cell["workload"],
+                "policy": cell["policy"],
+                "seed": cell["seed"],
+                "byte-hit%": round(100 * cell["byte_hit_rate"], 2),
+                "obj-hit%": round(100 * cell["object_hit_rate"], 2),
+                "evictions": cell["stats"]["evictions"],
+            }
+        else:
+            row = {
+                "workload": cell["workload"],
+                "policy": cell["policy"],
+                "seed": cell["seed"],
+                "ipc": round(cell["ipc"][0], 4),
+                "hit%": round(100 * cell["hit_rate"], 2),
+                "mpki": round(cell["demand_mpki"], 2),
+            }
         regret = cell.get("regret")
         if regret and regret.get("graded"):
             row["regret"] = round(
                 regret["regret_x2"] / (2 * regret["graded"]), 4
             )
         rows.append(row)
-    headers = ["workload", "policy", "seed", "ipc", "hit%", "mpki"]
+    if object_cells:
+        headers = ["workload", "policy", "seed", "byte-hit%", "obj-hit%",
+                   "evictions"]
+    else:
+        headers = ["workload", "policy", "seed", "ipc", "hit%", "mpki"]
     if any("regret" in row for row in rows):
         headers.append("regret")
     print(format_table(rows, headers=headers,
@@ -880,6 +1009,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = commands.add_parser("sweep", help="sweep a whole suite")
     sweep.add_argument("--suite", choices=("spec2006", "cloudsuite"),
                        default="spec2006")
+    sweep.add_argument("--scenario", default=None, metavar="NAME",
+                       help="sweep a declarative scenario instead of a "
+                            "suite (library name or file path; object_cache "
+                            "scenarios record size-graded decision logs in "
+                            "the run directory)")
     _policies_argument(sweep, ("drrip", "ship++", "rlr"))
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep (default 1)")
@@ -966,6 +1100,18 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--top", type=int, default=10,
                          help="worst decisions to show per cell (default 10)")
 
+    bench = commands.add_parser(
+        "bench", help="accesses/sec micro-benchmarks (BENCH_*.json history)"
+    )
+    bench.add_argument("which", nargs="?", default="all",
+                       choices=("all", "objcache", "replay"),
+                       help="which benchmark to run (default all)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repeats; best-of-N is reported "
+                            "(default 3)")
+    bench.add_argument("--output-dir", default=".",
+                       help="where to write BENCH_*.json (default: cwd)")
+
     mpki = commands.add_parser("mpki", help="Figure-12-style MPKI table")
     mpki.add_argument("--suite", choices=("spec2006", "cloudsuite"),
                       default="spec2006")
@@ -1019,12 +1165,15 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="preflight-check trace files / saved agents"
     )
     validate.add_argument("paths", nargs="+", metavar="PATH",
-                          help="trace (.csv/.csv.gz/.bin) or agent (.npz) "
-                               "files to check")
+                          help="trace (.csv/.csv.gz/.bin), object trace "
+                               "(.objtrace/.objcsv), agent (.npz), or "
+                               "scenario (.yaml/.json) files to check")
     validate.add_argument("--kind",
-                          choices=("auto", "trace", "agent", "scenario"),
+                          choices=("auto", "trace", "objtrace", "agent",
+                                   "scenario"),
                           default="auto",
                           help="what the paths are (auto: .npz = agent, "
+                               ".objtrace/.objcsv = object trace, "
                                ".yaml/.yml/.json = scenario, anything else "
                                "= trace)")
     validate.add_argument("--quarantine", action="store_true",
@@ -1140,6 +1289,7 @@ _COMMANDS = {
     "metrics": cmd_metrics,
     "replay": cmd_replay,
     "inspect": cmd_inspect,
+    "bench": cmd_bench,
     "mpki": cmd_mpki,
     "mix": cmd_mix,
     "table1": cmd_table1,

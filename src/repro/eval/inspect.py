@@ -235,6 +235,66 @@ def render_inspection(cells, top: int = 10) -> str:
     return "\n\n".join(blocks)
 
 
+def load_object_decision_cells(path, workload: str = None,
+                               policy: str = None) -> list:
+    """Load an object decision log, optionally filtered (same contract as
+    :func:`load_decision_cells`)."""
+    from repro.telemetry.object_decisions import read_object_decision_log
+
+    cells = read_object_decision_log(path)
+    if workload:
+        cells = [cell for cell in cells if workload in str(cell.get("workload"))]
+    if policy:
+        cells = [cell for cell in cells if policy in str(cell.get("policy"))]
+    if not cells:
+        raise ValueError(
+            f"no object decision-log cells match workload={workload!r} "
+            f"policy={policy!r} in {path}"
+        )
+    return cells
+
+
+def render_object_inspection(cells, top: int = 10) -> str:
+    """The ``repro inspect`` report for object-cache decision logs:
+    per-cell regret table, size-vs-victim profiles, and the largest graded
+    victims (sampled events)."""
+    from repro.telemetry.object_decisions import render_size_profile
+
+    blocks = [format_table(
+        regret_rows(cells),
+        headers=["workload", "policy", "evictions", "graded",
+                 "optimal%", "harmful%", "regret"],
+        title=f"object decision log: {len(cells)} cell(s)",
+    )]
+    blocks.append(render_size_profile(cells))
+    for cell in cells:
+        events = sorted(
+            cell.get("events", ()),
+            key=lambda event: (-event.get("size", 0), event.get("index", 0)),
+        )[:top]
+        if not events:
+            continue
+        rows = [{
+            "index": event.get("index"),
+            "key": event.get("key"),
+            "size": event.get("size"),
+            "bucket": event.get("bucket"),
+            "age": event.get("age"),
+            "hits": event.get("hits"),
+            "seen": event.get("seen_before"),
+            "incoming": event.get("incoming_size"),
+            "grade": event.get("grade") or "-",
+        } for event in events]
+        blocks.append(format_table(
+            rows,
+            headers=["index", "key", "size", "bucket", "age", "hits",
+                     "seen", "incoming", "grade"],
+            title=(f"{cell.get('workload')} / {cell.get('policy')}: "
+                   f"largest sampled victims"),
+        ))
+    return "\n\n".join(blocks)
+
+
 def resolve_decision_log(path, default_root=".repro-runs"):
     """Resolve a run id / run dir / log path to a decision-log file.
 

@@ -154,8 +154,18 @@ class SweepReport:
             if getattr(cell, "decisions", None)
         ]
 
+    def _object_cells(self) -> bool:
+        """True when the cells carry object-cache results (duck-typed on
+        ``byte_hit_rate``, which CPU ``SystemResult`` objects lack)."""
+        for cell in self.cells:
+            if cell.ok:
+                return hasattr(cell.result, "byte_hit_rate")
+        return False
+
     def to_csv(self) -> str:
         """Full-precision deterministic serialization (byte-comparable)."""
+        if self._object_cells():
+            return self._object_to_csv()
         lines = ["workload,policy,status,ipc,llc_hit_rate,demand_hit_rate,demand_mpki"]
         for cell in self.cells:
             if cell.ok:
@@ -173,35 +183,72 @@ class SweepReport:
                 )
         return "\n".join(lines) + "\n"
 
+    def _object_to_csv(self) -> str:
+        lines = ["workload,policy,status,byte_hit_rate,object_hit_rate,"
+                 "evictions,evicted_bytes"]
+        for cell in self.cells:
+            if cell.ok:
+                result = cell.result
+                lines.append(
+                    f"{cell.workload},{cell.policy},{cell.status},"
+                    f"{result.byte_hit_rate!r},{result.object_hit_rate!r},"
+                    f"{result.evictions},{result.evicted_bytes}"
+                )
+            else:
+                first = cell.error.strip().splitlines()[-1] if cell.error else ""
+                lines.append(
+                    f"{cell.workload},{cell.policy},failed,"
+                    f"{first.replace(',', ';')},,,"
+                )
+        return "\n".join(lines) + "\n"
+
     def format(self) -> str:
         """Human-readable per-cell table (also deterministic)."""
         from repro.eval.reporting import format_table
 
+        object_cells = self._object_cells()
         rows = []
         for cell in self.cells:
             if cell.ok:
                 status = "ok"
                 if cell.violations:
                     status = f"DEGRADED: {cell.violations[0].replace(',', ';')}"
-                rows.append({
-                    "workload": cell.workload,
-                    "policy": cell.policy,
-                    "ipc": round(cell.result.single_ipc, 4),
-                    "hit%": round(100 * cell.result.llc_hit_rate, 2),
-                    "mpki": round(cell.result.demand_mpki, 2),
-                    "status": status,
-                })
+                if object_cells:
+                    rows.append({
+                        "workload": cell.workload,
+                        "policy": cell.policy,
+                        "byte-hit%": round(100 * cell.result.byte_hit_rate, 2),
+                        "obj-hit%": round(100 * cell.result.object_hit_rate, 2),
+                        "evictions": cell.result.evictions,
+                        "status": status,
+                    })
+                else:
+                    rows.append({
+                        "workload": cell.workload,
+                        "policy": cell.policy,
+                        "ipc": round(cell.result.single_ipc, 4),
+                        "hit%": round(100 * cell.result.llc_hit_rate, 2),
+                        "mpki": round(cell.result.demand_mpki, 2),
+                        "status": status,
+                    })
             else:
                 last = cell.error.strip().splitlines()[-1] if cell.error else "?"
-                rows.append({
-                    "workload": cell.workload,
-                    "policy": cell.policy,
-                    "ipc": "-", "hit%": "-", "mpki": "-",
-                    "status": f"FAILED: {last}",
-                })
+                row = {"workload": cell.workload, "policy": cell.policy,
+                       "status": f"FAILED: {last}"}
+                if object_cells:
+                    row.update({"byte-hit%": "-", "obj-hit%": "-",
+                                "evictions": "-"})
+                else:
+                    row.update({"ipc": "-", "hit%": "-", "mpki": "-"})
+                rows.append(row)
+        if object_cells:
+            headers = ["workload", "policy", "byte-hit%", "obj-hit%",
+                       "evictions", "status"]
+        else:
+            headers = ["workload", "policy", "ipc", "hit%", "mpki", "status"]
         return format_table(
             rows,
-            headers=["workload", "policy", "ipc", "hit%", "mpki", "status"],
+            headers=headers,
             title=f"sweep: {len(self.workloads)} workloads x "
                   f"{len(self.policies)} policies",
         )

@@ -1,0 +1,193 @@
+"""Bytes-capacity object cache: evict-until-fits + pluggable admission.
+
+The request loop is the object-world counterpart of ``Cache.access`` on the
+CPU side, with the two structural differences that motivate this subsystem:
+
+* capacity is **bytes**, so admitting one large object may evict several
+  victims (the eviction policy is consulted repeatedly until the incoming
+  object fits);
+* a miss is not automatically a fill — the admission hook may refuse the
+  object, and refusing is often the right call (one-hit wonders).
+
+Observers registered via ``add_decision_observer`` see every eviction with
+the victim's full metadata *and the incoming request*, which is what the
+decision tracer needs to grade choices against the size-aware oracle.
+"""
+
+from __future__ import annotations
+
+from .admission import AdmissionHook, AlwaysAdmit
+from .core import (
+    CachedObject,
+    ObjectCacheError,
+    ObjectCacheStats,
+    ObjectRequest,
+    conservation_problems,
+)
+from .policies import ObjectEvictionPolicy
+
+
+class ObjectCache:
+    """A single-tier object cache with byte accounting.
+
+    Args:
+        capacity_bytes: total budget; an object larger than this can never
+            be admitted and is counted as rejected.
+        policy: an :class:`ObjectEvictionPolicy` (owned by this cache).
+        admission: optional :class:`AdmissionHook`; defaults to always-admit.
+    """
+
+    def __init__(self, capacity_bytes: int, policy: ObjectEvictionPolicy,
+                 admission: AdmissionHook = None):
+        if capacity_bytes <= 0:
+            raise ObjectCacheError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.admission = admission if admission is not None else AlwaysAdmit()
+        self.stats = ObjectCacheStats()
+        self.now = 0  # request index; drives ages and decision positions
+        self._store = {}  # key -> CachedObject, insertion-ordered
+        self._bytes = 0
+        self._ever_seen = set()
+        self._decision_observers = []
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    @property
+    def residents(self) -> dict:
+        """Key -> CachedObject view (treat as read-only)."""
+        return self._store
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def add_decision_observer(self, observer) -> None:
+        """``observer(victim: CachedObject, incoming: ObjectRequest, now)``."""
+        self._decision_observers.append(observer)
+
+    # -- request path ------------------------------------------------------
+
+    def access(self, request: ObjectRequest) -> bool:
+        """Serve one request; returns True on hit.
+
+        Order of operations is part of the determinism contract: admission
+        ``record`` taps the request first (frequency gates learn from every
+        request), then hit/miss resolution, then admission, then
+        evict-until-fits, then insertion.
+        """
+        request.validate()
+        self.admission.record(request, self.now)
+        self.stats.accesses += 1
+        self.stats.requested_bytes += request.size
+
+        obj = self._store.get(request.key)
+        if obj is not None and obj.size == request.size:
+            self.stats.hits += 1
+            self.stats.hit_bytes += request.size
+            obj.hits += 1
+            obj.last_access = self.now
+            self.policy.on_hit(obj, self.now)
+            self.now += 1
+            return True
+
+        if obj is not None:
+            # Same key, new size: the cached copy is stale.  Drop it (an
+            # eviction for the books) and treat the request as a miss.
+            self._remove(obj, notify=False)
+
+        self.stats.misses += 1
+        self.stats.miss_bytes += request.size
+
+        if request.size > self.capacity_bytes or not self.admission.admit(
+            request, self.now
+        ):
+            self.stats.rejected += 1
+            self.stats.rejected_bytes += request.size
+            self._ever_seen.add(request.key)
+            self.now += 1
+            return False
+
+        while self._bytes + request.size > self.capacity_bytes:
+            victim_key = self.policy.victim(self._store, request, self.now)
+            victim = self._store.get(victim_key)
+            if victim is None:
+                raise ObjectCacheError(
+                    f"policy {self.policy.name!r} chose non-resident victim "
+                    f"{victim_key!r}"
+                )
+            self._remove(victim, notify=True, incoming=request)
+
+        self._insert(request)
+        self.now += 1
+        return False
+
+    def replay(self, requests) -> ObjectCacheStats:
+        for request in requests:
+            self.access(request)
+        return self.stats
+
+    # -- internals ---------------------------------------------------------
+
+    def _insert(self, request: ObjectRequest) -> None:
+        obj = CachedObject(
+            key=request.key,
+            size=request.size,
+            inserted_at=self.now,
+            last_access=self.now,
+            seen_before=request.key in self._ever_seen,
+        )
+        self._store[request.key] = obj
+        self._bytes += request.size
+        self._ever_seen.add(request.key)
+        self.stats.admitted += 1
+        self.stats.admitted_bytes += request.size
+        self.stats.residents += 1
+        self.stats.bytes_in_cache += request.size
+        self.policy.on_admit(obj, self.now)
+
+    def _remove(self, obj: CachedObject, notify: bool,
+                incoming: ObjectRequest = None) -> None:
+        del self._store[obj.key]
+        self._bytes -= obj.size
+        self.stats.evictions += 1
+        self.stats.evicted_bytes += obj.size
+        self.stats.residents -= 1
+        self.stats.bytes_in_cache -= obj.size
+        self.policy.on_evict(obj, self.now)
+        if notify:
+            for observer in self._decision_observers:
+                observer(obj, incoming, self.now)
+
+    # -- invariants --------------------------------------------------------
+
+    def check_conservation(self) -> list:
+        """Byte-accounting problems (one line each); [] when balanced."""
+        problems = conservation_problems(
+            self.stats.as_dict(), self.capacity_bytes
+        )
+        actual_bytes = sum(obj.size for obj in self._store.values())
+        if actual_bytes != self._bytes:
+            problems.append(
+                f"resident byte ledger drifted: {self._bytes} tracked != "
+                f"{actual_bytes} actual"
+            )
+        if self.stats.bytes_in_cache != self._bytes:
+            problems.append(
+                "stats.bytes_in_cache out of step with ledger: "
+                f"{self.stats.bytes_in_cache} != {self._bytes}"
+            )
+        if self.stats.residents != len(self._store):
+            problems.append(
+                f"stats.residents out of step: {self.stats.residents} != "
+                f"{len(self._store)}"
+            )
+        return problems

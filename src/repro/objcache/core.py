@@ -1,0 +1,169 @@
+"""Object-cache substrate primitives (variable-size web objects).
+
+The CPU-cache side of the repo (`repro.cache`) models fixed-size lines in
+set-associative ways; this package models the production regime the ROADMAP
+points at — variable-size objects in a bytes-capacity cache, where one
+admission may require several evictions and where *byte* hit rate and
+*object* hit rate diverge (Cold-RL, DEAP Cache in PAPERS.md).
+
+Everything here is integer/bytes arithmetic over plain dataclasses so that
+replay results are byte-identical across process fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ObjectCacheError(ValueError):
+    """Malformed request or configuration on the object-cache surface."""
+
+
+#: Clamp for log2 size buckets (2**20 = 1 MiB+ is the top bucket).
+MAX_SIZE_BUCKET = 20
+
+
+def size_bucket(size: int, max_bucket: int = MAX_SIZE_BUCKET) -> int:
+    """log2 size bucket, clamped — the discrete size axis shared by the
+    size-aware RLR term, the feature extractor, and victim profiles."""
+    return min(max_bucket, max(0, size.bit_length() - 1))
+
+
+@dataclass(frozen=True)
+class ObjectRequest:
+    """One request in an object trace: a key and the object's size in bytes.
+
+    Sizes are per-key stable in the bundled generators (a real CDN object
+    does not change size between requests unless revalidated); the cache
+    itself tolerates size changes by treating them as a miss + replace.
+    """
+
+    key: int
+    size: int
+
+    def validate(self) -> None:
+        if self.key < 0:
+            raise ObjectCacheError(f"object key must be >= 0, got {self.key}")
+        if self.size <= 0:
+            raise ObjectCacheError(
+                f"object size must be positive bytes, got {self.size}"
+            )
+
+
+@dataclass
+class CachedObject:
+    """Resident-object metadata the eviction policies score.
+
+    ``hits`` counts hits since admission; ``seen_before`` records whether the
+    key had been requested before this admission (a re-admission — the
+    object-world analogue of RLR's access-type bit: previously-seen objects
+    are less likely to be one-hit wonders).
+    """
+
+    key: int
+    size: int
+    inserted_at: int
+    last_access: int
+    hits: int = 0
+    seen_before: bool = False
+
+    def age(self, now: int) -> int:
+        return now - self.last_access
+
+
+@dataclass
+class ObjectCacheStats:
+    """Counters for one replay; byte counters enable byte-hit-rate.
+
+    The conservation invariant (checked by the sanitizer and the scenario
+    runner) is::
+
+        admitted == evictions + residents
+        admitted_bytes == evicted_bytes + bytes_in_cache
+        hits + misses == accesses
+        hit_bytes + miss_bytes == requested_bytes
+        misses == admitted + rejected
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    requested_bytes: int = 0
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+    admitted: int = 0
+    admitted_bytes: int = 0
+    rejected: int = 0
+    rejected_bytes: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+    residents: int = 0
+    bytes_in_cache: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "requested_bytes": self.requested_bytes,
+            "hit_bytes": self.hit_bytes,
+            "miss_bytes": self.miss_bytes,
+            "admitted": self.admitted,
+            "admitted_bytes": self.admitted_bytes,
+            "rejected": self.rejected,
+            "rejected_bytes": self.rejected_bytes,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "residents": self.residents,
+            "bytes_in_cache": self.bytes_in_cache,
+        }
+
+    @property
+    def byte_hit_rate(self) -> float:
+        if self.requested_bytes == 0:
+            return 0.0
+        return self.hit_bytes / self.requested_bytes
+
+    @property
+    def object_hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+OBJECT_STAT_KEYS = tuple(ObjectCacheStats().as_dict())
+
+
+def conservation_problems(stats: dict, capacity_bytes: int = None) -> list:
+    """Byte/object conservation violations in a stats dict (one line each).
+
+    Mirrors ``repro.scenarios.runner.conservation_problems`` for the CPU
+    side: returns ``[]`` when the books balance.
+    """
+
+    problems = []
+
+    def check(label, left, right):
+        if left != right:
+            problems.append(f"{label}: {left} != {right}")
+
+    check("hits + misses == accesses",
+          stats["hits"] + stats["misses"], stats["accesses"])
+    check("hit_bytes + miss_bytes == requested_bytes",
+          stats["hit_bytes"] + stats["miss_bytes"], stats["requested_bytes"])
+    check("admitted + rejected == misses",
+          stats["admitted"] + stats["rejected"], stats["misses"])
+    check("admitted == evictions + residents",
+          stats["admitted"], stats["evictions"] + stats["residents"])
+    check("admitted_bytes == evicted_bytes + bytes_in_cache",
+          stats["admitted_bytes"],
+          stats["evicted_bytes"] + stats["bytes_in_cache"])
+    for key in OBJECT_STAT_KEYS:
+        if stats.get(key, 0) < 0:
+            problems.append(f"negative counter: {key} = {stats[key]}")
+    if capacity_bytes is not None and stats["bytes_in_cache"] > capacity_bytes:
+        problems.append(
+            "bytes_in_cache exceeds capacity: "
+            f"{stats['bytes_in_cache']} > {capacity_bytes}"
+        )
+    return problems

@@ -1,0 +1,105 @@
+"""Object-cache feature extraction — the RL state surface for objects.
+
+Extends the Table II machinery in :mod:`repro.rl.features` to variable-size
+objects: the per-line features RLR's analysis found predictive (age, hits,
+recency, access type) carry over, and **object size** joins them — the one
+feature fixed-size CPU lines cannot express, and the one Cold-RL/DEAP show
+matters most in the web regime.
+
+Numeric features reuse the same running-max normalization class
+(`_RunningMax`) so object agents checkpoint/restore norm state exactly the
+way CPU agents do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.features import _RunningMax
+
+from .core import size_bucket
+
+#: Per-candidate-object features, in canonical order.
+OBJECT_FEATURE_NAMES = (
+    "obj_size",        # bytes, running-max normalized
+    "obj_log2_size",   # size bucket (log2), running-max normalized
+    "obj_age",         # requests since last access
+    "obj_preuse",      # last observed inter-access gap
+    "obj_hits",        # hits since admission
+    "obj_recency",     # rank among candidates, most-recent = 1.0
+    "obj_seen_before", # 1.0 if the key had been requested before admission
+    "req_size",        # incoming request's size (shared per decision)
+)
+
+
+class ObjectFeatureExtractor:
+    """Feature vectors for eviction candidates in an object cache.
+
+    Args:
+        enabled: iterable of :data:`OBJECT_FEATURE_NAMES` to include
+            (default all) — same switch surface the hill-climbing analysis
+            uses on the CPU side.
+    """
+
+    def __init__(self, enabled=None) -> None:
+        if enabled is None:
+            enabled = OBJECT_FEATURE_NAMES
+        self.enabled = frozenset(enabled)
+        unknown = self.enabled - set(OBJECT_FEATURE_NAMES)
+        if unknown:
+            raise ValueError(f"unknown object features: {sorted(unknown)}")
+        self.feature_order = tuple(
+            name for name in OBJECT_FEATURE_NAMES if name in self.enabled
+        )
+        self.size = len(self.feature_order)
+        self._norm = _RunningMax()
+
+    # Checkpoint parity with repro.rl.features.FeatureExtractor.
+    def norm_state(self) -> dict:
+        return dict(self._norm.maxima)
+
+    def restore_norm_state(self, maxima: dict) -> None:
+        self._norm.maxima = dict(maxima)
+
+    def _raw(self, obj, incoming, now: int, recency: float) -> dict:
+        preuse = obj.last_access - obj.inserted_at
+        return {
+            "obj_size": self._norm.normalize("obj_size", float(obj.size)),
+            "obj_log2_size": self._norm.normalize(
+                "obj_log2_size", float(size_bucket(obj.size))
+            ),
+            "obj_age": self._norm.normalize("obj_age", float(obj.age(now))),
+            "obj_preuse": self._norm.normalize("obj_preuse", float(preuse)),
+            "obj_hits": self._norm.normalize("obj_hits", float(obj.hits)),
+            "obj_recency": recency,
+            "obj_seen_before": 1.0 if obj.seen_before else 0.0,
+            "req_size": self._norm.normalize(
+                "req_size", float(incoming.size if incoming else 0)
+            ),
+        }
+
+    def vector(self, obj, incoming, now: int, recency: float = 0.0):
+        """One candidate's feature vector (float32, ``self.size`` wide)."""
+        raw = self._raw(obj, incoming, now, recency)
+        return np.array(
+            [raw[name] for name in self.feature_order], dtype=np.float32
+        )
+
+    def matrix(self, candidates, incoming, now: int):
+        """Stacked vectors for an eviction candidate set.
+
+        Candidates are ranked by ``last_access`` to derive the recency
+        feature (most recent = 1.0), matching the CPU extractor's
+        per-way recency definition.
+        """
+        ordered = sorted(candidates, key=lambda obj: (obj.last_access, obj.key))
+        count = max(1, len(ordered) - 1)
+        rank = {
+            obj.key: index / count for index, obj in enumerate(ordered)
+        }
+        return np.stack(
+            [
+                self.vector(obj, incoming, now, recency=rank[obj.key])
+                for obj in candidates
+            ]
+        ) if candidates else np.zeros((0, self.size), dtype=np.float32)

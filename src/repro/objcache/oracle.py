@@ -1,0 +1,103 @@
+"""Size-aware Belady oracle for object caches.
+
+Exact Belady is knapsack-hard once objects have sizes, so the oracle grades
+against the standard size-aware relaxation (the one LRB-style learned
+caches train toward): the best victim is the object occupying the most
+**byte-time** before its next hit —
+
+    score(obj) = (next_use(obj) - now) * obj.size
+
+with never-reused objects scoring infinity.  Evicting the max-score
+resident frees the most bytes for the longest useful time.
+
+Grading mirrors ``repro.telemetry.decisions`` on the CPU side:
+
+* OPTIMAL — the chosen victim's score ties the best score among residents;
+* HARMFUL — the victim scores *below the incoming object*: we evicted
+  something more valuable (in byte-time) than what we admitted;
+* NEUTRAL — anything in between.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+#: Score for never-reused objects.
+NEVER = float("inf")
+
+GRADE_OPTIMAL = "optimal"
+GRADE_NEUTRAL = "neutral"
+GRADE_HARMFUL = "harmful"
+
+
+class ObjectFutureOracle:
+    """Next-use lookups over a pre-recorded object request stream.
+
+    The same per-key occurrence-queue machinery as
+    :class:`repro.rl.reward.FutureOracle`, keyed by object key instead of
+    line address.
+    """
+
+    def __init__(self, requests) -> None:
+        self._occurrences = {}
+        for position, request in enumerate(requests):
+            self._occurrences.setdefault(
+                request.key, deque()
+            ).append(position)
+        self.position = 0
+
+    def advance(self, request) -> None:
+        """Consume the current stream position (must match the stream)."""
+        queue = self._occurrences.get(request.key)
+        if not queue or queue[0] != self.position:
+            raise RuntimeError(
+                f"object oracle misalignment at position {self.position}"
+            )
+        queue.popleft()
+        self.position += 1
+
+    def next_use(self, key: int) -> float:
+        queue = self._occurrences.get(key)
+        return queue[0] if queue else NEVER
+
+    def next_use_after(self, key: int, position: int) -> float:
+        """First access to ``key`` strictly after ``position`` (skips the
+        in-flight occurrence of the object being admitted)."""
+        queue = self._occurrences.get(key)
+        if not queue:
+            return NEVER
+        for occurrence in queue:
+            if occurrence > position:
+                return occurrence
+        return NEVER
+
+    def score(self, key: int, size: int, position: int) -> float:
+        """Byte-time score: next-use distance weighted by bytes."""
+        next_use = self.next_use_after(key, position)
+        if next_use == NEVER:
+            return NEVER
+        return (next_use - position) * size
+
+
+def grade_object_eviction(oracle: ObjectFutureOracle, residents: dict,
+                          victim, incoming, position: int) -> str:
+    """Grade one eviction at request ``position`` (before oracle advance).
+
+    ``residents`` is the cache's post-eviction resident map; the victim is
+    scored alongside it, so "best among residents" means best among the
+    candidates the policy actually chose from.
+    """
+    victim_score = oracle.score(victim.key, victim.size, position)
+    if victim_score == NEVER:
+        return GRADE_OPTIMAL
+    best = victim_score
+    for obj in residents.values():
+        score = oracle.score(obj.key, obj.size, position)
+        if score > best:
+            best = score
+    if victim_score >= best:
+        return GRADE_OPTIMAL
+    incoming_score = oracle.score(incoming.key, incoming.size, position)
+    if victim_score < incoming_score:
+        return GRADE_HARMFUL
+    return GRADE_NEUTRAL

@@ -1,0 +1,275 @@
+"""Object-trace replay and the object-cache sweep grid.
+
+Replay is a pure function of ``(trace, capacity, policy, admission)`` so the
+sweep can fan cells out over :class:`repro.runs.executor.ProcessTaskPool`
+and still merge a deterministic report: results are integers and exact
+float ratios, cells sort by ``(workload, policy)``, and ``--jobs 1`` vs
+``--jobs N`` reports are byte-identical (the same acceptance bar the CPU
+sweep meets).
+
+The sweep reuses the CPU sweep's report types (`CellResult`/`SweepReport`),
+which duck-type on the result object — object cells carry an
+:class:`ObjectCacheResult` whose ``byte_hit_rate``/``object_hit_rate``
+drive the object-aware columns in ``SweepReport.to_csv``/``format``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+from repro import sanitize as sanitize_mod
+from repro.sanitize.errors import SanitizeError
+from repro.sanitize.object_guard import wrap_admission, wrap_object_policy
+
+from .admission import make_admission
+from .cache import ObjectCache
+from .core import ObjectCacheStats
+from .oracle import ObjectFutureOracle
+from .policies import make_object_policy
+from .workloads import ObjectTrace, generate_object_trace
+
+
+@dataclass(frozen=True)
+class ObjectCacheResult:
+    """One cell's outcome; field names match ``ObjectCacheStats``."""
+
+    capacity_bytes: int
+    accesses: int
+    hits: int
+    misses: int
+    requested_bytes: int
+    hit_bytes: int
+    miss_bytes: int
+    admitted: int
+    admitted_bytes: int
+    rejected: int
+    rejected_bytes: int
+    evictions: int
+    evicted_bytes: int
+    residents: int
+    bytes_in_cache: int
+
+    @classmethod
+    def from_stats(cls, stats: ObjectCacheStats, capacity_bytes: int):
+        return cls(capacity_bytes=capacity_bytes, **stats.as_dict())
+
+    @property
+    def byte_hit_rate(self) -> float:
+        if self.requested_bytes == 0:
+            return 0.0
+        return self.hit_bytes / self.requested_bytes
+
+    @property
+    def object_hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def stats_dict(self) -> dict:
+        stats = asdict(self)
+        stats.pop("capacity_bytes")
+        return stats
+
+
+@dataclass
+class ObjectReplayOutcome:
+    result: ObjectCacheResult
+    violations: tuple = ()
+    decisions: dict = None
+
+
+def build_policy(policy: str, params: dict = None):
+    """Registry lookup with per-policy params (scenario ``params`` clause)."""
+    return make_object_policy(policy, **(params or {}))
+
+
+def replay_object_trace(
+    trace: ObjectTrace,
+    capacity_bytes: int,
+    policy: str,
+    *,
+    policy_params: dict = None,
+    admission: dict = None,
+    sanitize: str = None,
+    decisions: int = None,
+) -> ObjectReplayOutcome:
+    """Replay one trace through one policy.
+
+    Args:
+        admission: ``{"kind": name, **params}`` (default always-admit).
+        sanitize: off/normal/strict (default: resolve env).
+        decisions: sample rate for decision tracing + size-aware-oracle
+            grading (None = tracing off; 1 = grade every eviction).
+    """
+    mode = sanitize_mod.resolve_mode(sanitize)
+    inner_policy = build_policy(policy, policy_params)
+    admission_spec = dict(admission or {"kind": "always"})
+    hook = make_admission(admission_spec.pop("kind"), **admission_spec)
+    checked_policy = wrap_object_policy(inner_policy, mode)
+    checked_hook = wrap_admission(hook, mode)
+    cache = ObjectCache(capacity_bytes, checked_policy,
+                        admission=checked_hook)
+
+    decision_payload = None
+    trace_obj = None
+    if decisions is not None:
+        from repro.telemetry.object_decisions import ObjectDecisionTrace
+
+        trace_obj = ObjectDecisionTrace(
+            workload=trace.name,
+            policy=policy,
+            sample_rate=max(1, int(decisions)),
+            oracle=ObjectFutureOracle(trace.requests),
+            total=len(trace.requests),
+        )
+        trace_obj.attach(cache)
+        for request in trace.requests:
+            hit = cache.access(request)
+            trace_obj.on_access(request, hit)
+    else:
+        cache.replay(trace.requests)
+
+    violations = []
+    violations.extend(getattr(checked_policy, "violations", ()))
+    violations.extend(getattr(checked_hook, "violations", ()))
+    problems = cache.check_conservation()
+    if problems:
+        detail = "; ".join(problems)
+        if mode == "strict":
+            raise SanitizeError(
+                f"object cache byte accounting violated ({policy} on "
+                f"{trace.name}): {detail}"
+            )
+        violations.extend(
+            f"byte accounting: {problem}" for problem in problems
+        )
+    if trace_obj is not None:
+        decision_payload = trace_obj.cell_payload()
+    result = ObjectCacheResult.from_stats(cache.stats, capacity_bytes)
+    return ObjectReplayOutcome(
+        result=result, violations=tuple(violations),
+        decisions=decision_payload,
+    )
+
+
+# -- sweep --------------------------------------------------------------------
+
+
+def _cell_task(trace: ObjectTrace, capacity_bytes: int, policy: str,
+               policy_params, admission, sanitize, decisions):
+    """Worker entry (module-level for pickling)."""
+    started = time.perf_counter()
+    outcome = replay_object_trace(
+        trace, capacity_bytes, policy,
+        policy_params=policy_params, admission=admission,
+        sanitize=sanitize, decisions=decisions,
+    )
+    return outcome, time.perf_counter() - started
+
+
+def object_sweep(
+    traces,
+    capacity_bytes: int,
+    policies,
+    *,
+    admission: dict = None,
+    policy_params: dict = None,
+    jobs: int = 1,
+    timeout: float = None,
+    retries: int = 0,
+    sanitize: str = None,
+    decisions: int = None,
+):
+    """Replay every (trace, policy) cell; returns a ``SweepReport``.
+
+    ``traces`` is an iterable of :class:`ObjectTrace`;
+    ``policy_params`` maps policy name -> kwargs dict.
+    """
+    from repro.eval.parallel import CellResult, SweepReport
+
+    traces = list(traces)
+    policies = list(policies)
+    params = policy_params or {}
+    mode = sanitize_mod.resolve_mode(sanitize)
+    wall_started = time.perf_counter()
+    cells = []
+    pool_stats = {}
+    if jobs <= 1:
+        for trace in traces:
+            for policy in policies:
+                cells.append(_run_cell(
+                    trace, capacity_bytes, policy, params.get(policy),
+                    admission, mode, decisions,
+                ))
+    else:
+        from repro.runs.executor import ProcessTaskPool
+
+        pool = ProcessTaskPool(jobs, timeout=timeout, retries=retries)
+        for trace in traces:
+            for policy in policies:
+                pool.submit(
+                    _cell_task, trace, capacity_bytes, policy,
+                    params.get(policy), admission, mode, decisions,
+                    tag=(trace.name, policy),
+                )
+        for outcome in pool.completed():
+            workload, policy = outcome.tag
+            if outcome.ok:
+                replay_outcome, seconds = outcome.value
+                cells.append(CellResult(
+                    workload=workload, policy=policy,
+                    result=replay_outcome.result,
+                    seconds=seconds,
+                    violations=replay_outcome.violations,
+                    decisions=replay_outcome.decisions,
+                ))
+            else:
+                cells.append(CellResult(
+                    workload=workload, policy=policy, error=outcome.error,
+                ))
+        pool_stats = pool.stats.as_dict()
+    cells.sort(key=lambda cell: (cell.workload, cell.policy))
+    return SweepReport(
+        cells=cells,
+        workloads=[trace.name for trace in traces],
+        policies=policies,
+        jobs=jobs,
+        pool_stats=pool_stats,
+        wall_seconds=time.perf_counter() - wall_started,
+    )
+
+
+def _run_cell(trace, capacity_bytes, policy, policy_params, admission,
+              mode, decisions):
+    from repro.eval.parallel import CellResult
+
+    started = time.perf_counter()
+    try:
+        outcome = replay_object_trace(
+            trace, capacity_bytes, policy,
+            policy_params=policy_params, admission=admission,
+            sanitize=mode, decisions=decisions,
+        )
+    except Exception as error:  # noqa: BLE001 - cell isolation
+        return CellResult(
+            workload=trace.name, policy=policy,
+            error=f"{error.__class__.__name__}: {error}",
+        )
+    return CellResult(
+        workload=trace.name, policy=policy,
+        result=outcome.result,
+        seconds=time.perf_counter() - started,
+        violations=outcome.violations,
+        decisions=outcome.decisions,
+    )
+
+
+def traces_from_specs(specs, default_seed: int = 0):
+    """Materialise ``[{name, kind, objects, length, ...}]`` workload specs."""
+    traces = []
+    for spec in specs:
+        clause = dict(spec)
+        clause.setdefault("seed", default_seed)
+        traces.append(generate_object_trace(**clause))
+    return traces

@@ -1,0 +1,141 @@
+"""Object-trace persistence: the ``#objtrace v1`` text format.
+
+A deliberately boring format — one request per line — so traces can be cut
+from real CDN/proxy logs with awk:
+
+    #objtrace v1
+    key,size
+    17,20480
+    3,512
+
+Ingestion is hardened the same way CPU traces are: every defect raises the
+typed :class:`~repro.sanitize.errors.TraceFormatError` with the source and
+1-based line number, and `repro validate` reports one line per problem.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.runs.atomic import atomic_write_text
+from repro.sanitize.errors import TraceFormatError
+
+from .core import ObjectRequest
+from .workloads import ObjectTrace
+
+MAGIC_LINE = "#objtrace v1"
+HEADER_LINE = "key,size"
+SUFFIXES = (".objtrace", ".objcsv")
+
+
+def save_object_trace(trace: ObjectTrace, path) -> Path:
+    path = Path(path)
+    lines = [MAGIC_LINE, HEADER_LINE]
+    lines.extend(
+        f"{request.key},{request.size}" for request in trace.requests
+    )
+    atomic_write_text(path, "\n".join(lines) + "\n")
+    return path
+
+
+def load_object_trace(path, name: str = None) -> ObjectTrace:
+    """Parse an object trace; raises :class:`TraceFormatError` on defects."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as error:
+        raise TraceFormatError(
+            str(path), f"not valid UTF-8 text: {error}"
+        ) from None
+    requests = []
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != MAGIC_LINE:
+        raise TraceFormatError(
+            str(path),
+            f"missing magic line {MAGIC_LINE!r} (is this an object trace?)",
+            line=1,
+        )
+    if len(lines) < 2 or lines[1].strip() != HEADER_LINE:
+        raise TraceFormatError(
+            str(path), f"missing column header {HEADER_LINE!r}", line=2
+        )
+    for number, raw in enumerate(lines[2:], start=3):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split(",")
+        if len(parts) != 2:
+            raise TraceFormatError(
+                str(path),
+                f"expected 'key,size', got {stripped!r}",
+                line=number,
+                record=len(requests),
+            )
+        try:
+            key, size = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise TraceFormatError(
+                str(path),
+                f"non-integer field in {stripped!r}",
+                line=number,
+                record=len(requests),
+            ) from None
+        if key < 0:
+            raise TraceFormatError(
+                str(path), f"negative key {key}", line=number,
+                record=len(requests),
+            )
+        if size <= 0:
+            raise TraceFormatError(
+                str(path), f"non-positive size {size}", line=number,
+                record=len(requests),
+            )
+        requests.append(ObjectRequest(key=key, size=size))
+    return ObjectTrace(
+        name=name or path.stem, requests=tuple(requests)
+    )
+
+
+def validate_object_trace_file(path) -> list:
+    """All problems, one line each (keeps scanning past the first defect)."""
+    path = Path(path)
+    problems = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [f"unreadable: {error}"]
+    except UnicodeDecodeError as error:
+        return [f"not valid UTF-8 text: {error}"]
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != MAGIC_LINE:
+        problems.append(f"line 1: missing magic line {MAGIC_LINE!r}")
+        return problems
+    if len(lines) < 2 or lines[1].strip() != HEADER_LINE:
+        problems.append(f"line 2: missing column header {HEADER_LINE!r}")
+        return problems
+    records = 0
+    for number, raw in enumerate(lines[2:], start=3):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split(",")
+        if len(parts) != 2:
+            problems.append(
+                f"line {number}: expected 'key,size', got {stripped!r}"
+            )
+            continue
+        try:
+            key, size = int(parts[0]), int(parts[1])
+        except ValueError:
+            problems.append(
+                f"line {number}: non-integer field in {stripped!r}"
+            )
+            continue
+        if key < 0:
+            problems.append(f"line {number}: negative key {key}")
+        if size <= 0:
+            problems.append(f"line {number}: non-positive size {size}")
+        records += 1
+    if records == 0 and not problems:
+        problems.append("trace has a header but zero request records")
+    return problems

@@ -1,0 +1,251 @@
+"""Deterministic, seedable object-request workload generators.
+
+Four request-pattern families (the taxonomy capsa's static/dynamic/
+oscillating generators and the cxl-fabric-sim snippet sketch, extended with
+the two patterns that make admission interesting):
+
+* ``zipf``         — stationary Zipfian popularity over a fixed catalogue;
+* ``hotspot_shift``— Zipfian popularity whose hot set rotates each phase
+                     (tests how fast policies re-learn);
+* ``flash_crowd``  — Zipfian baseline plus a burst window in which a small
+                     set of *previously unseen* objects takes over a large
+                     request share (tests admission + recency);
+* ``scan_mix``     — Zipfian foreground polluted by a one-shot sequential
+                     scan of fresh objects (the classic one-hit-wonder
+                     stress; scan objects can be scaled larger).
+
+Sizes come from a configurable distribution (fixed/uniform/lognormal/
+pareto), stable per key, optionally **inversely correlated** with
+popularity (``correlate: inverse`` — hot objects small, as CDN traces
+show), which is precisely the regime where size-aware eviction pays off in
+byte-hit-rate.
+
+Everything derives from ``random.Random(seed)`` — identical traces across
+processes and platforms, no numpy dependence on this path.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from random import Random
+
+from .core import ObjectCacheError, ObjectRequest
+
+WORKLOAD_KINDS = ("zipf", "hotspot_shift", "flash_crowd", "scan_mix")
+SIZE_DISTS = ("fixed", "uniform", "lognormal", "pareto")
+SIZE_CORRELATIONS = ("none", "inverse")
+
+_DEFAULT_SIZES = {
+    "dist": "lognormal", "min": 256, "max": 1 << 20, "correlate": "none",
+}
+
+
+@dataclass(frozen=True)
+class ObjectTrace:
+    """A named, fully materialised request stream."""
+
+    name: str
+    requests: tuple
+    catalogue_objects: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(request.size for request in self.requests)
+
+    def unique_objects(self) -> int:
+        return len({request.key for request in self.requests})
+
+
+def validate_size_spec(spec: dict) -> list:
+    """One problem string per defect; [] when the size clause is usable."""
+    problems = []
+    if not isinstance(spec, dict):
+        return [f"sizes must be a mapping, got {type(spec).__name__}"]
+    dist = spec.get("dist", "lognormal")
+    if dist not in SIZE_DISTS:
+        problems.append(
+            f"sizes.dist must be one of {', '.join(SIZE_DISTS)}, got {dist!r}"
+        )
+    for key in ("min", "max"):
+        value = spec.get(key, _DEFAULT_SIZES[key])
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            problems.append(f"sizes.{key} must be a positive integer")
+    min_size = spec.get("min", _DEFAULT_SIZES["min"])
+    max_size = spec.get("max", _DEFAULT_SIZES["max"])
+    if isinstance(min_size, int) and isinstance(max_size, int) \
+            and 0 < max_size < min_size:
+        problems.append(f"sizes.min ({min_size}) exceeds sizes.max ({max_size})")
+    correlate = spec.get("correlate", "none")
+    if correlate not in SIZE_CORRELATIONS:
+        problems.append(
+            "sizes.correlate must be one of "
+            f"{', '.join(SIZE_CORRELATIONS)}, got {correlate!r}"
+        )
+    for key in spec:
+        if key not in ("dist", "min", "max", "correlate", "sigma", "alpha"):
+            problems.append(f"sizes.{key}: unknown size field")
+    return problems
+
+
+def _draw_size(spec: dict, rng: Random) -> int:
+    dist = spec.get("dist", "lognormal")
+    lo = spec.get("min", _DEFAULT_SIZES["min"])
+    hi = spec.get("max", _DEFAULT_SIZES["max"])
+    if dist == "fixed":
+        return lo
+    if dist == "uniform":
+        return rng.randint(lo, hi)
+    if dist == "lognormal":
+        # mu centred so the median sits at the geometric mean of [lo, hi].
+        import math
+
+        mu = (math.log(lo) + math.log(hi)) / 2.0
+        sigma = spec.get("sigma", 1.5)
+        value = int(rng.lognormvariate(mu, sigma))
+    elif dist == "pareto":
+        value = int(lo * rng.paretovariate(spec.get("alpha", 1.2)))
+    else:  # pragma: no cover - guarded by validate_size_spec
+        raise ObjectCacheError(f"unknown size distribution {dist!r}")
+    return max(lo, min(hi, value))
+
+
+class _SizeTable:
+    """Per-key stable sizes; catalogue keys drawn up-front so ``inverse``
+    correlation can sort them against popularity rank, dynamic keys (scan,
+    flash-crowd) drawn lazily from a per-key RNG."""
+
+    def __init__(self, spec: dict, objects: int, seed: int,
+                 dynamic_scale: float = 1.0):
+        self._spec = dict(_DEFAULT_SIZES, **(spec or {}))
+        self._seed = seed
+        self._dynamic_scale = dynamic_scale
+        rng = Random((seed * 2654435761) % (1 << 63))
+        drawn = [_draw_size(self._spec, rng) for _ in range(objects)]
+        if self._spec.get("correlate", "none") == "inverse":
+            # Rank 0 is the hottest key: give it the smallest size.
+            drawn.sort()
+        self._catalogue = drawn
+        self._dynamic = {}
+
+    def size_of(self, key: int) -> int:
+        if key < len(self._catalogue):
+            return self._catalogue[key]
+        cached = self._dynamic.get(key)
+        if cached is None:
+            rng = Random((self._seed << 20) ^ (key * 0x9E3779B1))
+            cached = max(1, int(_draw_size(self._spec, rng)
+                                * self._dynamic_scale))
+            self._dynamic[key] = cached
+        return cached
+
+
+class _ZipfSampler:
+    """Rank sampler over ``1/(rank+1)**alpha`` via CDF + bisect."""
+
+    def __init__(self, objects: int, alpha: float):
+        weights = [1.0 / (rank + 1) ** alpha for rank in range(objects)]
+        total = 0.0
+        self._cumulative = []
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self, rng: Random) -> int:
+        return bisect.bisect_left(
+            self._cumulative, rng.random() * self._total
+        )
+
+
+def generate_object_trace(name: str, kind: str, objects: int, length: int,
+                          seed: int = 0, alpha: float = 0.9,
+                          sizes: dict = None, **params) -> ObjectTrace:
+    """Materialise one deterministic trace.
+
+    ``params`` are kind-specific knobs (all optional):
+
+    * hotspot_shift: ``phases`` (default 4);
+    * flash_crowd:  ``burst_start``/``burst_length`` (trace fractions,
+      default 0.5/0.25), ``burst_fraction`` (request share, default 0.6),
+      ``crowd_objects`` (default max(8, objects // 20));
+    * scan_mix:     ``scan_fraction`` (default 0.25), ``scan_size_scale``
+      (default 4.0 — scans drag in *large* one-hit wonders).
+    """
+    if kind not in WORKLOAD_KINDS:
+        raise ObjectCacheError(
+            f"unknown workload kind {kind!r} "
+            f"(known: {', '.join(WORKLOAD_KINDS)})"
+        )
+    if objects <= 0 or length <= 0:
+        raise ObjectCacheError(
+            f"workload {name!r} needs objects > 0 and length > 0"
+        )
+    builder = _BUILDERS[kind]
+    scale = params.get("scan_size_scale", 4.0) if kind == "scan_mix" else 1.0
+    table = _SizeTable(sizes or {}, objects, seed, dynamic_scale=scale)
+    rng = Random(seed)
+    keys = builder(rng, objects, length, alpha, params)
+    requests = tuple(
+        ObjectRequest(key=key, size=table.size_of(key)) for key in keys
+    )
+    return ObjectTrace(name=name, requests=requests,
+                       catalogue_objects=objects)
+
+
+def _zipf_keys(rng, objects, length, alpha, params):
+    sampler = _ZipfSampler(objects, alpha)
+    return [sampler.sample(rng) for _ in range(length)]
+
+
+def _hotspot_keys(rng, objects, length, alpha, params):
+    phases = max(1, int(params.get("phases", 4)))
+    sampler = _ZipfSampler(objects, alpha)
+    stride = max(1, objects // phases)
+    keys = []
+    for index in range(length):
+        phase = index * phases // length
+        rank = sampler.sample(rng)
+        keys.append((rank + phase * stride) % objects)
+    return keys
+
+
+def _flash_crowd_keys(rng, objects, length, alpha, params):
+    burst_start = float(params.get("burst_start", 0.5))
+    burst_length = float(params.get("burst_length", 0.25))
+    burst_fraction = float(params.get("burst_fraction", 0.6))
+    crowd_objects = int(params.get("crowd_objects", max(8, objects // 20)))
+    base = _ZipfSampler(objects, alpha)
+    crowd = _ZipfSampler(crowd_objects, max(alpha, 1.1))
+    lo = int(length * burst_start)
+    hi = min(length, lo + int(length * burst_length))
+    keys = []
+    for index in range(length):
+        if lo <= index < hi and rng.random() < burst_fraction:
+            # Crowd keys live above the catalogue: unseen before the burst.
+            keys.append(objects + crowd.sample(rng))
+        else:
+            keys.append(base.sample(rng))
+    return keys
+
+
+def _scan_mix_keys(rng, objects, length, alpha, params):
+    scan_fraction = float(params.get("scan_fraction", 0.25))
+    sampler = _ZipfSampler(objects, alpha)
+    keys = []
+    next_scan_key = objects  # fresh ids, each requested exactly once
+    for _ in range(length):
+        if rng.random() < scan_fraction:
+            keys.append(next_scan_key)
+            next_scan_key += 1
+        else:
+            keys.append(sampler.sample(rng))
+    return keys
+
+
+_BUILDERS = {
+    "zipf": _zipf_keys,
+    "hotspot_shift": _hotspot_keys,
+    "flash_crowd": _flash_crowd_keys,
+    "scan_mix": _scan_mix_keys,
+}

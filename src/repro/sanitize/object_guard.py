@@ -1,0 +1,179 @@
+"""Contract sanitizer for the object-cache eviction/admission surface.
+
+The object-world counterpart of :mod:`repro.sanitize.policy_guard`: a
+:class:`CheckedObjectPolicy` proxy enforces the eviction contract on every
+decision, and :func:`check_byte_accounting` asserts the cache's byte ledger
+balances (in strict mode the scenario runner turns a drifted ledger into a
+raised :class:`~repro.sanitize.errors.SanitizeError`).
+
+The eviction contract:
+
+* ``victim`` must return the key of a **resident** object, never the
+  incoming request's key, and never from an empty cache;
+* an admission hook's ``admit`` must return a bool.
+
+Strict mode raises :class:`PolicyContractError`; normal mode records the
+violation and degrades — eviction falls back to true LRU driven by the
+wrapper's own recency bookkeeping (immune to the inner policy's corrupt
+state), admission falls back to always-admit.  ``off`` returns the
+policy/hook unwrapped.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.errors import PolicyContractError
+
+
+def _noop(*args, **kwargs) -> None:
+    """Hook replacement for a degraded object policy (never raises)."""
+
+
+class CheckedObjectPolicy:
+    """Contract-enforcing proxy around an ``ObjectEvictionPolicy``.
+
+    Keeps its own insertion-ordered recency map so a degraded policy can
+    serve exact LRU victims without trusting the inner policy's state.
+    """
+
+    def __init__(self, policy, strict: bool = False):
+        self._inner = policy
+        self._strict = strict
+        self._degraded = False
+        self._order = {}  # key -> None, LRU -> MRU (wrapper-owned)
+        self.violations = []
+
+    def __getattr__(self, attribute):
+        return getattr(self._inner, attribute)
+
+    @property
+    def wrapped(self):
+        return self._inner
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    def _violate(self, detail: str) -> None:
+        name = getattr(self._inner, "name", self._inner.__class__.__name__)
+        self.violations.append(f"object policy {name!r}: {detail}")
+        if self._strict:
+            raise PolicyContractError(str(name), detail)
+        if not self._degraded:
+            self._degraded = True
+            # Disconnect the offending policy: its hooks must not raise
+            # from corrupt state after the downgrade.
+            self._inner.on_admit = _noop
+            self._inner.on_hit = _noop
+            self._inner.on_evict = _noop
+
+    # -- lifecycle (wrapper bookkeeping + delegation) ----------------------
+
+    def on_admit(self, obj, now):
+        self._order[obj.key] = None
+        if not self._degraded:
+            self._inner.on_admit(obj, now)
+
+    def on_hit(self, obj, now):
+        del self._order[obj.key]
+        self._order[obj.key] = None
+        if not self._degraded:
+            self._inner.on_hit(obj, now)
+
+    def on_evict(self, obj, now):
+        self._order.pop(obj.key, None)
+        if not self._degraded:
+            self._inner.on_evict(obj, now)
+
+    # -- guarded decision surface ------------------------------------------
+
+    def victim(self, residents, incoming, now):
+        if not residents:
+            self._violate("victim requested from an empty cache")
+            return next(iter(self._order), None)
+        if self._degraded:
+            return next(iter(self._order))
+        try:
+            key = self._inner.victim(residents, incoming, now)
+        except PolicyContractError:
+            raise
+        except Exception as error:  # noqa: BLE001 - the contract surface
+            self._violate(f"victim raised {error.__class__.__name__}: {error}")
+            return next(iter(self._order))
+        if key not in residents:
+            self._violate(f"victim chose non-resident key {key!r}")
+            return next(iter(self._order))
+        if incoming is not None and key == incoming.key:
+            self._violate("victim chose the incoming request's key")
+            return next(iter(self._order))
+        return key
+
+
+class CheckedAdmission:
+    """Bool-enforcing proxy around an :class:`AdmissionHook`."""
+
+    def __init__(self, hook, strict: bool = False):
+        self._inner = hook
+        self._strict = strict
+        self._degraded = False
+        self.violations = []
+
+    def __getattr__(self, attribute):
+        return getattr(self._inner, attribute)
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    def _violate(self, detail: str) -> None:
+        name = getattr(self._inner, "name", self._inner.__class__.__name__)
+        self.violations.append(f"admission hook {name!r}: {detail}")
+        if self._strict:
+            raise PolicyContractError(str(name), detail)
+        self._degraded = True
+
+    def record(self, request, now):
+        if self._degraded:
+            return
+        try:
+            self._inner.record(request, now)
+        except Exception as error:  # noqa: BLE001
+            self._violate(f"record raised {error.__class__.__name__}: {error}")
+
+    def admit(self, request, now):
+        if self._degraded:
+            return True
+        try:
+            decision = self._inner.admit(request, now)
+        except PolicyContractError:
+            raise
+        except Exception as error:  # noqa: BLE001
+            self._violate(f"admit raised {error.__class__.__name__}: {error}")
+            return True
+        if not isinstance(decision, bool):
+            self._violate(
+                f"admit returned {type(decision).__name__}, expected bool"
+            )
+            return True
+        return decision
+
+
+def wrap_object_policy(policy, mode: str = "normal"):
+    """Mode-aware wrapping; ``off`` returns the policy unwrapped."""
+    if mode == "off":
+        return policy
+    return CheckedObjectPolicy(policy, strict=(mode == "strict"))
+
+
+def wrap_admission(hook, mode: str = "normal"):
+    if mode == "off":
+        return hook
+    return CheckedAdmission(hook, strict=(mode == "strict"))
+
+
+def check_byte_accounting(cache) -> list:
+    """The balanced admit/evict byte invariant, one problem per line.
+
+    Thin alias over ``ObjectCache.check_conservation`` so sanitizer callers
+    (replay in strict mode, the fuzzer) have a single import point.
+    """
+    return cache.check_conservation()

@@ -89,6 +89,35 @@ def validate_trace_file(path, quarantine: bool = False) -> ValidationReport:
     return report
 
 
+def validate_object_trace_file(path) -> ValidationReport:
+    """Fully parse an object trace (``.objtrace``/``.objcsv``) file.
+
+    Wraps :func:`repro.objcache.trace_io.validate_object_trace_file` (which
+    keeps scanning past the first bad record) into the standard report: one
+    error line per problem, with line numbers.
+    """
+    from repro.objcache.trace_io import load_object_trace
+    from repro.objcache.trace_io import (
+        validate_object_trace_file as scan_object_trace,
+    )
+
+    path = Path(path)
+    report = ValidationReport(target=str(path), kind="objtrace")
+    if not path.is_file():
+        report.fail("file does not exist")
+        return report
+    for problem in scan_object_trace(path):
+        report.fail(problem)
+    if report.ok:
+        trace = load_object_trace(path)
+        report.summary = (
+            f"object trace {trace.name!r}: {len(trace.requests)} requests, "
+            f"{trace.unique_objects()} distinct objects, "
+            f"{trace.total_bytes} bytes requested"
+        )
+    return report
+
+
 def validate_agent_file(path) -> ValidationReport:
     """Check a trained-agent ``.npz`` (see :func:`repro.rl.trainer.save_agent`).
 
@@ -183,8 +212,10 @@ def validate_scenario_file(path) -> ValidationReport:
         len(scenario.workload_names) * len(scenario.policies)
         * len(scenario.run_seeds)
     )
+    kind = getattr(scenario, "scenario_kind", "cpu_cache")
     report.summary = (
-        f"scenario {scenario.name!r}: {len(scenario.workloads)} workload(s), "
+        f"{kind} scenario {scenario.name!r}: "
+        f"{len(scenario.workloads)} workload(s), "
         f"{len(scenario.policies)} policy(ies), {len(scenario.run_seeds)} "
         f"seed(s) -> {cells} cell(s), sanitize={scenario.sanitize}"
         + (", golden" if scenario.golden else "")

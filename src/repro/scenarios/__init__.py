@@ -28,6 +28,14 @@ from repro.scenarios.loader import (
     parse_scenario_text,
     resolve_scenario,
 )
+from repro.scenarios.object_runner import run_object_scenario
+from repro.scenarios.object_schema import (
+    ObjectExpectation,
+    ObjectScenario,
+    ObjectScenarioConfig,
+    ObjectWorkloadClause,
+    object_scenario_from_dict,
+)
 from repro.scenarios.runner import (
     ExpectationFailure,
     check_report,
@@ -35,10 +43,12 @@ from repro.scenarios.runner import (
     run_scenario,
 )
 from repro.scenarios.schema import (
+    SCENARIO_KINDS,
     Expectation,
     Scenario,
     ScenarioConfig,
     ScenarioError,
+    UnknownScenarioKindError,
     WorkloadClause,
     scenario_from_dict,
 )
@@ -46,9 +56,15 @@ from repro.scenarios.schema import (
 __all__ = [
     "Expectation",
     "ExpectationFailure",
+    "ObjectExpectation",
+    "ObjectScenario",
+    "ObjectScenarioConfig",
+    "ObjectWorkloadClause",
+    "SCENARIO_KINDS",
     "Scenario",
     "ScenarioConfig",
     "ScenarioError",
+    "UnknownScenarioKindError",
     "WorkloadClause",
     "canonical_json",
     "check_report",
@@ -60,11 +76,13 @@ __all__ = [
     "golden_path",
     "load_library",
     "load_scenario",
+    "object_scenario_from_dict",
     "parse_scenario_text",
     "read_golden",
     "report_digest",
     "require_ok",
     "resolve_scenario",
+    "run_object_scenario",
     "run_scenario",
     "scenario_from_dict",
     "write_golden",

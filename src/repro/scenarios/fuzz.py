@@ -160,6 +160,129 @@ def scenario_dicts():
     )
 
 
+#: Object policies cheap enough to fuzz densely (rlr variants ride along at
+#: a reduced sample so the scan stays cheap on tiny caches).
+FUZZ_OBJECT_POLICIES = ("lru", "lru_size", "gdsf", "random_size", "rlr_size")
+
+#: Capacities small enough that generated size distributions straddle them:
+#: with sizes up to 256 KiB, single objects range from "tiny fraction of the
+#: cache" to "bigger than the whole cache" (exercising the too-big reject
+#: path and multi-victim evict-until-fits chains).
+FUZZ_CAPACITIES = (65_536, 262_144, 2_000_000)
+
+
+def object_workload_dicts(name: str = "fuzzed"):
+    """Strategy: one object workload clause, biased toward adversarial
+    shapes — flash-crowd phase shifts, scan pollution, and size
+    distributions whose upper tail crosses the bytes capacity."""
+    st = _strategies()
+
+    def _build(kind, objects, alpha, sizes, extra):
+        clause = {"name": name, "kind": kind, "objects": objects,
+                  "alpha": alpha, "sizes": sizes}
+        clause.update(extra)
+        return clause
+
+    def _extras(kind):
+        if kind == "flash_crowd":
+            return st.fixed_dictionaries({
+                "burst_start": st.sampled_from((0.25, 0.5)),
+                "burst_length": st.sampled_from((0.1, 0.3)),
+                "burst_fraction": st.sampled_from((0.4, 0.8)),
+            })
+        if kind == "scan_mix":
+            return st.fixed_dictionaries({
+                "scan_fraction": st.sampled_from((0.2, 0.5)),
+                "scan_size_scale": st.sampled_from((1.0, 4.0)),
+            })
+        if kind == "hotspot_shift":
+            return st.fixed_dictionaries({
+                "phases": st.sampled_from((2, 4)),
+            })
+        return st.just({})
+
+    sizes = st.fixed_dictionaries({
+        "dist": st.sampled_from(("fixed", "uniform", "lognormal", "pareto")),
+        "min": st.sampled_from((64, 1024)),
+        # The upper tail deliberately crosses FUZZ_CAPACITIES entries.
+        "max": st.sampled_from((4096, 65_536, 262_144)),
+        "correlate": st.sampled_from(("none", "inverse")),
+    })
+    return st.sampled_from(
+        ("zipf", "hotspot_shift", "flash_crowd", "scan_mix")
+    ).flatmap(lambda kind: st.builds(
+        _build,
+        st.just(kind),
+        st.integers(min_value=16, max_value=400),
+        st.sampled_from((0.6, 0.9, 1.2)),
+        sizes,
+        _extras(kind),
+    ))
+
+
+def object_scenario_dicts():
+    """Strategy: complete ``object_cache`` scenario documents that pass
+    schema validation by construction."""
+    st = _strategies()
+
+    def _build(config, workloads, policies, admission, sanitize):
+        data = {
+            "format": 1,
+            "kind": "object_cache",
+            "name": "fuzzed-objcache",
+            "config": config,
+            "workloads": [
+                dict(workload, name=f"fz{index}")
+                for index, workload in enumerate(workloads)
+            ],
+            "policies": policies,
+            "sanitize": sanitize,
+            "expect": [{"check": "conservation"}],
+            "params": {"rlr_size": {"sample": 32}}
+            if "rlr_size" in policies else {},
+        }
+        if admission is not None:
+            data["admission"] = admission
+        return data
+
+    config = st.fixed_dictionaries({
+        "capacity_bytes": st.sampled_from(FUZZ_CAPACITIES),
+        "requests": st.integers(min_value=200, max_value=1500),
+        "seed": st.integers(min_value=0, max_value=9999),
+    })
+    admission = st.one_of(
+        st.none(),
+        st.just({"kind": "always"}),
+        st.just({"kind": "size_threshold", "max_size": 32_768}),
+        st.just({"kind": "freq_gate", "threshold": 2}),
+    )
+    return st.builds(
+        _build,
+        config,
+        st.lists(object_workload_dicts(), min_size=1, max_size=2),
+        st.lists(st.sampled_from(FUZZ_OBJECT_POLICIES), min_size=1,
+                 max_size=3, unique=True),
+        admission,
+        st.sampled_from(("off", "normal", "strict")),
+    )
+
+
+def check_object_scenario_contract(data: dict, jobs=(1, 2)) -> dict:
+    """The object-cache fuzz property: same contract as
+    :func:`check_scenario_contract` — deterministic across worker counts, no
+    failed cells, byte/object conservation on every cell (admitted bytes ==
+    evicted bytes + resident bytes, occupancy under capacity, ...) — plus no
+    sanitizer violations from the admission/eviction contract wrappers.
+    """
+    report = check_scenario_contract(data, jobs=jobs)
+    for cell in report["cells"]:
+        assert not cell.get("violations"), (
+            f"{cell['workload']}/{cell['policy']}: admission/eviction "
+            f"contract violated: {cell['violations']}"
+        )
+    return report
+
+
 def check_scenario_contract(data: dict, jobs=(1, 2)) -> dict:
     """Assert the simulator contract for one generated scenario document.
 

@@ -67,8 +67,11 @@ def write_golden(name: str, payload: dict, root=None) -> Path:
 
 # -- readable report diffs -----------------------------------------------------
 
-#: Cell metrics compared (and reported) when a golden digest moves.
-_DIFF_METRICS = ("hit_rate", "demand_hit_rate", "demand_mpki")
+#: Cell metrics compared (and reported) when a golden digest moves.  CPU
+#: cells carry the first three, object-cache cells the last two; a metric
+#: absent from both sides of a diff is skipped.
+_DIFF_METRICS = ("hit_rate", "demand_hit_rate", "demand_mpki",
+                 "byte_hit_rate", "object_hit_rate")
 
 
 def _cell_key(cell) -> tuple:

@@ -192,7 +192,18 @@ def run_scenario(
     scenario carries ``regret`` expectations, decision tracing is enabled
     automatically (rate 1) so regret is measurable.  Failed cells raise —
     a scenario whose simulation crashes has no meaningful report.
+
+    Dispatches on the scenario kind, so callers can hand this any loaded
+    scenario: ``object_cache`` scenarios route to
+    :func:`repro.scenarios.object_runner.run_object_scenario`.
     """
+    if getattr(scenario, "scenario_kind", "cpu_cache") == "object_cache":
+        from repro.scenarios.object_runner import run_object_scenario
+
+        return run_object_scenario(
+            scenario, jobs=jobs, cache_dir=cache_dir, progress=progress,
+            decisions=decisions,
+        )
     from repro.eval.parallel import parallel_sweep
 
     if decisions is None and any(e.check == "regret" for e in scenario.expect):

@@ -37,6 +37,11 @@ EXPECTATION_CHECKS = (
 #: Sanitizer modes a scenario may request (repro.sanitize).
 SANITIZE_MODES = ("off", "normal", "strict")
 
+#: Scenario kinds the loader can dispatch to.  A file selects its kind with
+#: a top-level ``kind`` key; absent means the original CPU-cache schema, so
+#: every pre-existing scenario file parses unchanged.
+SCENARIO_KINDS = ("cpu_cache", "object_cache")
+
 _NAME_PATTERN = re.compile(r"^[a-z0-9][a-z0-9._-]{0,63}$")
 
 #: Current scenario format version (bumped on incompatible schema changes).
@@ -53,6 +58,22 @@ class ScenarioError(ValueError):
         super().__init__(
             where + f"{len(self.problems)} problem(s):\n" +
             "\n".join(f"  - {problem}" for problem in self.problems)
+        )
+
+
+class UnknownScenarioKindError(ScenarioError):
+    """A scenario names a ``kind`` this build does not implement.
+
+    Typed (rather than a bare ``KeyError``) so tools like ``repro validate``
+    can report the unknown kind with the known alternatives in one line.
+    """
+
+    def __init__(self, kind, source: str = None):
+        self.kind = kind
+        super().__init__(
+            [f"kind: unknown scenario kind {kind!r} "
+             f"(known: {', '.join(SCENARIO_KINDS)})"],
+            source=source,
         )
 
 
@@ -134,6 +155,10 @@ class Expectation:
 @dataclass(frozen=True)
 class Scenario:
     """A fully validated scenario, ready to run."""
+
+    #: Discriminator matching the file-level ``kind`` key (the object
+    #: schema's ObjectScenario carries "object_cache").
+    scenario_kind = "cpu_cache"
 
     name: str
     config: ScenarioConfig
@@ -512,21 +537,34 @@ def _parse_expectation(data, path, policies, workload_names, check: _Check):
 
 
 _TOP_LEVEL_KEYS = {
-    "format", "name", "title", "description", "figure", "config", "suite",
-    "workloads", "policies", "seeds", "mixes", "sanitize", "golden",
+    "format", "kind", "name", "title", "description", "figure", "config",
+    "suite", "workloads", "policies", "seeds", "mixes", "sanitize", "golden",
     "expect", "params",
 }
 
 
-def scenario_from_dict(data, source: str = None) -> Scenario:
+def scenario_from_dict(data, source: str = None):
     """Validate a parsed scenario dict; raise :class:`ScenarioError` on any
-    problem, else return the immutable :class:`Scenario`."""
+    problem, else return the immutable scenario object.
+
+    Dispatches on the top-level ``kind`` key: absent or ``cpu_cache`` is the
+    schema in this module; ``object_cache`` routes to
+    :func:`repro.scenarios.object_schema.object_scenario_from_dict`; anything
+    else raises :class:`UnknownScenarioKindError`.
+    """
     check = _Check()
     if not isinstance(data, dict):
         raise ScenarioError(
             [f"top level: expected a mapping, got {type(data).__name__}"],
             source=source,
         )
+    kind = data.get("kind", "cpu_cache")
+    if kind == "object_cache":
+        from repro.scenarios.object_schema import object_scenario_from_dict
+
+        return object_scenario_from_dict(data, source=source)
+    if kind != "cpu_cache":
+        raise UnknownScenarioKindError(kind, source=source)
     unknown = set(data) - _TOP_LEVEL_KEYS
     if unknown:
         check.fail("top level", f"unknown key(s): {', '.join(sorted(unknown))}")

@@ -1,0 +1,151 @@
+"""Contract sanitizer for object policies and admission hooks."""
+
+import pytest
+
+from repro.objcache import ObjectCache, ObjectRequest, make_object_policy
+from repro.objcache.policies import ObjectEvictionPolicy
+from repro.sanitize.errors import PolicyContractError
+from repro.sanitize.object_guard import (
+    CheckedAdmission,
+    CheckedObjectPolicy,
+    check_byte_accounting,
+    wrap_admission,
+    wrap_object_policy,
+)
+
+
+class NonResidentPolicy(ObjectEvictionPolicy):
+    """Always names a key that is not in the cache."""
+
+    name = "bad-nonresident"
+
+    def victim(self, residents, incoming, now):
+        return -42
+
+
+class RaisingPolicy(ObjectEvictionPolicy):
+    name = "bad-raising"
+
+    def victim(self, residents, incoming, now):
+        raise RuntimeError("internal heap corrupted")
+
+
+class NonBoolAdmission:
+    name = "bad-nonbool"
+
+    def record(self, request, now):
+        pass
+
+    def admit(self, request, now):
+        return 1  # truthy but not a bool
+
+
+def drive(cache, count=6, size=60):
+    for key in range(count):
+        cache.access(ObjectRequest(key=key, size=size))
+
+
+class TestCheckedObjectPolicy:
+    def test_non_resident_victim_degrades_to_lru(self):
+        checked = wrap_object_policy(NonResidentPolicy(), "normal")
+        cache = ObjectCache(100, checked)
+        drive(cache)
+        assert checked.degraded
+        assert any("non-resident" in v for v in checked.violations)
+        # Degraded eviction served exact LRU: the cache still balanced.
+        assert cache.check_conservation() == []
+
+    def test_raising_victim_degrades_instead_of_crashing(self):
+        checked = wrap_object_policy(RaisingPolicy(), "normal")
+        cache = ObjectCache(100, checked)
+        drive(cache)
+        assert checked.degraded
+        assert any("victim raised RuntimeError" in v
+                   for v in checked.violations)
+
+    def test_strict_mode_raises_contract_error(self):
+        checked = wrap_object_policy(NonResidentPolicy(), "strict")
+        cache = ObjectCache(100, checked)
+        with pytest.raises(PolicyContractError):
+            drive(cache)
+
+    def test_incoming_key_victim_is_a_violation(self):
+        from repro.objcache import CachedObject
+
+        class EvictIncoming(ObjectEvictionPolicy):
+            name = "bad-incoming"
+
+            def victim(self, residents, incoming, now):
+                return incoming.key
+
+        checked = wrap_object_policy(EvictIncoming(), "normal")
+        incoming = ObjectRequest(key=1, size=10)
+        residents = {
+            key: CachedObject(key=key, size=10, inserted_at=0, last_access=0)
+            for key in (1, 2)
+        }
+        for key in residents:
+            checked.on_admit(residents[key], 0)
+        fallback = checked.victim(residents, incoming, 1)
+        assert any("incoming request's key" in v for v in checked.violations)
+        assert fallback in residents
+
+    def test_off_mode_returns_unwrapped(self):
+        policy = make_object_policy("lru")
+        assert wrap_object_policy(policy, "off") is policy
+        hook = NonBoolAdmission()
+        assert wrap_admission(hook, "off") is hook
+
+    def test_well_behaved_policy_stays_clean(self):
+        checked = wrap_object_policy(make_object_policy("lru"), "normal")
+        cache = ObjectCache(100, checked)
+        drive(cache)
+        assert not checked.degraded
+        assert checked.violations == []
+
+
+class TestCheckedAdmission:
+    def test_non_bool_admit_is_a_violation_and_admits(self):
+        checked = wrap_admission(NonBoolAdmission(), "normal")
+        assert checked.admit(ObjectRequest(key=1, size=10), 0) is True
+        assert any("expected bool" in v for v in checked.violations)
+        assert checked.degraded
+
+    def test_strict_mode_raises(self):
+        checked = wrap_admission(NonBoolAdmission(), "strict")
+        with pytest.raises(PolicyContractError):
+            checked.admit(ObjectRequest(key=1, size=10), 0)
+
+    def test_raising_record_degrades_to_always_admit(self):
+        class RaisingRecord:
+            name = "bad-record"
+
+            def record(self, request, now):
+                raise ValueError("sketch overflow")
+
+            def admit(self, request, now):
+                return False
+
+        checked = wrap_admission(RaisingRecord(), "normal")
+        checked.record(ObjectRequest(key=1, size=10), 0)
+        assert checked.degraded
+        # Degraded admission must not keep vetoing requests.
+        assert checked.admit(ObjectRequest(key=1, size=10), 0) is True
+
+
+class TestByteAccountingAlias:
+    def test_alias_matches_cache_method(self):
+        cache = ObjectCache(200, make_object_policy("lru"))
+        drive(cache)
+        assert check_byte_accounting(cache) == cache.check_conservation() == []
+
+
+class TestWrapperClasses:
+    def test_wrap_returns_checked_types(self):
+        assert isinstance(
+            wrap_object_policy(make_object_policy("lru"), "normal"),
+            CheckedObjectPolicy,
+        )
+        assert isinstance(
+            wrap_admission(NonBoolAdmission(), "normal"), CheckedAdmission
+        )

@@ -1,0 +1,108 @@
+"""Object trace persistence (#objtrace v1) and its validators."""
+
+import pytest
+
+from repro.objcache import (
+    generate_object_trace,
+    load_object_trace,
+    save_object_trace,
+    validate_object_trace_file,
+)
+from repro.sanitize.errors import TraceFormatError
+from repro.sanitize.preflight import (
+    validate_object_trace_file as preflight_objtrace,
+)
+
+
+@pytest.fixture()
+def trace():
+    return generate_object_trace(
+        name="io", kind="zipf", objects=40, length=300, seed=11
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_requests(self, tmp_path, trace):
+        path = save_object_trace(trace, tmp_path / "io.objtrace")
+        loaded = load_object_trace(path)
+        assert loaded.requests == trace.requests
+        assert loaded.name == "io"
+
+    def test_comments_and_blanks_are_skipped(self, tmp_path):
+        path = tmp_path / "t.objtrace"
+        path.write_text(
+            "#objtrace v1\nkey,size\n1,100\n\n# a comment\n2,200\n"
+        )
+        loaded = load_object_trace(path)
+        assert [(r.key, r.size) for r in loaded.requests] == [
+            (1, 100), (2, 200)
+        ]
+
+
+class TestLoaderErrors:
+    def test_missing_magic_names_line_one(self, tmp_path):
+        path = tmp_path / "t.objtrace"
+        path.write_text("key,size\n1,100\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_object_trace(path)
+        assert excinfo.value.line == 1
+
+    def test_bad_record_names_its_line(self, tmp_path):
+        path = tmp_path / "t.objtrace"
+        path.write_text("#objtrace v1\nkey,size\n1,100\nnot-a-record\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_object_trace(path)
+        assert excinfo.value.line == 4
+
+    @pytest.mark.parametrize("record,detail", [
+        ("-1,100", "negative key"),
+        ("1,0", "non-positive size"),
+        ("1,2,3", "expected 'key,size'"),
+    ])
+    def test_defect_messages(self, tmp_path, record, detail):
+        path = tmp_path / "t.objtrace"
+        path.write_text(f"#objtrace v1\nkey,size\n{record}\n")
+        with pytest.raises(TraceFormatError, match=detail):
+            load_object_trace(path)
+
+
+class TestScanningValidator:
+    def test_collects_every_problem_with_line_numbers(self, tmp_path):
+        path = tmp_path / "t.objtrace"
+        path.write_text(
+            "#objtrace v1\nkey,size\n-1,100\n1,0\nbroken\n2,50\n"
+        )
+        problems = validate_object_trace_file(path)
+        joined = "\n".join(problems)
+        assert len(problems) == 3
+        assert "line 3" in joined and "line 4" in joined \
+            and "line 5" in joined
+
+    def test_header_only_file_is_flagged(self, tmp_path):
+        path = tmp_path / "t.objtrace"
+        path.write_text("#objtrace v1\nkey,size\n")
+        assert validate_object_trace_file(path) == [
+            "trace has a header but zero request records"
+        ]
+
+
+class TestPreflight:
+    def test_good_trace_passes_with_summary(self, tmp_path, trace):
+        path = save_object_trace(trace, tmp_path / "io.objtrace")
+        report = preflight_objtrace(path)
+        assert report.ok
+        assert report.kind == "objtrace"
+        assert "300 requests" in report.summary
+        assert f"{trace.total_bytes} bytes requested" in report.summary
+
+    def test_bad_trace_fails_one_line_per_problem(self, tmp_path):
+        path = tmp_path / "t.objtrace"
+        path.write_text("#objtrace v1\nkey,size\n-1,100\n1,0\n")
+        report = preflight_objtrace(path)
+        assert not report.ok
+        assert len(report.errors) == 2
+
+    def test_missing_file_fails(self, tmp_path):
+        report = preflight_objtrace(tmp_path / "absent.objtrace")
+        assert not report.ok
+        assert report.errors == ["file does not exist"]

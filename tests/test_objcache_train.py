@@ -1,0 +1,62 @@
+"""Training the size-aware RLR weight: the grid search must re-derive a
+weight in the neighbourhood the shipped default was chosen from."""
+
+import pytest
+
+from repro.objcache import generate_object_trace, train_size_weight
+from repro.objcache.rlr import DEFAULT_SIZE_WEIGHT
+from repro.objcache.train import DEFAULT_WEIGHT_GRID, evaluate_weight
+
+
+@pytest.fixture(scope="module")
+def training_trace():
+    return generate_object_trace(
+        name="train", kind="zipf", objects=1500, length=10_000, seed=7,
+        alpha=1.0,
+        sizes={"dist": "lognormal", "min": 256, "max": 1 << 20,
+               "correlate": "inverse"},
+    )
+
+
+@pytest.fixture(scope="module")
+def result(training_trace):
+    return train_size_weight(training_trace, 3_000_000)
+
+
+class TestTraining:
+    def test_size_awareness_improves_on_the_inverse_regime(self, result):
+        assert result.improved
+        assert result.best_weight > 0
+        assert result.best_byte_hit_rate > result.baseline_byte_hit_rate
+
+    def test_best_weight_is_in_the_shipped_defaults_region(self, result):
+        # DEFAULT_SIZE_WEIGHT was picked from this grid on the golden
+        # scenario shape; the test-scale trace must land in the same
+        # neighbourhood (a different optimum here would mean the shipped
+        # default no longer matches the code it was trained by).
+        assert abs(result.best_weight - DEFAULT_SIZE_WEIGHT) <= 8
+
+    def test_history_covers_the_grid_and_baseline(self, result):
+        weights = [entry.weight for entry in result.history]
+        assert weights == sorted(set(DEFAULT_WEIGHT_GRID) | {0})
+        assert weights[0] == 0
+
+    def test_history_records_victim_diagnostics(self, result):
+        for entry in result.history:
+            assert set(entry.victim_feature_means) == {
+                "obj_size", "obj_log2_size", "obj_age", "obj_hits"
+            }
+            if entry.evictions:
+                assert entry.victim_feature_means["obj_size"] > 0.0
+
+    def test_as_dict_is_json_shaped(self, result):
+        payload = result.as_dict()
+        assert payload["best_weight"] == result.best_weight
+        assert len(payload["history"]) == len(result.history)
+
+
+class TestDeterminism:
+    def test_evaluation_is_reproducible(self, training_trace):
+        first = evaluate_weight(training_trace, 3_000_000, 16)
+        second = evaluate_weight(training_trace, 3_000_000, 16)
+        assert first == second

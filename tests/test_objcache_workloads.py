@@ -1,0 +1,124 @@
+"""Object workload generators: determinism, shape, and size semantics."""
+
+import pytest
+
+from repro.objcache import (
+    ObjectCacheError,
+    generate_object_trace,
+)
+from repro.objcache.workloads import (
+    SIZE_DISTS,
+    WORKLOAD_KINDS,
+    validate_size_spec,
+)
+
+
+def make(kind="zipf", objects=200, length=2000, seed=3, **kwargs):
+    return generate_object_trace(
+        name="t", kind=kind, objects=objects, length=length, seed=seed,
+        **kwargs,
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_same_seed_same_trace(self, kind):
+        assert make(kind=kind).requests == make(kind=kind).requests
+
+    def test_different_seeds_differ(self):
+        assert make(seed=1).requests != make(seed=2).requests
+
+    def test_declared_length_and_catalogue(self):
+        trace = make(length=512)
+        assert len(trace.requests) == 512
+        assert trace.catalogue_objects == 200
+
+
+class TestSizes:
+    def test_sizes_are_stable_per_key(self):
+        trace = make()
+        by_key = {}
+        for request in trace.requests:
+            assert by_key.setdefault(request.key, request.size) == request.size
+
+    def test_inverse_correlation_gives_hot_keys_small_sizes(self):
+        trace = make(
+            objects=500,
+            sizes={"dist": "lognormal", "min": 64, "max": 1 << 20,
+                   "correlate": "inverse"},
+        )
+        sizes = {r.key: r.size for r in trace.requests}
+        catalogue = [sizes[key] for key in sorted(sizes)]
+        # Rank 0 is hottest; the catalogue sizes must be non-decreasing.
+        assert catalogue == sorted(catalogue)
+
+    @pytest.mark.parametrize("dist", SIZE_DISTS)
+    def test_all_distributions_respect_bounds(self, dist):
+        trace = make(sizes={"dist": dist, "min": 100, "max": 5000})
+        for request in trace.requests:
+            assert 100 <= request.size <= 5000
+
+
+class TestKinds:
+    def test_flash_crowd_keys_appear_only_in_the_burst_window(self):
+        length = 4000
+        trace = make(kind="flash_crowd", length=length, burst_start=0.5,
+                     burst_length=0.25, burst_fraction=0.9)
+        lo, hi = int(length * 0.5), int(length * 0.75)
+        crowd_positions = [
+            index for index, request in enumerate(trace.requests)
+            if request.key >= 200  # above the 200-object catalogue
+        ]
+        assert crowd_positions, "no crowd requests generated"
+        assert all(lo <= index < hi for index in crowd_positions)
+
+    def test_scan_mix_objects_are_one_hit_wonders(self):
+        trace = make(kind="scan_mix", scan_fraction=0.3)
+        scan_keys = [r.key for r in trace.requests if r.key >= 200]
+        assert scan_keys
+        assert len(scan_keys) == len(set(scan_keys))
+
+    def test_scan_size_scale_inflates_scan_objects(self):
+        trace = make(kind="scan_mix", scan_fraction=0.3, scan_size_scale=4.0,
+                     sizes={"dist": "fixed", "min": 100, "max": 100})
+        base = [r.size for r in trace.requests if r.key < 200]
+        scans = [r.size for r in trace.requests if r.key >= 200]
+        assert set(base) == {100}
+        assert set(scans) == {400}
+
+    def test_hotspot_shift_stays_in_the_catalogue(self):
+        trace = make(kind="hotspot_shift", phases=4)
+        assert all(0 <= r.key < 200 for r in trace.requests)
+
+
+class TestValidation:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ObjectCacheError, match="unknown workload kind"):
+            make(kind="diurnal")
+
+    def test_empty_shapes_raise(self):
+        with pytest.raises(ObjectCacheError):
+            make(objects=0)
+        with pytest.raises(ObjectCacheError):
+            make(length=0)
+
+    def test_size_spec_problems_are_itemized(self):
+        problems = validate_size_spec(
+            {"dist": "cauchy", "min": 500, "max": 100, "shape": 2}
+        )
+        joined = "\n".join(problems)
+        assert "sizes.dist" in joined
+        assert "exceeds sizes.max" in joined
+        assert "sizes.shape" in joined
+
+    def test_valid_spec_has_no_problems(self):
+        assert validate_size_spec(
+            {"dist": "pareto", "min": 10, "max": 100, "alpha": 1.5}
+        ) == []
+
+
+class TestObjectTrace:
+    def test_totals(self):
+        trace = make(sizes={"dist": "fixed", "min": 100, "max": 100})
+        assert trace.total_bytes == 100 * len(trace.requests)
+        assert 0 < trace.unique_objects() <= 200

@@ -164,6 +164,7 @@ class TestLibrary:
         library = load_library(LIBRARY)
         golden = sorted(n for n, s in library.items() if s.golden)
         assert golden == [
+            "objcache-flash-crowd", "objcache-zipf-baselines",
             "smoke-multicore", "smoke-phase-shift", "smoke-quick",
             "smoke-regret", "smoke-scan-thrash",
         ]
