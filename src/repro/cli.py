@@ -38,18 +38,29 @@ Commands:
   server with degrade-to-LRU fallback (``--metrics-port`` exposes live
   ``/metrics`` + ``/healthz``; SIGTERM drains with a final snapshot);
   ``--chaos`` runs the fault-injection soak instead — see docs/serving.md
+* ``bench``     — object-cache / replay micro-benchmarks; every finished
+  benchmark is journaled to a run directory and ``--resume RUN_ID`` adopts
+  completed results byte-identically after a crash
+* ``fsck``      — audit durable artifacts (run directories, the prep
+  cache, goldens, checkpoints, snapshots) for truncation, torn writes and
+  bit rot; ``--repair`` truncates torn journal tails and quarantines what
+  cannot be re-derived — see docs/reliability.md
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.cache.replacement import POLICY_REGISTRY
 from repro.eval.metrics import geomean, mix_speedup, speedup_percent
 from repro.eval.reporting import format_speedup_series, format_table
 from repro.eval.runner import _prepared, compare_policies, replay, run_workload
 from repro.eval.workloads import EvalConfig, suite_names
+from repro.runs.checkpoint import CheckpointError
+from repro.serve.snapshot import SnapshotError
+from repro.store.errors import ArtifactCorruptionError
 from repro.traces.spec_models import ALL_WORKLOADS
 
 
@@ -219,17 +230,29 @@ def _cmd_sweep_scenario(args) -> int:
         return 0 if payload["ok"] else 1
 
     from repro.objcache.replay import object_sweep
-    from repro.runs.supervisor import create_run
+    from repro.runs.supervisor import SweepInterrupted, create_run, load_run
     from repro.scenarios.object_runner import object_scenario_traces
     from repro.telemetry.object_decisions import write_object_decisions_jsonl
 
     run_root = args.run_dir or DEFAULT_RUN_ROOT
-    run = create_run(run_root, {
-        "kind": "objcache-sweep",
-        "args": {"scenario": args.scenario, "jobs": args.jobs,
-                 "decisions": args.decisions},
-    })
-    print(f"run {run.run_id} -> {run.path}", file=sys.stderr)
+    if args.resume:
+        run = load_run(run_root, args.resume)
+        # The manifest wins, exactly like scalar sweeps: the resumed sweep
+        # must rebuild the same grid for a byte-identical report.
+        for key, value in run.manifest.get("args", {}).items():
+            setattr(args, key, value)
+        scenario = resolve_scenario(args.scenario)
+        run.mark("running")
+        print(f"resuming {run.run_id} "
+              f"({len(run.journal())} journal entries)", file=sys.stderr)
+    else:
+        run = create_run(run_root, {
+            "kind": "objcache-sweep",
+            "args": {"scenario": args.scenario, "jobs": args.jobs,
+                     "decisions": args.decisions},
+        })
+        print(f"run {run.run_id} -> {run.path}", file=sys.stderr)
+    journal = run.journal()
     # Object sweeps grade every eviction against the size-aware Belady
     # oracle by default; --decisions N only thins the event snapshots.
     decisions = args.decisions if args.decisions is not None else 1
@@ -237,29 +260,39 @@ def _cmd_sweep_scenario(args) -> int:
     csv_parts = []
     decision_cells = []
     failed = 0
-    for seed in seeds:
-        traces = object_scenario_traces(scenario, seed)
-        report = object_sweep(
-            traces,
-            scenario.config.capacity_bytes,
-            list(scenario.policies),
-            admission=scenario.admission,
-            policy_params=scenario.params,
-            jobs=args.jobs,
-            timeout=args.timeout,
-            retries=args.retries,
-            sanitize=scenario.sanitize,
-            decisions=decisions,
-        )
-        failed += len(report.failures())
-        if len(seeds) > 1:
-            csv_parts.append(f"# seed {seed}")
-        csv_parts.append(report.to_csv().rstrip("\n"))
-        for cell in report.decision_payloads():
-            payload = dict(cell)
-            payload["seed"] = seed
-            decision_cells.append(payload)
-        print(report.format())
+    try:
+        for seed in seeds:
+            traces = object_scenario_traces(scenario, seed)
+            report = object_sweep(
+                traces,
+                scenario.config.capacity_bytes,
+                list(scenario.policies),
+                admission=scenario.admission,
+                policy_params=scenario.params,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                retries=args.retries,
+                sanitize=scenario.sanitize,
+                decisions=decisions,
+                journal=journal,
+                journal_tag=seed,
+            )
+            failed += len(report.failures())
+            if len(seeds) > 1:
+                csv_parts.append(f"# seed {seed}")
+            csv_parts.append(report.to_csv().rstrip("\n"))
+            for cell in report.decision_payloads():
+                payload = dict(cell)
+                payload["seed"] = seed
+                decision_cells.append(payload)
+            print(report.format())
+    except SweepInterrupted as interrupt:
+        run.mark("interrupted")
+        print(f"\ninterrupted: {interrupt.completed} completed cell(s) "
+              f"journaled in {run.journal_path}\nresume with: "
+              f"repro sweep --run-dir {run_root} --resume {run.run_id}",
+              file=sys.stderr)
+        return 130
     run.write_report("\n".join(csv_parts) + "\n")
     if decision_cells:
         write_object_decisions_jsonl(run.decisions_path, decision_cells)
@@ -284,6 +317,9 @@ def cmd_sweep(args) -> int:
     run_root = args.run_dir or DEFAULT_RUN_ROOT
     if args.resume:
         run = load_run(run_root, args.resume)
+        if run.manifest.get("kind") == "objcache-sweep":
+            # An interrupted object-scenario sweep: resume it in kind.
+            return _cmd_sweep_scenario(args)
         # The manifest wins: the resumed sweep must rebuild the exact grid
         # (same EvalConfig, workloads, policies) for a byte-identical report.
         for key, value in run.manifest.get("args", {}).items():
@@ -507,13 +543,64 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.eval.bench import BENCHES, write_bench
+    """``repro bench``: micro-benchmarks, journaled through a run directory.
 
+    Each completed benchmark is durably journaled (with its payload), so a
+    SIGKILL between benchmarks loses nothing: ``--resume <run-id>`` adopts
+    the journaled payloads (rewriting their ``BENCH_*.json`` snapshots
+    byte-identically) and times only the benchmarks still owed.  The run
+    directory also records an artifact-integrity manifest for ``repro
+    fsck``.
+    """
+    import json as json_mod
+
+    from repro.eval.bench import BENCHES, write_bench
+    from repro.runs.atomic import atomic_write_text
+    from repro.runs.supervisor import create_run, load_run
+
+    run_root = args.run_dir or DEFAULT_RUN_ROOT
+    if args.resume:
+        run = load_run(run_root, args.resume)
+        for key, value in run.manifest.get("args", {}).items():
+            setattr(args, key, value)
+        run.mark("running")
+        print(f"resuming {run.run_id} "
+              f"({len(run.journal())} journal entries)", file=sys.stderr)
+    else:
+        run = create_run(run_root, {
+            "kind": "bench",
+            "args": {"which": args.which, "repeats": args.repeats,
+                     "output_dir": args.output_dir},
+        })
+        print(f"run {run.run_id} -> {run.path}", file=sys.stderr)
+    journal = run.journal()
+    done = {
+        entry.get("name"): entry.get("payload")
+        for entry in journal.entries()
+        if entry.get("type") == "bench" and isinstance(entry.get("payload"),
+                                                       dict)
+    }
     names = list(BENCHES) if args.which == "all" else [args.which]
+    report_rows = []
     for name in names:
-        payload, path = write_bench(
-            name, output_dir=args.output_dir, repeats=args.repeats
-        )
+        if name in done:
+            # Adopted from the journal: rewrite the snapshot byte-
+            # identically instead of re-timing.
+            payload = done[name]
+            path = Path(args.output_dir) / BENCHES[name][1]
+            atomic_write_text(
+                path,
+                json_mod.dumps(payload, indent=1, sort_keys=True) + "\n",
+            )
+            print(f"bench {name}: adopted from journal", file=sys.stderr)
+        else:
+            payload, path = write_bench(
+                name, output_dir=args.output_dir, repeats=args.repeats
+            )
+            journal.append({"type": "bench", "name": name,
+                            "payload": payload})
+        for policy, rate in sorted(payload["rates"].items()):
+            report_rows.append(f"{name},{policy},{rate}")
         rows = [
             {"policy": policy, payload["unit"]: rate}
             for policy, rate in payload["rates"].items()
@@ -521,7 +608,38 @@ def cmd_bench(args) -> int:
         print(format_table(rows, headers=["policy", payload["unit"]],
                            title=f"bench {name} (best of {args.repeats})"))
         print(f"wrote {path}")
+    run.write_report(
+        "bench,policy,rate\n" + "\n".join(report_rows) + "\n"
+    )
+    run.mark("complete")
     return 0
+
+
+def cmd_fsck(args) -> int:
+    """``repro fsck``: artifact-integrity check with typed exit codes."""
+    import json as json_mod
+
+    from repro.store.fsck import fsck_path
+
+    target = Path(args.target)
+    if not target.exists():
+        # Maybe it's a run id: resolve under the run root.
+        candidate = Path(args.run_dir or DEFAULT_RUN_ROOT) / args.target
+        if candidate.is_dir():
+            target = candidate
+        else:
+            print(f"fsck: no file, directory, or run named "
+                  f"{args.target!r}", file=sys.stderr)
+            return 3
+    report = fsck_path(target, repair=args.repair)
+    if args.json:
+        print(json_mod.dumps(report.as_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.format())
+        if report.unresolved and not args.repair:
+            print("re-run with --repair to truncate damaged journal tails "
+                  "and quarantine unrecoverable artifacts", file=sys.stderr)
+    return report.exit_code()
 
 
 def cmd_mpki(args) -> int:
@@ -1111,6 +1229,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 3)")
     bench.add_argument("--output-dir", default=".",
                        help="where to write BENCH_*.json (default: cwd)")
+    bench.add_argument("--run-dir", default=None,
+                       help=f"run-directory root (default {DEFAULT_RUN_ROOT})")
+    bench.add_argument("--resume", metavar="RUN_ID", default=None,
+                       help="resume an interrupted bench run: journaled "
+                            "benchmarks are adopted, the rest are timed")
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="verify (and repair) the integrity of durable artifacts",
+        description=(
+            "Check a run directory, prep-cache directory, goldens "
+            "directory, or single artifact file for truncation, torn "
+            "writes, bit rot, and cross-artifact manifest mismatches. "
+            "Exit codes: 0 = clean; 1 = corruption detected and still "
+            "present; 2 = corruption found and every instance repaired "
+            "or quarantined; 3 = usage error (no such target)."
+        ),
+    )
+    fsck.add_argument("target",
+                      help="path to check, or a run id under --run-dir "
+                           "(e.g. run-0001)")
+    fsck.add_argument("--repair", action="store_true",
+                      help="repair what is re-derivable (truncate damaged "
+                           "journal tails, refresh stale manifest digests) "
+                           "and quarantine the rest; never deletes")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON")
+    fsck.add_argument("--run-dir", default=None,
+                      help=f"run-directory root used to resolve run ids "
+                           f"(default {DEFAULT_RUN_ROOT})")
 
     mpki = commands.add_parser("mpki", help="Figure-12-style MPKI table")
     mpki.add_argument("--suite", choices=("spec2006", "cloudsuite"),
@@ -1290,6 +1438,7 @@ _COMMANDS = {
     "replay": cmd_replay,
     "inspect": cmd_inspect,
     "bench": cmd_bench,
+    "fsck": cmd_fsck,
     "mpki": cmd_mpki,
     "mix": cmd_mix,
     "table1": cmd_table1,
@@ -1319,6 +1468,14 @@ def main(argv=None) -> int:
         # Bad user input (unknown workload/policy, invalid config): print
         # the message, not a traceback.
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ArtifactCorruptionError, CheckpointError, SnapshotError) as error:
+        # Corrupt durable state (torn/bit-rotted checkpoint, snapshot,
+        # journal, golden): a typed message plus the repair hint, never a
+        # traceback.
+        print(f"error: {error}", file=sys.stderr)
+        print("hint: `python -m repro fsck <path> --repair` audits and "
+              "repairs durable artifacts", file=sys.stderr)
         return 2
 
 

@@ -260,8 +260,17 @@ class SweepReport:
 # cell reloaded from the journal renders byte-identically in to_csv()/format().
 
 
-def journal_cell_entry(cell: CellResult) -> dict:
-    """The journal entry recording one successfully completed cell."""
+def journal_cell_entry(cell: CellResult, tag=None) -> dict:
+    """The journal entry recording one successfully completed cell.
+
+    Works for both result kinds: CPU cells carry a
+    :class:`~repro.eval.runner.SystemResult`, object-cache cells an
+    :class:`~repro.objcache.replay.ObjectCacheResult` (duck-typed on
+    ``byte_hit_rate`` and tagged ``"result_kind": "object"`` so the reader
+    rebuilds the right dataclass).  ``tag`` distinguishes otherwise
+    identical grids sharing one journal (e.g. the per-seed passes of a
+    multi-seed object scenario).
+    """
     entry = {
         "type": "cell",
         "workload": cell.workload,
@@ -269,7 +278,12 @@ def journal_cell_entry(cell: CellResult) -> dict:
         "result": asdict(cell.result),
     }
     # Only when present, so journals without degraded cells stay
-    # byte-identical to those written before the sanitizer existed.
+    # byte-identical to those written before the sanitizer existed (and
+    # CPU-cell entries stay byte-identical to pre-object-journal ones).
+    if hasattr(cell.result, "byte_hit_rate"):
+        entry["result_kind"] = "object"
+    if tag is not None:
+        entry["tag"] = tag
     if cell.violations:
         entry["violations"] = list(cell.violations)
     return entry
@@ -282,10 +296,18 @@ def cell_from_journal_entry(entry: dict) -> Optional[CellResult]:
     payload = entry.get("result")
     if not isinstance(payload, dict):
         return None
-    try:
-        result = SystemResult(**payload)
-    except TypeError:
-        return None  # written by an incompatible version: recompute the cell
+    if entry.get("result_kind") == "object":
+        from repro.objcache.replay import ObjectCacheResult
+
+        try:
+            result = ObjectCacheResult(**payload)
+        except TypeError:
+            return None  # incompatible layout: recompute the cell
+    else:
+        try:
+            result = SystemResult(**payload)
+        except TypeError:
+            return None  # written by an incompatible version: recompute
     return CellResult(
         workload=str(entry.get("workload")),
         policy=str(entry.get("policy")),

@@ -13,13 +13,17 @@ module caches those artifacts on disk, keyed by a SHA-256 content hash of
 
 Any perturbation of the simulated inputs therefore produces a different key
 and a cache miss; identical inputs skip pass 1 entirely.  Entries are
-pickles written atomically (write-temp/fsync/rename via
-:func:`repro.runs.atomic.atomic_write`); corrupted or truncated entries are
-treated as misses and re-simulated, but are *counted* and surfaced as a
-:class:`PrepCacheCorruptionWarning` naming the affected key — silent data
-loss in the cache layer is an operational signal, not a non-event.
-Version-mismatched entries (stale ``FORMAT_VERSION``) remain silent misses:
-they are expected after upgrades, not damage.
+pickles wrapped in the checksummed frame container
+(:mod:`repro.store.frames`, family ``"prep-cache"``) written atomically, so
+truncation, torn writes, and bit flips are *detected*, not unpickled.  A
+corrupt entry is handled the self-healing way: the bad file is moved into a
+``quarantine/`` subdirectory (never deleted silently, never re-read as a
+perpetual warning), counted (``corrupt``/``quarantined``), surfaced as a
+:class:`PrepCacheCorruptionWarning` naming the affected key — and the entry
+is transparently rebuilt by the caller's ordinary miss path, so the next
+access stores a fresh valid copy.  Version-mismatched entries (stale
+``FORMAT_VERSION`` or pre-integrity-layer bare pickles) remain silent
+misses: they are expected after upgrades, not damage.
 """
 
 from __future__ import annotations
@@ -31,17 +35,154 @@ from pathlib import Path
 from typing import Optional
 
 from repro.cache.config import CoreConfig
-from repro.runs.atomic import atomic_write
+from repro.store.errors import ArtifactCorruptionError
+from repro.store.frames import is_framed, read_artifact, write_artifact
 from repro.testing.faults import maybe_fault
 from repro.traces.record import Trace
 from repro.traces.trace_io import trace_to_bytes
 
 #: Bump to invalidate every existing cache entry (layout changes).
-FORMAT_VERSION = 2  # v2: PreparedWorkload carries hierarchy_stats/prepare_seconds
+FORMAT_VERSION = 3  # v3: framed container (repro.store) around the pickle
+
+#: Frame-container family tag for cache entries.
+PREP_CACHE_FAMILY = "prep-cache"
+
+#: Subdirectory corrupt entries are moved into (fsck reports its contents).
+QUARANTINE_DIR = "quarantine"
 
 
 class PrepCacheCorruptionWarning(UserWarning):
-    """A cache entry was unreadable and will be re-simulated."""
+    """A cache entry was unreadable; it was quarantined for rebuild."""
+
+
+class PrepCache:
+    """A directory of content-addressed ``PreparedWorkload`` artifacts.
+
+    ``load`` returns ``None`` on any miss *or* unreadable entry — callers
+    always fall back to re-simulating, so a corrupt cache can degrade
+    performance but never correctness.  An unreadable entry is moved to
+    ``quarantine/`` so the rebuilt entry takes its place on the next
+    ``store`` (self-healing); ``hits``/``misses``/``corrupt``/
+    ``quarantined`` counters make cache behaviour observable in tests and
+    reports, and every corrupt entry additionally raises a
+    :class:`PrepCacheCorruptionWarning` naming the affected key.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.quarantined = 0
+
+    def path(self, key: str) -> Path:
+        """Filesystem path of the entry for ``key``."""
+        return self.directory / f"{key}.pkl"
+
+    def quarantine_dir(self) -> Path:
+        return self.directory / QUARANTINE_DIR
+
+    def stats(self) -> dict:
+        """Counter snapshot for telemetry and end-of-run summaries."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+        }
+
+    def _corrupt_entry(self, key: str, reason: str) -> None:
+        """Quarantine, count, and surface one unreadable entry (still a miss)."""
+        self.misses += 1
+        self.corrupt += 1
+        quarantined = self._quarantine(key)
+        warnings.warn(
+            f"prep cache entry {key} is corrupt ({reason}); "
+            + ("quarantined and " if quarantined else "")
+            + "rebuilding on this miss",
+            PrepCacheCorruptionWarning,
+            stacklevel=3,
+        )
+
+    def _quarantine(self, key: str) -> bool:
+        """Move the bad entry aside (never silently delete); False on failure."""
+        from repro.store.fsck import quarantine_file
+
+        source = self.path(key)
+        try:
+            quarantine_file(source, self.quarantine_dir(), reason="corrupt")
+        except OSError:
+            return False  # cross-device or permission trouble: leave in place
+        self.quarantined += 1
+        return True
+
+    def load(self, key: str):
+        """The cached ``PreparedWorkload`` for ``key``, or ``None``."""
+        path = self.path(key)
+        maybe_fault("prep-cache", key=key, path=str(path))
+        try:
+            with open(path, "rb") as handle:
+                head = handle.read(4)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as error:
+            self._corrupt_entry(key, f"{error.__class__.__name__}: {error}")
+            return None
+        try:
+            if is_framed(head):
+                payload = pickle.loads(
+                    read_artifact(path, family=PREP_CACHE_FAMILY)
+                )
+            else:
+                # Pre-integrity-layer entry: a bare pickle.  If it decodes,
+                # its stale FORMAT_VERSION makes it a silent miss below; if
+                # it does not even decode, it is garbage, i.e. corruption.
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+        except ArtifactCorruptionError as error:
+            self._corrupt_entry(key, f"{error.reason}{error.locate()}")
+            return None
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception as error:
+            # Bad bytes inside a valid frame (missing class, pickle drift)
+            # or an unpicklable legacy file.
+            self._corrupt_entry(key, f"{error.__class__.__name__}: {error}")
+            return None
+        if not isinstance(payload, dict):
+            self._corrupt_entry(key, "entry is not a cache payload")
+            return None
+        if payload.get("version") != FORMAT_VERSION:
+            # Stale format after an upgrade: an expected, silent miss.
+            self.misses += 1
+            return None
+        prepared = payload.get("prepared")
+        if (
+            payload.get("key") != key
+            or prepared is None
+            or not hasattr(prepared, "llc_records")
+        ):
+            self._corrupt_entry(key, "payload failed validation")
+            return None
+        self.hits += 1
+        return prepared
+
+    def store(self, key: str, prepared) -> None:
+        """Persist ``prepared`` under ``key`` (atomic, durable write)."""
+        payload = {"version": FORMAT_VERSION, "key": key, "prepared": prepared}
+        try:
+            write_artifact(
+                self.path(key),
+                PREP_CACHE_FAMILY,
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+                version=FORMAT_VERSION,
+            )
+        except OSError:
+            # Caching is best-effort; a full disk must not fail the sweep.
+            pass
 
 
 def workload_cache_key(
@@ -67,90 +208,6 @@ def workload_cache_key(
     )
     hasher.update(configuration.encode("utf-8"))
     return hasher.hexdigest()
-
-
-class PrepCache:
-    """A directory of content-addressed ``PreparedWorkload`` pickles.
-
-    ``load`` returns ``None`` on any miss *or* unreadable entry — callers
-    always fall back to re-simulating, so a corrupt cache can degrade
-    performance but never correctness.  ``hits``/``misses``/``corrupt``
-    counters make cache behaviour observable in tests and reports, and every
-    corrupt entry additionally raises a :class:`PrepCacheCorruptionWarning`
-    naming the affected key.
-    """
-
-    def __init__(self, directory) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-        self.corrupt = 0
-
-    def path(self, key: str) -> Path:
-        """Filesystem path of the entry for ``key``."""
-        return self.directory / f"{key}.pkl"
-
-    def stats(self) -> dict:
-        """Counter snapshot for telemetry and end-of-run summaries."""
-        return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
-
-    def _corrupt_entry(self, key: str, reason: str) -> None:
-        """Count and surface one unreadable entry (still a miss)."""
-        self.misses += 1
-        self.corrupt += 1
-        warnings.warn(
-            f"prep cache entry {key} is corrupt ({reason}); re-simulating",
-            PrepCacheCorruptionWarning,
-            stacklevel=3,
-        )
-
-    def load(self, key: str):
-        """The cached ``PreparedWorkload`` for ``key``, or ``None``."""
-        path = self.path(key)
-        maybe_fault("prep-cache", key=key, path=str(path))
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception as error:
-            # Truncated pickle, bad bytes, missing class, wrong permissions:
-            # treat as a miss and let the caller re-simulate — loudly.
-            self._corrupt_entry(key, f"{error.__class__.__name__}: {error}")
-            return None
-        if not isinstance(payload, dict):
-            self._corrupt_entry(key, "entry is not a cache payload")
-            return None
-        if payload.get("version") != FORMAT_VERSION:
-            # Stale format after an upgrade: an expected, silent miss.
-            self.misses += 1
-            return None
-        prepared = payload.get("prepared")
-        if (
-            payload.get("key") != key
-            or prepared is None
-            or not hasattr(prepared, "llc_records")
-        ):
-            self._corrupt_entry(key, "payload failed validation")
-            return None
-        self.hits += 1
-        return prepared
-
-    def store(self, key: str, prepared) -> None:
-        """Persist ``prepared`` under ``key`` (atomic, durable write)."""
-        payload = {"version": FORMAT_VERSION, "key": key, "prepared": prepared}
-        try:
-            atomic_write(
-                self.path(key),
-                lambda handle: pickle.dump(
-                    payload, handle, protocol=pickle.HIGHEST_PROTOCOL
-                ),
-            )
-        except OSError:
-            # Caching is best-effort; a full disk must not fail the sweep.
-            pass
 
 
 def attach_prep_cache(eval_config, directory) -> PrepCache:

@@ -21,6 +21,7 @@ from dataclasses import asdict, dataclass
 from repro import sanitize as sanitize_mod
 from repro.sanitize.errors import SanitizeError
 from repro.sanitize.object_guard import wrap_admission, wrap_object_policy
+from repro.testing.faults import maybe_fault
 
 from .admission import make_admission
 from .cache import ObjectCache
@@ -102,6 +103,7 @@ def replay_object_trace(
         decisions: sample rate for decision tracing + size-aware-oracle
             grading (None = tracing off; 1 = grade every eviction).
     """
+    maybe_fault("object-replay", workload=trace.name, policy=policy)
     mode = sanitize_mod.resolve_mode(sanitize)
     inner_policy = build_policy(policy, policy_params)
     admission_spec = dict(admission or {"kind": "always"})
@@ -180,61 +182,124 @@ def object_sweep(
     retries: int = 0,
     sanitize: str = None,
     decisions: int = None,
+    journal=None,
+    journal_tag=None,
 ):
     """Replay every (trace, policy) cell; returns a ``SweepReport``.
 
     ``traces`` is an iterable of :class:`ObjectTrace`;
     ``policy_params`` maps policy name -> kwargs dict.
+
+    ``journal`` (a :class:`~repro.runs.journal.RunJournal`) gives object
+    sweeps the same crash-safety contract as scalar sweeps: every
+    completed cell is durably appended as it finishes, already-journaled
+    cells are adopted verbatim on resume (so a SIGKILL mid-sweep resumes
+    to a byte-identical report), and SIGINT/SIGTERM raise
+    :class:`~repro.runs.supervisor.SweepInterrupted` only after the
+    journal is flushed.  ``journal_tag`` disambiguates grids that share a
+    journal (the per-seed passes of a multi-seed scenario).
     """
-    from repro.eval.parallel import CellResult, SweepReport
+    from repro.eval.parallel import (
+        CellResult,
+        SweepReport,
+        _interrupt_guard,
+        cell_from_journal_entry,
+        journal_cell_entry,
+    )
+    from repro.runs.supervisor import SweepInterrupted
 
     traces = list(traces)
     policies = list(policies)
     params = policy_params or {}
     mode = sanitize_mod.resolve_mode(sanitize)
     wall_started = time.perf_counter()
+
+    # Resume: adopt cells this journal already holds for this grid + tag.
+    done_cells = []
+    done_keys = set()
+    if journal is not None:
+        journal.reload()
+        grid = {(trace.name, policy) for trace in traces
+                for policy in policies}
+        for entry in journal.entries():
+            if entry.get("result_kind") != "object":
+                continue
+            if entry.get("tag") != journal_tag:
+                continue
+            cell = cell_from_journal_entry(entry)
+            if cell is None:
+                continue
+            key = (cell.workload, cell.policy)
+            if key in grid and key not in done_keys:
+                done_keys.add(key)
+                done_cells.append(cell)
+
+    def complete(cell) -> None:
+        cells.append(cell)
+        if journal is not None and cell.ok:
+            journal.append(journal_cell_entry(cell, tag=journal_tag))
+
     cells = []
     pool_stats = {}
-    if jobs <= 1:
-        for trace in traces:
-            for policy in policies:
-                cells.append(_run_cell(
-                    trace, capacity_bytes, policy, params.get(policy),
-                    admission, mode, decisions,
-                ))
-    else:
-        from repro.runs.executor import ProcessTaskPool
-
-        pool = ProcessTaskPool(jobs, timeout=timeout, retries=retries)
-        for trace in traces:
-            for policy in policies:
-                pool.submit(
-                    _cell_task, trace, capacity_bytes, policy,
-                    params.get(policy), admission, mode, decisions,
-                    tag=(trace.name, policy),
-                )
-        for outcome in pool.completed():
-            workload, policy = outcome.tag
-            if outcome.ok:
-                replay_outcome, seconds = outcome.value
-                cells.append(CellResult(
-                    workload=workload, policy=policy,
-                    result=replay_outcome.result,
-                    seconds=seconds,
-                    violations=replay_outcome.violations,
-                    decisions=replay_outcome.decisions,
-                ))
+    try:
+        with _interrupt_guard(enabled=journal is not None):
+            if jobs <= 1 and timeout is None and retries == 0:
+                for trace in traces:
+                    for policy in policies:
+                        if (trace.name, policy) in done_keys:
+                            continue
+                        complete(_run_cell(
+                            trace, capacity_bytes, policy,
+                            params.get(policy), admission, mode, decisions,
+                        ))
             else:
-                cells.append(CellResult(
-                    workload=workload, policy=policy, error=outcome.error,
-                ))
-        pool_stats = pool.stats.as_dict()
+                from repro.runs.executor import ProcessTaskPool
+
+                pool = ProcessTaskPool(jobs, timeout=timeout,
+                                       retries=retries)
+                for trace in traces:
+                    for policy in policies:
+                        if (trace.name, policy) in done_keys:
+                            continue
+                        pool.submit(
+                            _cell_task, trace, capacity_bytes, policy,
+                            params.get(policy), admission, mode, decisions,
+                            tag=(trace.name, policy),
+                        )
+                for outcome in pool.completed():
+                    workload, policy = outcome.tag
+                    if outcome.ok:
+                        replay_outcome, seconds = outcome.value
+                        complete(CellResult(
+                            workload=workload, policy=policy,
+                            result=replay_outcome.result,
+                            seconds=seconds,
+                            violations=replay_outcome.violations,
+                            decisions=replay_outcome.decisions,
+                        ))
+                    else:
+                        complete(CellResult(
+                            workload=workload, policy=policy,
+                            error=outcome.error,
+                        ))
+                pool_stats = pool.stats.as_dict()
+    except (KeyboardInterrupt, SweepInterrupted):
+        if journal is None:
+            raise
+        raise SweepInterrupted(
+            "object sweep interrupted — completed cells are journaled; "
+            "resume with --resume",
+            completed=len(done_cells) + len(cells),
+        ) from None
+
+    cells.extend(done_cells)
     cells.sort(key=lambda cell: (cell.workload, cell.policy))
     return SweepReport(
         cells=cells,
         workloads=[trace.name for trace in traces],
         policies=policies,
         jobs=jobs,
+        resumed=tuple(sorted(done_keys)),
         pool_stats=pool_stats,
         wall_seconds=time.perf_counter() - wall_started,
     )

@@ -14,8 +14,14 @@ resumed run is bit-identical to an uninterrupted one:
 A **fingerprint** of the hyper-parameters and feature layout guards against
 resuming with a different configuration — a mismatch raises
 :class:`CheckpointError` instead of silently training a chimera.  Files are
-pickles written atomically (temp + fsync + rename), so a crash mid-save
-leaves the previous epoch's checkpoint intact.
+pickles wrapped in the checksummed frame container
+(:mod:`repro.store.frames`, family ``"training-checkpoint"``) written
+atomically (temp + fsync + rename), so a crash mid-save leaves the previous
+epoch's checkpoint intact and any torn write, truncation, or bit flip is a
+typed :class:`CheckpointError` (chaining the underlying
+:class:`~repro.store.errors.ArtifactCorruptionError`) rather than a pickle
+explosion.  Legacy bare-pickle checkpoints written before the integrity
+layer still load.
 """
 
 from __future__ import annotations
@@ -24,10 +30,14 @@ import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.runs.atomic import atomic_write
+from repro.store.errors import ArtifactCorruptionError
+from repro.store.frames import is_framed, read_artifact, write_artifact
 
 #: Bump on layout changes to invalidate old checkpoints.
 CHECKPOINT_VERSION = 1
+
+#: Frame-container family tag for training checkpoints.
+CHECKPOINT_FAMILY = "training-checkpoint"
 
 
 class CheckpointError(RuntimeError):
@@ -55,9 +65,11 @@ def save_training_checkpoint(path, checkpoint: TrainingCheckpoint) -> None:
         "fingerprint": checkpoint.fingerprint,
         "train_hit_rate": checkpoint.train_hit_rate,
     }
-    atomic_write(
+    write_artifact(
         path,
-        lambda handle: pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL),
+        CHECKPOINT_FAMILY,
+        pickle.dumps(payload, pickle.HIGHEST_PROTOCOL),
+        version=CHECKPOINT_VERSION,
     )
 
 
@@ -70,9 +82,21 @@ def load_training_checkpoint(path, fingerprint=None) -> TrainingCheckpoint:
     path = Path(path)
     try:
         with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+            head = handle.read(4)
+        if is_framed(head):
+            raw = read_artifact(path, family=CHECKPOINT_FAMILY)
+            payload = pickle.loads(raw)
+        else:
+            # Legacy bare-pickle checkpoint (pre-integrity-layer).
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
     except FileNotFoundError:
         raise
+    except ArtifactCorruptionError as error:
+        raise CheckpointError(
+            f"checkpoint {path} failed its integrity check "
+            f"({error.reason}{error.locate()}): {error}"
+        ) from error
     except Exception as error:
         raise CheckpointError(
             f"checkpoint {path} is unreadable ({error.__class__.__name__}: "

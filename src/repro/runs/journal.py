@@ -6,6 +6,16 @@ write-temp/fsync/rename — entries are few and small, so the rewrite is
 cheap) which means a reader never observes a torn line: after a SIGKILL the
 journal holds exactly the entries whose appends completed.
 
+Since the artifact-integrity layer (:mod:`repro.store`), every line is a
+*checksummed text frame*: the entry rides inside an envelope ::
+
+    {"crc": "<crc32 of the canonical entry JSON>", "entry": {...}, "v": 1}
+
+so damage that plain JSON parsing cannot see — a bit flip inside a string
+value, a hand edit — fails the CRC and is counted, located, and (via
+``repro fsck``) repaired by truncating to the last valid line.  Lines
+written before the envelope existed (bare entry objects) are still read.
+
 The journal itself is schema-agnostic; the sweep engine
 (:mod:`repro.eval.parallel`) defines the ``{"type": "cell", ...}`` entries
 it stores and reloads to skip finished (workload, policy) cells on
@@ -15,9 +25,68 @@ it stores and reloads to skip finished (workload, policy) cells on
 from __future__ import annotations
 
 import json
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import List, Optional
 
 from repro.runs.atomic import atomic_write_text
+
+#: Envelope version (bumped on any envelope-layout change).
+ENTRY_VERSION = 1
+
+
+def _canonical(entry: dict) -> str:
+    return json.dumps(entry, separators=(",", ":"), sort_keys=True)
+
+
+def encode_journal_line(entry: dict) -> str:
+    """One checksummed journal line for ``entry``."""
+    body = _canonical(entry)
+    crc = zlib.crc32(body.encode("utf-8"))
+    return _canonical({"crc": format(crc, "08x"), "entry": entry,
+                       "v": ENTRY_VERSION})
+
+
+def decode_journal_line(line: str):
+    """Decode one line; returns ``(entry, problem)`` (exactly one is None).
+
+    Accepts both enveloped lines (CRC verified) and legacy bare-entry
+    lines (no checksum to verify).  ``problem`` is a short reason string:
+    ``"torn line (not valid JSON)"`` / ``"checksum mismatch"`` / ...
+    """
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None, "torn line (not valid JSON)"
+    if not isinstance(payload, dict):
+        return None, "line is not a JSON object"
+    if "crc" in payload and "entry" in payload:
+        entry = payload["entry"]
+        if not isinstance(entry, dict):
+            return None, "envelope entry is not an object"
+        expected = format(
+            zlib.crc32(_canonical(entry).encode("utf-8")), "08x"
+        )
+        if payload["crc"] != expected:
+            return None, "checksum mismatch (bit rot or hand edit)"
+        return entry, None
+    return payload, None  # legacy bare entry (pre-integrity-layer)
+
+
+@dataclass
+class JournalScan:
+    """Integrity scan of one journal file (what fsck consumes)."""
+
+    entries: List[dict] = field(default_factory=list)
+    #: ``(line_number, problem)`` pairs, 1-based line numbers.
+    damage: List[tuple] = field(default_factory=list)
+    #: number of leading lines before the first damaged one
+    valid_prefix_lines: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.damage
 
 
 class RunJournal:
@@ -26,9 +95,10 @@ class RunJournal:
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._lines = None  # raw lines, loaded lazily
+        self.damaged = 0  #: lines skipped by the last entries() call
 
     def __len__(self) -> int:
-        return len(self._raw_lines())
+        return len(self.entries())
 
     def _raw_lines(self) -> list:
         if self._lines is None:
@@ -39,24 +109,57 @@ class RunJournal:
             self._lines = [line for line in content.splitlines() if line.strip()]
         return self._lines
 
+    def scan(self) -> JournalScan:
+        """Full integrity scan: entries, located damage, valid prefix."""
+        scan = JournalScan()
+        first_damage = None
+        for number, line in enumerate(self._raw_lines(), start=1):
+            entry, problem = decode_journal_line(line)
+            if problem is not None:
+                scan.damage.append((number, problem))
+                if first_damage is None:
+                    first_damage = number
+                continue
+            scan.entries.append(entry)
+        total = len(self._raw_lines())
+        scan.valid_prefix_lines = (
+            total if first_damage is None else first_damage - 1
+        )
+        return scan
+
     def entries(self) -> list:
-        """All parseable entries, in append order (bad lines are skipped)."""
-        entries = []
-        for line in self._raw_lines():
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                continue  # torn or hand-damaged line: ignore, don't crash
-            if isinstance(entry, dict):
-                entries.append(entry)
-        return entries
+        """All verified entries, in append order (bad lines are skipped).
+
+        Damaged lines (torn, bit-flipped, hand-edited) are skipped — never
+        fatal on the read path — but counted in :attr:`damaged` so callers
+        can surface the loss (``repro fsck`` repairs it).
+        """
+        scan = self.scan()
+        self.damaged = len(scan.damage)
+        return scan.entries
 
     def append(self, entry: dict) -> None:
         """Durably append one entry (atomic rewrite of the whole journal)."""
-        line = json.dumps(entry, separators=(",", ":"), sort_keys=True)
         lines = self._raw_lines()
-        lines.append(line)
+        lines.append(encode_journal_line(entry))
         atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+    def truncate_to_valid_prefix(self) -> Optional[int]:
+        """Repair: keep only the leading undamaged lines (fsck's tool).
+
+        Returns the number of lines dropped, or ``None`` when the journal
+        is already clean.  The damaged tail is the *caller's* job to
+        quarantine first — this method only rewrites the file.
+        """
+        scan = self.scan()
+        if scan.ok:
+            return None
+        lines = self._raw_lines()
+        kept = lines[: scan.valid_prefix_lines]
+        atomic_write_text(self.path, "\n".join(kept) + "\n" if kept else "")
+        dropped = len(lines) - len(kept)
+        self.reload()
+        return dropped
 
     def reload(self) -> None:
         """Drop the in-memory cache (re-read the file on next access)."""

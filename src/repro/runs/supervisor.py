@@ -15,6 +15,8 @@ sweep``).  Its directory holds everything needed to resume after a crash:
         decisions.jsonl # per-eviction decision log (with --decisions;
         decisions.bin   # rendered by `repro inspect` — see
                         # repro.telemetry.decisions)
+        artifacts.json  # cross-artifact integrity manifest (size + sha256
+                        # per artifact; verified by `repro fsck`)
 
 Run ids are allocated sequentially (``run-0001``, ``run-0002``, ...) with a
 collision-safe exclusive ``mkdir``, so a freshly created root always starts
@@ -31,6 +33,7 @@ from pathlib import Path
 
 from repro.runs.atomic import atomic_write_text
 from repro.runs.journal import RunJournal
+from repro.store.manifest import ArtifactManifest
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
@@ -39,6 +42,16 @@ METRICS_NAME = "metrics.json"
 SPANS_NAME = "spans.jsonl"
 DECISIONS_NAME = "decisions.jsonl"
 DECISIONS_BIN_NAME = "decisions.bin"
+
+#: artifact name -> integrity family recorded in ``artifacts.json``.
+ARTIFACT_FAMILIES = {
+    JOURNAL_NAME: "run-journal",
+    REPORT_NAME: "report",
+    METRICS_NAME: "metrics",
+    SPANS_NAME: "spans",
+    DECISIONS_NAME: "decision-log",
+    DECISIONS_BIN_NAME: "decision-log-binary",
+}
 
 
 class SweepInterrupted(RuntimeError):
@@ -101,10 +114,31 @@ class RunDirectory:
         """Durably update the run's status (running/interrupted/complete)."""
         self.manifest["status"] = status
         self._save_manifest()
+        if status in ("complete", "interrupted", "failed"):
+            self.record_artifacts()
 
     def write_report(self, text: str) -> None:
         """Atomically persist the final report next to the journal."""
         atomic_write_text(self.report_path, text)
+        self.record_artifacts()
+
+    def artifact_manifest(self) -> ArtifactManifest:
+        return ArtifactManifest(self.path)
+
+    def record_artifacts(self) -> None:
+        """Refresh ``artifacts.json`` for every known artifact on disk.
+
+        Best-effort: a full disk or permission error must not fail the run
+        — integrity recording guards against *silent* corruption, it is
+        not itself load-bearing for the sweep.
+        """
+        try:
+            manifest = self.artifact_manifest()
+            for name, family in sorted(ARTIFACT_FAMILIES.items()):
+                if (self.path / name).is_file():
+                    manifest.record(name, family)
+        except OSError:
+            pass
 
 
 def create_run(root, manifest: dict) -> RunDirectory:

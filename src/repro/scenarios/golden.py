@@ -45,12 +45,42 @@ def golden_path(name: str, root=None) -> Path:
     return root / f"{name}.json"
 
 
-def read_golden(name: str, root=None):
-    """The stored golden document ``{"digest", "report"}``, or ``None``."""
+def read_golden(name: str, root=None, verify: bool = True):
+    """The stored golden document ``{"digest", "report"}``, or ``None``.
+
+    ``verify=True`` (the default) re-derives the digest of the *stored*
+    report and demands it match the *stored* digest — a golden whose two
+    halves disagree (bit rot, a hand edit of one half) is corruption, not
+    a legitimate regression, and raises a typed
+    :class:`~repro.store.errors.ArtifactCorruptionError` instead of
+    producing a misleading scenario diff.
+    """
+    from repro.store.errors import ArtifactCorruptionError
+
     path = golden_path(name, root)
     if not path.is_file():
         return None
-    return json.loads(path.read_text(encoding="utf-8"))
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        raise ArtifactCorruptionError(
+            f"golden {path} does not parse: {error}",
+            reason="bad_payload",
+            path=path,
+        ) from error
+    if verify and isinstance(document, dict):
+        stored = document.get("digest")
+        actual = report_digest(document.get("report", {}))
+        if stored != actual:
+            raise ArtifactCorruptionError(
+                f"golden {path} failed its integrity check: stored digest "
+                f"{str(stored)[:12]}... does not match the stored report "
+                f"({actual[:12]}...) — bit rot or a hand edit; re-bless or "
+                f"restore from version control",
+                reason="manifest_mismatch",
+                path=path,
+            )
+    return document
 
 
 def write_golden(name: str, payload: dict, root=None) -> Path:

@@ -1,11 +1,15 @@
 """Crash-safe snapshots of the policy server's tenant state.
 
 Follows the :mod:`repro.runs.checkpoint` idiom: a versioned pickle payload
-written through :func:`repro.runs.atomic.atomic_write` (temp file + fsync
-+ rename, so a SIGKILL mid-write leaves the previous snapshot intact) and
-guarded by a content fingerprint that :func:`load_server_snapshot`
-re-derives and compares, so a torn or hand-edited snapshot is rejected
-with a typed error instead of silently restoring garbage.
+wrapped in the checksummed frame container (:mod:`repro.store.frames`,
+family ``"serve-snapshot"``) written atomically (temp file + fsync +
+rename, so a SIGKILL mid-write leaves the previous snapshot intact) and
+*double*-guarded: the container's per-frame CRC catches torn writes and
+bit rot at the byte layer, and a content fingerprint that
+:func:`load_server_snapshot` re-derives and compares catches hand edits of
+a re-framed payload.  Either failure is a typed :class:`SnapshotError`
+instead of silently restoring garbage; legacy bare-pickle snapshots
+written before the integrity layer still load.
 
 What a snapshot carries, per tenant: the *inner* policy object (its whole
 learned/derived state — the strict sanitizer wrapper is rebuilt fresh on
@@ -21,10 +25,14 @@ import hashlib
 import pickle
 from pathlib import Path
 
-from repro.runs.atomic import atomic_write
+from repro.store.errors import ArtifactCorruptionError
+from repro.store.frames import is_framed, read_artifact, write_artifact
 
 SNAPSHOT_VERSION = 1
 SNAPSHOT_NAME = "serve-snapshot.pkl"
+
+#: Frame-container family tag for server snapshots.
+SNAPSHOT_FAMILY = "serve-snapshot"
 
 
 class SnapshotError(RuntimeError):
@@ -93,7 +101,12 @@ def save_server_snapshot(directory, server, name: str = SNAPSHOT_NAME) -> Path:
         "fingerprint": _fingerprint(body),
         "body": body,
     }
-    atomic_write(path, lambda handle: pickle.dump(payload, handle))
+    write_artifact(
+        path,
+        SNAPSHOT_FAMILY,
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        version=SNAPSHOT_VERSION,
+    )
     return path
 
 
@@ -106,7 +119,18 @@ def load_server_snapshot(path) -> dict:
         raise SnapshotError(f"no server snapshot at {path}")
     try:
         with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+            head = handle.read(4)
+        if is_framed(head):
+            payload = pickle.loads(read_artifact(path, family=SNAPSHOT_FAMILY))
+        else:
+            # Legacy bare-pickle snapshot (pre-integrity-layer).
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+    except ArtifactCorruptionError as error:
+        raise SnapshotError(
+            f"snapshot {path} failed its integrity check "
+            f"({error.reason}{error.locate()}): {error}"
+        ) from error
     except (OSError, pickle.UnpicklingError, EOFError) as error:
         raise SnapshotError(f"unreadable snapshot {path}: {error}") from error
     if not isinstance(payload, dict) or "body" not in payload:

@@ -1,0 +1,52 @@
+"""Typed corruption errors shared by every artifact family."""
+
+from __future__ import annotations
+
+#: The closed set of corruption reasons (see the package docstring table).
+CORRUPTION_REASONS = (
+    "truncated",
+    "bad_crc",
+    "bad_magic",
+    "bad_version",
+    "bad_family",
+    "bad_payload",
+    "manifest_mismatch",
+    "missing",
+)
+
+
+class ArtifactCorruptionError(RuntimeError):
+    """A durable artifact failed an integrity check.
+
+    Carries enough structure for ``repro fsck`` (and tests) to act on the
+    failure without parsing the message: the ``reason`` (one of
+    :data:`CORRUPTION_REASONS`), the ``path`` of the damaged artifact, and
+    — when the damage is locatable — the byte ``offset`` and ``frame``
+    index where the scan stopped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "bad_payload",
+        path=None,
+        offset=None,
+        frame=None,
+    ) -> None:
+        if reason not in CORRUPTION_REASONS:
+            raise ValueError(f"unknown corruption reason {reason!r}")
+        super().__init__(message)
+        self.reason = reason
+        self.path = str(path) if path is not None else None
+        self.offset = offset
+        self.frame = frame
+
+    def locate(self) -> str:
+        """Human-readable location suffix (""/" at byte N"/" frame K")."""
+        parts = []
+        if self.frame is not None:
+            parts.append(f"frame {self.frame}")
+        if self.offset is not None:
+            parts.append(f"byte offset {self.offset}")
+        return f" ({', '.join(parts)})" if parts else ""

@@ -1,0 +1,257 @@
+"""Length-prefixed, CRC-checksummed, version-tagged artifact frames.
+
+The one binary container every durable artifact family shares::
+
+    file    = MAGIC  b"RAF1"            (Repro Artifact Frames, container v1)
+            + header frame              (canonical JSON: family + version)
+            + zero or more payload frames
+    frame   = u32 LE payload length
+            + u32 LE crc32(payload)
+            + payload bytes
+
+Properties the readers rely on:
+
+* **Truncation is visible.**  A file that ends mid-length-word, mid-CRC,
+  or mid-payload fails the scan at a precise byte offset — a torn write
+  can never masquerade as a shorter-but-valid artifact.
+* **Bit rot is visible.**  Any flipped bit in a payload fails that
+  frame's CRC; a flipped bit in a length word desynchronizes the scan and
+  surfaces as a truncated/oversized frame.  (CRC32 is an integrity check
+  against accidental damage, not an authenticity check — the manifest's
+  SHA-256 digests cover the stronger property.)
+* **Family confusion is visible.**  Every file names its artifact family
+  in the header frame, so a checkpoint restored as a snapshot (or a cache
+  entry from an incompatible layout version) is a typed error, not a
+  pickle explosion.
+
+:func:`scan_frames` is the tolerant reader (collects the valid leading
+frames plus a damage record — what fsck and salvage paths use);
+:func:`read_framed` is the strict reader (raises
+:class:`~repro.store.errors.ArtifactCorruptionError` on any damage — what
+production load paths use).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.store.errors import ArtifactCorruptionError
+
+#: Container magic ("Repro Artifact Frames" + container format digit).
+FILE_MAGIC = b"RAF1"
+
+#: Highest container version this reader understands.
+CONTAINER_VERSION = 1
+
+#: ``<u32 length><u32 crc32>`` little-endian frame prefix.
+FRAME_PREFIX = struct.Struct("<II")
+
+#: Refuse to allocate for absurd lengths (a flipped high bit in a length
+#: word must read as damage, not as a multi-gigabyte allocation).
+MAX_FRAME_BYTES = 1 << 31
+
+
+@dataclass(frozen=True)
+class FrameDamage:
+    """One located integrity problem found by :func:`scan_frames`."""
+
+    reason: str  #: one of CORRUPTION_REASONS
+    offset: int  #: byte offset where the scan stopped
+    frame: Optional[int]  #: frame index (None for container-level damage)
+    detail: str
+
+    def describe(self) -> str:
+        where = f"byte {self.offset}"
+        if self.frame is not None:
+            where = f"frame {self.frame}, {where}"
+        return f"{self.reason} at {where}: {self.detail}"
+
+
+@dataclass
+class FrameScan:
+    """Tolerant scan result: valid leading frames + any damage."""
+
+    family: Optional[str]  #: None when the header itself is damaged
+    version: Optional[int]  #: artifact-family version from the header
+    payloads: List[bytes] = field(default_factory=list)
+    damage: List[FrameDamage] = field(default_factory=list)
+    valid_bytes: int = 0  #: prefix length covering magic + valid frames
+
+    @property
+    def ok(self) -> bool:
+        return not self.damage
+
+    def raise_on_damage(self, path=None) -> None:
+        if self.damage:
+            first = self.damage[0]
+            raise ArtifactCorruptionError(
+                f"{path or 'artifact'}: {first.describe()}",
+                reason=first.reason,
+                path=path,
+                offset=first.offset,
+                frame=first.frame,
+            )
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One frame: length + crc32 + payload."""
+    return FRAME_PREFIX.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_framed(family: str, payloads, version: int = 1) -> bytes:
+    """The full container for ``payloads`` (header frame included)."""
+    header = json.dumps(
+        {"family": str(family), "version": int(version)},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    chunks = [FILE_MAGIC, encode_frame(header)]
+    chunks.extend(encode_frame(bytes(payload)) for payload in payloads)
+    return b"".join(chunks)
+
+
+def is_framed(data: bytes) -> bool:
+    """True when ``data`` starts with the container magic."""
+    return bytes(data[: len(FILE_MAGIC)]) == FILE_MAGIC
+
+
+def scan_frames(data: bytes) -> FrameScan:
+    """Tolerantly scan a container: valid leading frames + first damage.
+
+    The scan stops at the first problem (frames after a desynchronized
+    length word are unrecoverable without external framing), so
+    ``valid_bytes`` is exactly the prefix a repair may truncate to.
+    """
+    scan = FrameScan(family=None, version=None)
+    if not is_framed(data):
+        scan.damage.append(FrameDamage(
+            "bad_magic", 0, None,
+            f"expected magic {FILE_MAGIC!r}, found {bytes(data[:4])!r}",
+        ))
+        return scan
+    offset = len(FILE_MAGIC)
+    frames = []
+    index = 0
+    while offset < len(data):
+        if offset + FRAME_PREFIX.size > len(data):
+            scan.damage.append(FrameDamage(
+                "truncated", offset, index,
+                f"file ends {len(data) - offset} byte(s) into a frame prefix",
+            ))
+            break
+        length, crc = FRAME_PREFIX.unpack_from(data, offset)
+        if length > MAX_FRAME_BYTES:
+            scan.damage.append(FrameDamage(
+                "bad_crc", offset, index,
+                f"frame length {length} is implausible (damaged prefix)",
+            ))
+            break
+        body_start = offset + FRAME_PREFIX.size
+        body_end = body_start + length
+        if body_end > len(data):
+            scan.damage.append(FrameDamage(
+                "truncated", offset, index,
+                f"frame declares {length} payload byte(s), only "
+                f"{len(data) - body_start} present",
+            ))
+            break
+        payload = data[body_start:body_end]
+        if zlib.crc32(payload) != crc:
+            scan.damage.append(FrameDamage(
+                "bad_crc", offset, index,
+                f"frame checksum mismatch over {length} byte(s)",
+            ))
+            break
+        frames.append(payload)
+        offset = body_end
+        index += 1
+        scan.valid_bytes = offset
+    if not scan.damage:
+        scan.valid_bytes = offset
+
+    if not frames:
+        if not scan.damage:
+            scan.damage.append(FrameDamage(
+                "truncated", len(FILE_MAGIC), 0, "container has no header frame",
+            ))
+        return scan
+    try:
+        header = json.loads(frames[0].decode("utf-8"))
+        scan.family = str(header["family"])
+        scan.version = int(header["version"])
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+        scan.damage.insert(0, FrameDamage(
+            "bad_payload", len(FILE_MAGIC), 0,
+            "header frame is not a family/version record",
+        ))
+        return scan
+    scan.payloads = frames[1:]
+    return scan
+
+
+def read_framed(
+    path,
+    family: Optional[str] = None,
+    max_version: Optional[int] = None,
+) -> FrameScan:
+    """Strictly read a container file; raises on any damage.
+
+    ``family`` (when given) must match the header; ``max_version`` bounds
+    the artifact-family version this caller understands.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise
+    except OSError as error:
+        raise ArtifactCorruptionError(
+            f"{path}: unreadable ({error})", reason="missing", path=path
+        ) from error
+    scan = scan_frames(data)
+    scan.raise_on_damage(path)
+    if family is not None and scan.family != family:
+        raise ArtifactCorruptionError(
+            f"{path}: artifact family is {scan.family!r}, expected {family!r}",
+            reason="bad_family",
+            path=path,
+        )
+    if max_version is not None and scan.version > max_version:
+        raise ArtifactCorruptionError(
+            f"{path}: artifact version {scan.version} is newer than this "
+            f"reader (max {max_version})",
+            reason="bad_version",
+            path=path,
+        )
+    return scan
+
+
+def write_framed(path, family: str, payloads, version: int = 1) -> None:
+    """Atomically write a whole container (temp + fsync + rename)."""
+    from repro.runs.atomic import atomic_write_bytes
+
+    atomic_write_bytes(path, encode_framed(family, payloads, version))
+
+
+def write_artifact(path, family: str, payload: bytes, version: int = 1) -> None:
+    """Atomically write a single-payload artifact."""
+    write_framed(path, family, [payload], version)
+
+
+def read_artifact(
+    path, family: Optional[str] = None, max_version: Optional[int] = None
+) -> bytes:
+    """Read a single-payload artifact; raises on damage or extra frames."""
+    scan = read_framed(path, family=family, max_version=max_version)
+    if len(scan.payloads) != 1:
+        raise ArtifactCorruptionError(
+            f"{path}: expected one payload frame, found {len(scan.payloads)}",
+            reason="bad_payload",
+            path=path,
+        )
+    return scan.payloads[0]

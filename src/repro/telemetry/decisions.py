@@ -542,7 +542,16 @@ def write_decisions_binary(path, cells) -> Path:
     return path
 
 
-def _read_jsonl(text: str) -> list:
+def _count_salvaged(amount: int) -> None:
+    """Bump the ``telemetry.salvaged`` counter (trace-quarantine idiom)."""
+    from repro.telemetry import get_registry
+
+    get_registry().counter("telemetry.salvaged").inc(amount)
+
+
+def _read_jsonl(text: str, path=None, salvage: bool = False) -> list:
+    from repro.store.errors import ArtifactCorruptionError
+
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines:
         raise ValueError("empty decision log")
@@ -556,10 +565,41 @@ def _read_jsonl(text: str) -> list:
         )
     cells = []
     current = None
-    for line in lines[1:]:
-        entry = json.loads(line)
+    declared = None  #: event+violation count the current cell header promised
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            entry = json.loads(line)
+            if not isinstance(entry, dict):
+                raise ValueError("line is not a JSON object")
+        except ValueError as error:
+            if salvage:
+                # Salvage: keep the complete leading cells.  A cell whose
+                # declared event counts are unmet was interrupted and is
+                # dropped; a cell already complete stays (the torn line
+                # was the start of the *next* record).
+                if current is not None:
+                    received = (len(current["events"])
+                                + len(current["violations"]))
+                    if declared is None or received < declared:
+                        cells.pop()
+                dropped = len(lines) - number + 1
+                _count_salvaged(dropped)
+                return cells
+            raise ArtifactCorruptionError(
+                f"decision log is damaged: line {number} does not parse "
+                f"({error})",
+                reason="truncated" if number == len(lines) else "bad_payload",
+                path=path,
+                frame=number,
+            ) from error
         kind = entry.get("type")
         if kind == "cell":
+            declared = (
+                entry["events"] + entry["violations"]
+                if isinstance(entry.get("events"), int)
+                and isinstance(entry.get("violations"), int)
+                else None
+            )
             current = dict(entry, events=[], violations=[])
             del current["type"]
             cells.append(current)
@@ -572,7 +612,9 @@ def _read_jsonl(text: str) -> list:
     return cells
 
 
-def _read_binary(data: bytes) -> list:
+def _read_binary(data: bytes, path=None, salvage: bool = False) -> list:
+    from repro.store.errors import ArtifactCorruptionError
+
     if not data.startswith(MAGIC[:4]):
         raise ValueError("not a repro binary decision log (bad magic)")
     if data[: len(MAGIC)] != MAGIC:
@@ -582,9 +624,27 @@ def _read_binary(data: bytes) -> list:
         )
     offset = len(MAGIC)
     cells = []
+
+    def damaged(kind: str, at: int):
+        if salvage:
+            # Salvage: the complete leading cells are already in ``cells``.
+            _count_salvaged(1)
+            return None
+        return ArtifactCorruptionError(
+            f"binary decision log is damaged: truncated cell {kind} at "
+            f"byte offset {at} (complete cells before it: {len(cells)})",
+            reason="truncated",
+            path=path,
+            offset=at,
+            frame=len(cells),
+        )
+
     while offset < len(data):
         if offset + CELL_STRUCT.size > len(data):
-            raise ValueError(f"truncated cell header at byte offset {offset}")
+            error = damaged("header", offset)
+            if error is None:
+                return cells
+            raise error
         wlen, plen, sample_rate, total, graded, _reserved, count = (
             CELL_STRUCT.unpack_from(data, offset)
         )
@@ -592,7 +652,10 @@ def _read_binary(data: bytes) -> list:
         end_names = offset + wlen + plen
         body_end = end_names + count * RECORD_STRUCT.size
         if body_end > len(data):
-            raise ValueError(f"truncated cell body at byte offset {offset}")
+            error = damaged("body", offset)
+            if error is None:
+                return cells
+            raise error
         workload = data[offset: offset + wlen].decode("utf-8")
         policy = data[offset + wlen: end_names].decode("utf-8")
         events, violations = [], []
@@ -616,7 +679,7 @@ def _read_binary(data: bytes) -> list:
     return cells
 
 
-def read_decision_log(path) -> list:
+def read_decision_log(path, salvage: bool = False) -> list:
     """Load a decision log (JSONL or binary, sniffed by content).
 
     Returns a list of cell dicts shaped like
@@ -624,14 +687,23 @@ def read_decision_log(path) -> list:
     stream only: the derived aggregates (``summary``/``epochs``/``worst``/
     ``set_evictions``) are present only for JSONL cells, and binary
     violation records have no detail strings.
+
+    A damaged log (torn tail, truncation) raises a *located*
+    :class:`~repro.store.errors.ArtifactCorruptionError` naming the first
+    bad line/byte offset — unless ``salvage=True``, which instead returns
+    every complete leading cell, drops the damaged tail, and counts the
+    loss in the ``telemetry.salvaged`` counter (the trace-quarantine
+    idiom), so readers degrade gracefully after a crash.
     """
     path = Path(path)
     if not path.is_file():
         raise ValueError(f"no decision log at {path}")
     data = path.read_bytes()
     if data.startswith(MAGIC[:4]):
-        return _read_binary(data)
-    return _read_jsonl(data.decode("utf-8"))
+        return _read_binary(data, path=path, salvage=salvage)
+    return _read_jsonl(
+        data.decode("utf-8", errors="replace"), path=path, salvage=salvage
+    )
 
 
 _EVENT_INT_KEYS = ("index", "set", "pc", "address")
@@ -643,11 +715,13 @@ _EVICT_INT_KEYS = (
 
 def validate_decision_log(path) -> list:
     """Schema check; returns a list of problems (empty == valid)."""
+    from repro.store.errors import ArtifactCorruptionError
+
     problems = []
     try:
         cells = read_decision_log(path)
     except (ValueError, KeyError, json.JSONDecodeError, UnicodeDecodeError,
-            struct.error) as error:
+            struct.error, ArtifactCorruptionError) as error:
         return [str(error)]
     for position, cell in enumerate(cells):
         label = f"cell {position} ({cell.get('workload')}/{cell.get('policy')})"

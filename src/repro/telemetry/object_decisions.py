@@ -202,9 +202,18 @@ def sniff_object_decision_log(path) -> bool:
         return False
 
 
-def read_object_decision_log(path) -> list:
-    """Parse the log back into cell dicts (events re-nested)."""
-    text = Path(path).read_text(encoding="utf-8")
+def read_object_decision_log(path, salvage: bool = False) -> list:
+    """Parse the log back into cell dicts (events re-nested).
+
+    A torn or bit-rotted line raises a *located*
+    :class:`~repro.store.errors.ArtifactCorruptionError` — unless
+    ``salvage=True``, which returns the complete leading cells, drops the
+    damaged tail, and counts the loss in ``telemetry.salvaged``.
+    """
+    from repro.store.errors import ArtifactCorruptionError
+
+    path = Path(path)
+    text = path.read_text(encoding="utf-8", errors="replace")
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines:
         raise ValueError("empty object decision log")
@@ -218,11 +227,43 @@ def read_object_decision_log(path) -> list:
         )
     cells = []
     current = None
-    for line in lines[1:]:
-        entry = json.loads(line)
+    declared_events = None  #: event count the current cell header promised
+    salvaged_tail = False
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            entry = json.loads(line)
+            if not isinstance(entry, dict):
+                raise ValueError("line is not a JSON object")
+        except ValueError as error:
+            if salvage:
+                # Drop the current cell only when interrupted (declared
+                # events unmet); a complete final cell is kept.
+                if current is not None and (
+                    declared_events is None
+                    or len(current["events"]) < declared_events
+                ):
+                    cells.pop()
+                from repro.telemetry import get_registry
+
+                get_registry().counter("telemetry.salvaged").inc(
+                    len(lines) - number + 1
+                )
+                salvaged_tail = True
+                break
+            raise ArtifactCorruptionError(
+                f"object decision log is damaged: line {number} does not "
+                f"parse ({error})",
+                reason="truncated" if number == len(lines) else "bad_payload",
+                path=path,
+                frame=number,
+            ) from error
         if entry.get("type") == "cell":
             current = dict(entry)
             current.pop("type")
+            declared_events = (
+                current["events"]
+                if isinstance(current.get("events"), int) else None
+            )
             current["events"] = []
             cells.append(current)
         else:
@@ -232,7 +273,7 @@ def read_object_decision_log(path) -> list:
                 )
             current["events"].append(entry)
     declared = header.get("cells")
-    if declared is not None and declared != len(cells):
+    if declared is not None and declared != len(cells) and not salvaged_tail:
         raise ValueError(
             f"object decision log declares {declared} cells, found "
             f"{len(cells)}"
@@ -242,10 +283,12 @@ def read_object_decision_log(path) -> list:
 
 def validate_object_decision_log(path) -> list:
     """One-line-per-problem validation (for ``repro validate``)."""
+    from repro.store.errors import ArtifactCorruptionError
+
     problems = []
     try:
         cells = read_object_decision_log(path)
-    except (OSError, ValueError) as error:
+    except (OSError, ValueError, ArtifactCorruptionError) as error:
         return [str(error)]
     for position, cell in enumerate(cells):
         locator = (

@@ -106,20 +106,34 @@ class Span:
 
 
 def read_spans(path) -> list:
-    """All parseable span events from a ``spans.jsonl`` (bad lines skipped)."""
+    """All parseable span events from a ``spans.jsonl``.
+
+    Spans are append-streamed (not atomically rewritten), so a crash can
+    legitimately tear the last line.  Damaged lines are skipped — but
+    *counted* in the ``telemetry.salvaged`` counter (the trace-quarantine
+    idiom), so silent loss is observable; ``repro fsck`` locates and
+    repairs the tail.
+    """
     path = Path(path)
     if not path.is_file():
         return []
     events = []
-    for line in path.read_text(encoding="utf-8").splitlines():
+    skipped = 0
+    for line in path.read_text(encoding="utf-8",
+                               errors="replace").splitlines():
         if not line.strip():
             continue
         try:
             event = json.loads(line)
         except ValueError:
+            skipped += 1
             continue
         if isinstance(event, dict) and event.get("type") == "span":
             events.append(event)
+    if skipped:
+        from repro.telemetry import get_registry
+
+        get_registry().counter("telemetry.salvaged").inc(skipped)
     return events
 
 

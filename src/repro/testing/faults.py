@@ -46,6 +46,25 @@ Actions:
     action as "this request consumed its whole deadline budget".  Used by
     the policy server to exercise the degrade-to-LRU fallback path
     deterministically, without wall-clock dependence.
+``torn_write:<nbytes>``
+    Interpreted by the atomic-write path (:func:`repro.runs.atomic.
+    atomic_write`, site ``"atomic-write"``): simulate a filesystem that
+    lost rename atomicity — only the first ``nbytes`` of the new content
+    land in the target file, *silently* (the writer believes the write
+    succeeded).  This is the corruption ``repro fsck`` must catch.
+``bit_flip:<offset>``
+    Also interpreted by the atomic-write path: the write completes
+    normally, then one bit of the final file is flipped at ``offset``
+    (taken modulo the file size) — deterministic bit rot.
+``crash_at_byte:<nbytes>``
+    Interpreted by the atomic-write path: the process "dies" after
+    ``nbytes`` of the temporary file are written and fsynced — before the
+    rename when ``nbytes`` is short of the content, after it otherwise.
+    Raises :class:`SimulatedCrash` (a ``BaseException``, so production
+    ``except Exception`` recovery cannot swallow it) instead of
+    ``os._exit`` so crash-at-every-byte-offset property tests can run
+    thousands of in-process "crashes"; the temp-file debris a real crash
+    would leave is left behind too.
 
 Instrumented production code calls :func:`maybe_fault` with its site and
 identity; the call is a single dict lookup when no faults are installed.
@@ -66,27 +85,58 @@ from pathlib import Path
 ENV_SPECS = "REPRO_FAULTS"
 ENV_STATE = "REPRO_FAULTS_STATE"
 
-#: Fixed action kinds; ``slow`` additionally carries a duration suffix
-#: (``slow:<ms>``), validated by :func:`parse_action`.
+#: Fixed action kinds; ``slow`` carries a duration suffix (``slow:<ms>``)
+#: and the byte-fault actions carry a byte count/offset suffix
+#: (``torn_write:<n>`` / ``bit_flip:<n>`` / ``crash_at_byte:<n>``),
+#: validated by :func:`parse_action`.
 _ACTIONS = (
     "crash", "hang", "error", "corrupt", "poison", "slow",
     "hang_until_deadline",
 )
+
+#: Actions interpreted by the atomic-write path (suffix = a byte value).
+BYTE_FAULT_ACTIONS = ("torn_write", "bit_flip", "crash_at_byte")
 
 
 class InjectedFault(RuntimeError):
     """The deterministic exception raised by the ``error`` action."""
 
 
-def parse_action(action: str):
-    """Split an action string into ``(kind, duration_ms)``.
+class SimulatedCrash(BaseException):
+    """An in-process stand-in for process death (``crash_at_byte``).
 
-    ``"slow:2.5"`` -> ``("slow", 2.5)``; every other action has no
-    duration (``("hang", None)``).  Raises :class:`ValueError` on unknown
-    kinds or malformed durations, so specs fail loudly at install / decode
-    time rather than silently never firing.
+    Derives from ``BaseException`` so the generic ``except Exception``
+    recovery in production code cannot observe it — exactly like a real
+    SIGKILL.  Only the test harness (which installed the fault) catches
+    it.
+    """
+
+
+def parse_action(action: str):
+    """Split an action string into ``(kind, value)``.
+
+    ``"slow:2.5"`` -> ``("slow", 2.5)``; ``"torn_write:7"`` ->
+    ``("torn_write", 7)`` (likewise ``bit_flip``/``crash_at_byte``);
+    every other action has no value (``("hang", None)``).  Raises
+    :class:`ValueError` on unknown kinds or malformed suffixes, so specs
+    fail loudly at install / decode time rather than silently never
+    firing.
     """
     kind, _, suffix = str(action).partition(":")
+    if kind in BYTE_FAULT_ACTIONS:
+        if not suffix:
+            raise ValueError(
+                f"action {action!r} needs a byte value: use '{kind}:<n>'"
+            )
+        try:
+            value = int(suffix)
+        except ValueError:
+            raise ValueError(
+                f"action {action!r} has a non-integer byte value {suffix!r}"
+            ) from None
+        if value < 0:
+            raise ValueError(f"action {action!r} has a negative byte value")
+        return kind, value
     if kind not in _ACTIONS:
         raise ValueError(f"unknown fault action {action!r}")
     if kind == "slow":
@@ -228,6 +278,10 @@ def _armed_spec(site: str, identity: dict, poison: bool):
 def _fire(spec: FaultSpec, identity: dict) -> None:
     """Perform the synchronous side effect of a fired spec."""
     kind, duration_ms = parse_action(spec.action)
+    if kind in BYTE_FAULT_ACTIONS:
+        # No side effect here: the instrumented atomic-write path owns the
+        # bytes and interprets the returned action itself.
+        return
     if kind == "crash":
         os._exit(spec.exit_code)
     if kind == "hang":

@@ -157,13 +157,12 @@ class TestCheckpointFiles:
         )
         save_training_checkpoint(path, good)
 
-        import pickle as pickle_module
+        import repro.store.frames as frames_module
 
-        def torn_dump(payload, handle, protocol=None):
-            handle.write(b"partial bytes")
+        def torn_write(target, family, payloads, version=1):
             raise OSError("disk full")
 
-        monkeypatch.setattr(pickle_module, "dump", torn_dump)
+        monkeypatch.setattr(frames_module, "write_framed", torn_write)
         with pytest.raises(OSError):
             save_training_checkpoint(path, good)
         # The previous checkpoint is intact and no temp files linger.

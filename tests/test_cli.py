@@ -491,9 +491,14 @@ class TestScenarioCommands:
         # Tamper with the blessed report: a different hit_rate must surface
         # as a per-cell metric line, not a bare digest mismatch.
         path = goldens / "cli-tiny.json"
+        from repro.scenarios.golden import report_digest
+
         document = json.loads(path.read_text())
         document["report"]["cells"][0]["hit_rate"] += 0.25
-        document["digest"] = "0" * 64
+        # Keep the golden internally consistent (digest matches the stored
+        # report) — an inconsistent pair is corruption, which read_golden
+        # now rejects with a typed error instead of diffing it.
+        document["digest"] = report_digest(document["report"])
         path.write_text(json.dumps(document))
         code, out = self.run(
             capsys, "scenario", "run", "cli-tiny",

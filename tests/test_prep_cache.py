@@ -172,6 +172,10 @@ class TestCorruption:
         )
         assert repaired.cached_workloads == ()  # miss -> re-simulated
         assert repaired.to_csv() == reference.to_csv()
+        # The poisoned entry was quarantined (evidence kept), not deleted.
+        quarantined = list((cache_dir / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].name.endswith(".corrupt")
         # The entry was rewritten and is healthy again.
         rewarmed = parallel_sweep(
             _config(), ["429.mcf"], ["lru", "srrip"], jobs=1,

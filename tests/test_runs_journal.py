@@ -119,7 +119,10 @@ class TestRunDirectories:
         run.journal().append({"type": "cell"})
         run.write_report("workload,policy\n")
         names = sorted(entry.name for entry in run.path.iterdir())
-        assert names == sorted([MANIFEST_NAME, JOURNAL_NAME, "report.csv"])
+        # write_report also refreshes the artifact-integrity manifest.
+        assert names == sorted(
+            [MANIFEST_NAME, JOURNAL_NAME, "report.csv", "artifacts.json"]
+        )
 
     def test_list_runs_on_missing_root(self, tmp_path):
         assert list_runs(tmp_path / "absent") == []

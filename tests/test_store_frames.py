@@ -1,0 +1,183 @@
+"""The frame container and artifact manifest (repro.store): every byte of
+damage — truncation, bit rot, family confusion — must surface as a located,
+typed finding, never as a shorter-but-valid artifact."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.store.errors import ArtifactCorruptionError, CORRUPTION_REASONS
+from repro.store.frames import (
+    FILE_MAGIC,
+    FRAME_PREFIX,
+    encode_framed,
+    is_framed,
+    read_artifact,
+    read_framed,
+    scan_frames,
+    write_artifact,
+    write_framed,
+)
+from repro.store.manifest import ARTIFACTS_NAME, ArtifactManifest
+
+
+PAYLOADS = [b"alpha", b"", b"\x00" * 64, b"the last frame"]
+
+
+class TestRoundTrip:
+    def test_encode_scan_round_trip(self):
+        data = encode_framed("unit-test", PAYLOADS, version=3)
+        scan = scan_frames(data)
+        assert scan.ok
+        assert scan.family == "unit-test"
+        assert scan.version == 3
+        assert scan.payloads == PAYLOADS
+        assert scan.valid_bytes == len(data)
+
+    def test_write_read_artifact(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        write_artifact(path, "unit-test", b"payload", version=2)
+        assert is_framed(path.read_bytes())
+        assert read_artifact(path, family="unit-test") == b"payload"
+
+    def test_empty_container_has_just_a_header(self):
+        scan = scan_frames(encode_framed("unit-test", []))
+        assert scan.ok
+        assert scan.payloads == []
+
+
+class TestDamageDetection:
+    """Every corruption mode maps to a reason from the fixed vocabulary."""
+
+    def test_truncation_is_visible_at_every_cut_point(self):
+        data = encode_framed("unit-test", PAYLOADS)
+        for cut in range(len(FILE_MAGIC) + 1, len(data)):
+            scan = scan_frames(data[:cut])
+            if scan.ok:
+                # A cut exactly on a frame boundary is a *valid shorter*
+                # container at this layer; the payload-count check in
+                # read_artifact and the manifest digests catch it.
+                assert scan.valid_bytes == cut
+                assert len(scan.payloads) < len(PAYLOADS)
+                continue
+            assert scan.damage[0].reason == "truncated"
+            # The valid prefix is exactly what a repair may keep.
+            assert scan.valid_bytes <= cut
+            assert scan_frames(data[: scan.valid_bytes] or data[:4]).payloads \
+                == scan.payloads
+
+    def test_bit_flip_in_any_payload_byte_fails_that_frame(self):
+        data = bytearray(encode_framed("unit-test", [b"sensitive"]))
+        body_start = len(data) - len(b"sensitive")
+        for offset in range(body_start, len(data)):
+            flipped = bytearray(data)
+            flipped[offset] ^= 0x01
+            scan = scan_frames(bytes(flipped))
+            assert not scan.ok, f"flip at byte {offset} went unnoticed"
+            assert scan.damage[0].reason == "bad_crc"
+
+    def test_flipped_length_word_reads_as_damage_not_allocation(self):
+        data = bytearray(encode_framed("unit-test", [b"x"]))
+        # Flip the high bit of the payload frame's length word.
+        length_offset = len(data) - 1 - FRAME_PREFIX.size
+        data[length_offset + 3] ^= 0x80
+        scan = scan_frames(bytes(data))
+        assert not scan.ok
+        assert scan.damage[0].reason in ("bad_crc", "truncated")
+
+    def test_bad_magic(self):
+        scan = scan_frames(b"GIF8" + b"not frames at all")
+        assert scan.damage[0].reason == "bad_magic"
+
+    def test_header_that_is_not_a_family_record(self):
+        frame = json.dumps([1, 2, 3]).encode()
+        data = FILE_MAGIC + FRAME_PREFIX.pack(
+            len(frame), zlib.crc32(frame)) + frame
+        scan = scan_frames(data)
+        assert scan.damage[0].reason == "bad_payload"
+        assert scan.family is None
+
+    def test_all_reasons_are_in_the_vocabulary(self):
+        assert {"truncated", "bad_crc", "bad_magic", "bad_payload",
+                "bad_family", "bad_version", "manifest_mismatch",
+                "missing"} <= set(CORRUPTION_REASONS)
+
+
+class TestStrictReader:
+    def test_family_mismatch_is_typed(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        write_artifact(path, "checkpoint", b"payload")
+        with pytest.raises(ArtifactCorruptionError) as excinfo:
+            read_artifact(path, family="snapshot")
+        assert excinfo.value.reason == "bad_family"
+
+    def test_newer_version_is_typed(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        write_artifact(path, "unit-test", b"payload", version=9)
+        with pytest.raises(ArtifactCorruptionError) as excinfo:
+            read_framed(path, max_version=3)
+        assert excinfo.value.reason == "bad_version"
+
+    def test_damage_raises_with_location(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        write_artifact(path, "unit-test", b"payload")
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])
+        with pytest.raises(ArtifactCorruptionError) as excinfo:
+            read_artifact(path)
+        error = excinfo.value
+        assert error.reason == "truncated"
+        assert "frame" in error.locate() and "byte offset" in error.locate()
+
+    def test_multi_payload_artifact_is_rejected(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        write_framed(path, "unit-test", [b"one", b"two"])
+        with pytest.raises(ArtifactCorruptionError) as excinfo:
+            read_artifact(path)
+        assert excinfo.value.reason == "bad_payload"
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_framed(tmp_path / "never-written.bin")
+
+
+class TestArtifactManifest:
+    def _directory(self, tmp_path):
+        (tmp_path / "report.csv").write_text("workload,policy\n")
+        return tmp_path
+
+    def test_record_then_verify_clean(self, tmp_path):
+        manifest = ArtifactManifest(self._directory(tmp_path))
+        entry = manifest.record("report.csv", "report")
+        assert entry["bytes"] == len("workload,policy\n")
+        assert manifest.verify("report.csv") is None
+
+    def test_tampered_bytes_are_a_manifest_mismatch(self, tmp_path):
+        manifest = ArtifactManifest(self._directory(tmp_path))
+        manifest.record("report.csv", "report")
+        (tmp_path / "report.csv").write_text("workload,policy,edited\n")
+        fresh = ArtifactManifest(tmp_path)  # re-read from disk
+        assert fresh.verify("report.csv") == "manifest_mismatch"
+
+    def test_deleted_artifact_is_missing(self, tmp_path):
+        manifest = ArtifactManifest(self._directory(tmp_path))
+        manifest.record("report.csv", "report")
+        (tmp_path / "report.csv").unlink()
+        assert ArtifactManifest(tmp_path).verify("report.csv") == "missing"
+
+    def test_unrecorded_artifact_verifies_clean(self, tmp_path):
+        assert ArtifactManifest(tmp_path).verify("never-seen.csv") is None
+
+    def test_forget_drops_the_record(self, tmp_path):
+        manifest = ArtifactManifest(self._directory(tmp_path))
+        manifest.record("report.csv", "report")
+        manifest.forget("report.csv")
+        (tmp_path / "report.csv").unlink()
+        assert ArtifactManifest(tmp_path).verify("report.csv") is None
+
+    def test_corrupt_manifest_is_a_typed_error(self, tmp_path):
+        (tmp_path / ARTIFACTS_NAME).write_text("{ torn")
+        with pytest.raises(ArtifactCorruptionError) as excinfo:
+            ArtifactManifest(tmp_path).entries()
+        assert excinfo.value.reason == "bad_payload"
