@@ -73,6 +73,27 @@ def atomic_write(path, writer, text: bool = False) -> None:
         except OSError:
             pass
         raise
+    _sweep_stale_temporaries(path)
+
+
+def _sweep_stale_temporaries(path: Path) -> None:
+    """Remove ``<name>.*.tmp`` debris an interrupted earlier write left.
+
+    Runs only after a successful replace, so every surviving sibling that
+    matches the pattern is an orphan from a crash (mkstemp always picks a
+    fresh name; our own temporary was just renamed away).  Best-effort: a
+    racing unlink or permission error must never fail the write itself.
+    """
+    prefix = f"{path.name}."
+    try:
+        for debris in path.parent.iterdir():
+            if debris.name.startswith(prefix) and debris.name.endswith(".tmp"):
+                try:
+                    debris.unlink()
+                except OSError:
+                    pass
+    except OSError:
+        pass
 
 
 def _faulted_write(path: Path, writer, text: bool, kind: str, value: int) -> None:

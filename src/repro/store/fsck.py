@@ -25,10 +25,15 @@ Repair policy (``repair=True``), per the reliability contract:
 
 * **re-derivable state is repaired in place** — a damaged journal is
   truncated to its last valid entry (the clipped tail is quarantined, the
-  run is marked resumable so ``--resume`` recomputes the lost cells); a
-  stale manifest entry for an artifact that self-verifies is re-recorded;
-  a corrupt prep-cache entry is quarantined (the ordinary miss path
-  rebuilds it on next access);
+  run is marked resumable so ``--resume`` recomputes the lost cells;
+  skipped while the run's status is still ``running`` — never rewrite a
+  journal underneath its live writer); a stale manifest entry for an
+  artifact that *genuinely self-verifies* (frames, CRC journals, validated
+  logs, goldens) is re-recorded — a mismatch on a file with no self-check
+  (``report.csv``, plain JSON) stays *detected*, because the manifest
+  digest is the only evidence of the corruption; a corrupt prep-cache
+  entry is quarantined (the ordinary miss path rebuilds it on next
+  access);
 * **everything else is quarantined** — moved under ``quarantine/`` with a
   reason suffix, never deleted, so no repair can destroy evidence;
 * **nothing is silently dropped** — every action lands in the
@@ -49,13 +54,24 @@ from typing import List, Optional
 
 from repro.store.errors import ArtifactCorruptionError
 from repro.store.frames import is_framed, scan_frames
-from repro.store.manifest import ARTIFACTS_NAME, ArtifactManifest
+from repro.store.manifest import ARTIFACTS_NAME, ArtifactManifest, file_digest
 
 #: Quarantine subdirectory name (shared with the prep cache).
 QUARANTINE_DIR = "quarantine"
 
 #: Families whose damage is repairable by rebuilding (quarantine == repair).
 REBUILDABLE_FAMILIES = ("prep-cache",)
+
+#: :func:`_check_file` verdicts.  ``VERIFIED`` means the file passed a
+#: genuine self-check (frame CRCs, per-line journal checksums, JSONL parse
+#: + format validation, a golden's internal digest) — strong enough that a
+#: manifest digest disagreeing with the file means the *manifest* is stale.
+#: ``UNVERIFIED`` means fsck had nothing to check the content against
+#: (``report.csv``, plain JSON documents): the manifest digest is the sole
+#: integrity anchor for such files, so a mismatch is never auto-resolved.
+VERIFIED = "verified"
+UNVERIFIED = "unverified"
+DAMAGED = "damaged"
 
 
 # -- findings & report ---------------------------------------------------------
@@ -280,6 +296,16 @@ def _check_journal(path: Path, root: Path, report: FsckReport,
            if len(scan.damage) > 1 else ""),
     )
     if report.repair:
+        if _run_status(run_manifest_path) == "running":
+            # A live writer owns this journal: truncating it (or flipping
+            # the run's status) underneath the writer would corrupt more
+            # than it repairs.  Leave the finding detected.
+            finding.detail += (
+                "; run status is 'running', so repair was skipped — "
+                "re-run fsck --repair once the run stops"
+            )
+            report.findings.append(finding)
+            return False
         raw = path.read_text(encoding="utf-8").splitlines()
         clipped = [line for line in raw if line.strip()][scan.valid_prefix_lines:]
         destination = quarantine_bytes(
@@ -299,6 +325,18 @@ def _check_journal(path: Path, root: Path, report: FsckReport,
     return False
 
 
+def _run_status(manifest_path: Optional[Path]) -> Optional[str]:
+    """The run manifest's ``status`` field, or None when unreadable."""
+    if manifest_path is None or not manifest_path.is_file():
+        return None
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except ValueError:
+        return None
+    status = manifest.get("status") if isinstance(manifest, dict) else None
+    return status if isinstance(status, str) else None
+
+
 def _mark_run_resumable(manifest_path: Optional[Path]) -> bool:
     """Flip a completed run back to interrupted so --resume recomputes."""
     if manifest_path is None or not manifest_path.is_file():
@@ -311,6 +349,9 @@ def _mark_run_resumable(manifest_path: Optional[Path]) -> bool:
         return False
     if manifest.get("status") == "interrupted":
         return True
+    if manifest.get("status") == "running":
+        # Never rewrite a live run's manifest underneath its writer.
+        return False
     manifest["status"] = "interrupted"
     atomic_write_text(
         manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
@@ -381,9 +422,14 @@ def _check_jsonl_log(path: Path, root: Path, report: FsckReport,
             clipped.encode("utf-8", errors="surrogateescape"),
             root / QUARANTINE_DIR, path.name + ".tail", reason=reason,
         )
-        from repro.runs.atomic import atomic_write_text
+        from repro.runs.atomic import atomic_write_bytes
 
-        atomic_write_text(path, "\n".join(keep) + "\n")
+        # surrogateescape round-trips any undecodable bytes the salvaged
+        # lines carried (a kept line may hold them inside a JSON string).
+        atomic_write_bytes(
+            path,
+            ("\n".join(keep) + "\n").encode("utf-8", errors="surrogateescape"),
+        )
         finding.action = "repaired"
         finding.note = (
             f"salvaged {len(keep)} leading line(s), tail preserved at "
@@ -449,8 +495,14 @@ def _rel(path: Path, root: Path) -> str:
         return str(path)
 
 
-def _check_file(path: Path, root: Path, report: FsckReport) -> bool:
-    """Dispatch one file to its family's check; True when clean."""
+def _check_file(path: Path, root: Path, report: FsckReport) -> str:
+    """Dispatch one file to its family's check.
+
+    Returns :data:`DAMAGED` when a finding was recorded, :data:`VERIFIED`
+    when the file passed a genuine self-check, and :data:`UNVERIFIED` when
+    there was nothing to verify the content against (the manifest digest
+    is the only integrity anchor for such files).
+    """
     name = path.name
     if name == ARTIFACTS_NAME or name == "manifest.json":
         try:
@@ -467,9 +519,9 @@ def _check_file(path: Path, root: Path, report: FsckReport) -> bool:
                 finding.action = "quarantined"
                 finding.note = f"moved to {_rel(destination, root)}"
             report.findings.append(finding)
-            return False
+            return DAMAGED
         report.checked += 1
-        return True
+        return UNVERIFIED
     head = b""
     try:
         with open(path, "rb") as handle:
@@ -477,19 +529,22 @@ def _check_file(path: Path, root: Path, report: FsckReport) -> bool:
     except OSError:
         pass
     if is_framed(head):
-        return _check_framed_file(path, root, report)
+        clean = _check_framed_file(path, root, report)
+        return VERIFIED if clean else DAMAGED
     if name == "journal.jsonl":
-        return _check_journal(path, root, report,
-                              run_manifest_path=root / "manifest.json")
+        clean = _check_journal(path, root, report,
+                               run_manifest_path=root / "manifest.json")
+        return VERIFIED if clean else DAMAGED
     if name.endswith(".jsonl"):
         validate = None
         if name.startswith("decisions"):
             validate = _decision_log_validator(path)
-        return _check_jsonl_log(
+        clean = _check_jsonl_log(
             path, root, report,
             family="decision-log" if name.startswith("decisions") else "spans",
             validate=validate,
         )
+        return VERIFIED if clean else DAMAGED
     if name == "decisions.bin":
         # Legacy (unframed) binary decision log: full-format validation.
         from repro.telemetry.decisions import validate_decision_log
@@ -497,7 +552,7 @@ def _check_file(path: Path, root: Path, report: FsckReport) -> bool:
         problems = validate_decision_log(path)
         if not problems:
             report.checked += 1
-            return True
+            return VERIFIED
         finding = Finding(
             _rel(path, root), "decision-log-binary", "bad_payload",
             f"{len(problems)} problem(s); first: {problems[0]}",
@@ -509,12 +564,14 @@ def _check_file(path: Path, root: Path, report: FsckReport) -> bool:
             finding.action = "quarantined"
             finding.note = f"moved to {_rel(destination, root)}"
         report.findings.append(finding)
-        return False
+        return DAMAGED
     if path.suffix == ".json":
         if _is_golden_doc(path):
-            return _check_golden(path, root, report)
+            clean = _check_golden(path, root, report)
+            return VERIFIED if clean else DAMAGED
         # Any other .json artifact (bench snapshots, torn goldens) must at
-        # least parse — a torn write leaves an unparseable prefix.
+        # least parse — a torn write leaves an unparseable prefix.  Parsing
+        # is not verification: bit rot can still parse as JSON.
         try:
             json.loads(path.read_text(encoding="utf-8"))
         except (ValueError, UnicodeDecodeError) as error:
@@ -529,11 +586,11 @@ def _check_file(path: Path, root: Path, report: FsckReport) -> bool:
                 finding.action = "quarantined"
                 finding.note = f"moved to {_rel(destination, root)}"
             report.findings.append(finding)
-            return False
+            return DAMAGED
         report.checked += 1
-        return True
+        return UNVERIFIED
     # Unrecognised file: nothing to verify beyond the manifest cross-check.
-    return True
+    return UNVERIFIED
 
 
 def _decision_log_validator(path: Path):
@@ -557,15 +614,21 @@ def fsck_run_dir(directory, repair: bool = False) -> FsckReport:
     directory = Path(directory)
     report = FsckReport(str(directory), "run", repair)
     handled = set()
+    verified = set()
     for entry in sorted(directory.iterdir()):
         if not entry.is_file():
             continue
-        clean = _check_file(entry, directory, report)
-        if not clean:
+        verdict = _check_file(entry, directory, report)
+        if verdict == DAMAGED:
             handled.add(entry.name)
+        elif verdict == VERIFIED:
+            verified.add(entry.name)
     # Cross-artifact manifest pass: every recorded artifact must exist and
-    # hash to its recorded digest.  Files already repaired/quarantined above
-    # get their manifest entry refreshed instead of double-reported.
+    # hash to its recorded digest.  Files repaired or quarantined above get
+    # their manifest entry refreshed instead of double-reported; a file
+    # whose damage was only *detected* (repair declined or skipped) keeps
+    # its manifest entry untouched — it is evidence.
+    acted = {f.artifact for f in report.findings if f.action != "detected"}
     manifest = ArtifactManifest(directory)
     if manifest.exists():
         try:
@@ -574,7 +637,7 @@ def fsck_run_dir(directory, repair: bool = False) -> FsckReport:
             entries = {}
         for relname, entry in sorted(entries.items()):
             if relname in handled:
-                if repair:
+                if repair and relname in acted:
                     target = directory / relname
                     if target.is_file():
                         manifest.record(relname, entry.get("family", "?"))
@@ -584,19 +647,37 @@ def fsck_run_dir(directory, repair: bool = False) -> FsckReport:
             problem = manifest.verify(relname)
             if problem is None:
                 continue
-            finding = Finding(
-                relname, entry.get("family", "?"), problem,
-                "recorded in the artifact manifest but "
-                + ("missing from disk" if problem == "missing"
-                   else "its bytes no longer match the recorded digest"),
-            )
+            detail = "recorded in the artifact manifest but "
+            if problem == "missing":
+                detail += "missing from disk"
+            else:
+                recorded = str(entry.get("sha256", "?"))
+                detail += (
+                    f"its bytes no longer match the recorded digest "
+                    f"(recorded sha256 {recorded[:12]}..., on disk "
+                    f"{file_digest(directory / relname)[:12]}...)"
+                )
+            finding = Finding(relname, entry.get("family", "?"), problem,
+                              detail)
             if repair and problem == "manifest_mismatch":
-                target = directory / relname
-                # The file passed its own self-checks above, so the
-                # manifest record is the stale side: re-record it.
-                manifest.record(relname, entry.get("family", "?"))
-                finding.action = "repaired"
-                finding.note = "manifest digest re-recorded from the verified artifact"
+                if relname in verified:
+                    # The file passed a genuine self-check above, so the
+                    # manifest record is the stale side: re-record it.
+                    manifest.record(relname, entry.get("family", "?"))
+                    finding.action = "repaired"
+                    finding.note = ("manifest digest re-recorded from the "
+                                    "verified artifact")
+                else:
+                    # No self-check exists for this file (report.csv, plain
+                    # JSON): the manifest digest is its *only* integrity
+                    # anchor, so re-recording would erase the sole evidence
+                    # of the corruption.  Stays detected; both digests are
+                    # preserved above for the operator to decide.
+                    finding.detail += (
+                        "; the file has no self-check, so fsck cannot tell "
+                        "which side is stale — restore the artifact from a "
+                        "trusted copy or regenerate it (e.g. --resume)"
+                    )
             report.findings.append(finding)
     return report
 

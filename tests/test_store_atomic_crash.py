@@ -94,6 +94,20 @@ class TestJournalAppend:
         assert debris, "a pre-rename crash must leave its temp file behind"
         assert fsck_path(tmp_path).exit_code() == 0
 
+    def test_debris_is_swept_by_the_next_successful_write(self, tmp_path):
+        """Stray *.tmp files do not accumulate across crashes."""
+        path = tmp_path / "journal.jsonl"
+        RunJournal(path).append({"type": "cell"})
+        for attempt in range(3):
+            _crash_during_write(
+                tmp_path, attempt,
+                lambda: RunJournal(path).append({"type": "cell", "n": 2}),
+            )
+        assert [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        RunJournal(path).append({"type": "cell", "n": 2})
+        assert not [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert len(RunJournal(path).entries()) == 2
+
 
 class TestCheckpointSave:
     def _checkpoint(self, epoch: int) -> TrainingCheckpoint:

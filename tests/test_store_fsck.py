@@ -117,9 +117,11 @@ class TestRunDirectory:
     ):
         run = self._run(tmp_path)
         # Legitimate rewrite that skipped the manifest (crash between
-        # artifact write and record): the file self-verifies, the record
-        # is the stale side.
-        run.report_path.write_text("workload,policy\nw,p\nw,q\nw,r\n")
+        # artifact write and record): the artifact self-verifies through
+        # its frames, so the record is provably the stale side.
+        write_artifact(run.path / "model.bin", "unit-test", b"v1")
+        ArtifactManifest(run.path).record("model.bin", "framed-artifact")
+        write_artifact(run.path / "model.bin", "unit-test", b"v2")
 
         detected = fsck_path(run.path)
         assert detected.exit_code() == 1
@@ -130,6 +132,50 @@ class TestRunDirectory:
         assert repaired.findings[0].action == "repaired"
         assert fsck_path(run.path).exit_code() == 0
 
+    def test_unverifiable_mismatch_is_never_resolved_by_rerecording(
+        self, tmp_path
+    ):
+        run = self._run(tmp_path)
+        recorded = ArtifactManifest(run.path).entries()["report.csv"]["sha256"]
+        # Bit rot in report.csv: the file has no self-check, so the
+        # manifest digest is the only evidence the bytes are wrong.
+        run.report_path.write_text("workload,policy\nw,p\nw,X\n")
+
+        detected = fsck_path(run.path)
+        assert detected.exit_code() == 1
+        finding = detected.findings[0]
+        assert finding.reason == "manifest_mismatch"
+        # Both digests surface so the operator can decide which is stale.
+        assert recorded[:12] in finding.detail
+
+        repaired = fsck_path(run.path, repair=True)
+        assert repaired.exit_code() == 1  # still detected — not "repaired"
+        assert repaired.findings[0].action == "detected"
+        assert "no self-check" in repaired.findings[0].detail
+        # The recorded digest — the corruption evidence — is untouched.
+        stored = ArtifactManifest(run.path).entries()["report.csv"]["sha256"]
+        assert stored == recorded
+
+    def test_live_run_journal_is_never_repaired_under_the_writer(
+        self, tmp_path
+    ):
+        run = create_run(tmp_path, {"kind": "sweep"})  # status: running
+        run.journal().append({"type": "cell", "workload": "w", "policy": "p"})
+        with open(run.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"crc": "00000000", "entry"')  # torn mid-line
+        before = run.journal_path.read_bytes()
+
+        repaired = fsck_path(run.path, repair=True)
+        assert repaired.exit_code() == 1  # detected, deliberately unrepaired
+        finding = [f for f in repaired.findings
+                   if f.family == "run-journal"][0]
+        assert finding.action == "detected"
+        assert "running" in finding.detail
+        # Neither the journal nor the live writer's status was touched.
+        assert run.journal_path.read_bytes() == before
+        manifest = json.loads((run.path / "manifest.json").read_text())
+        assert manifest["status"] == "running"
+
     def test_missing_recorded_artifact_is_unrecoverable(self, tmp_path):
         run = self._run(tmp_path)
         run.report_path.unlink()
@@ -138,6 +184,23 @@ class TestRunDirectory:
         assert repaired.exit_code() == 1
         assert repaired.findings[0].reason == "missing"
         assert repaired.findings[0].action == "detected"
+
+
+class TestJsonlSalvage:
+    def test_salvaged_prefix_round_trips_undecodable_bytes(self, tmp_path):
+        # A kept line may carry raw non-UTF-8 bytes inside a JSON string
+        # (surrogateescape decodes them; json accepts the lone surrogate).
+        # Repair must round-trip those bytes, not die encoding strict UTF-8.
+        keep = b'{"event": "span", "name": "a\xffb"}\n'
+        path = tmp_path / "spans.jsonl"
+        path.write_bytes(keep + b'{"event": "torn')
+
+        report = fsck_path(path, repair=True)
+        assert report.exit_code() == 2
+        assert report.findings[0].action == "repaired"
+        assert path.read_bytes() == keep
+        tails = list((tmp_path / "quarantine").glob("spans.jsonl.tail.*"))
+        assert len(tails) == 1
 
 
 class TestPrepCacheDirectory:
