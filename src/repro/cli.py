@@ -38,9 +38,13 @@ Commands:
   server with degrade-to-LRU fallback (``--metrics-port`` exposes live
   ``/metrics`` + ``/healthz``; SIGTERM drains with a final snapshot);
   ``--chaos`` runs the fault-injection soak instead — see docs/serving.md
-* ``bench``     — object-cache / replay micro-benchmarks; every finished
-  benchmark is journaled to a run directory and ``--resume RUN_ID`` adopts
-  completed results byte-identically after a crash
+* ``bench``     — the perf observatory: replay / objcache / serve / train /
+  overhead benchmarks with phase attribution, appended to the CRC-enveloped
+  ``BENCH_history.jsonl``; ``--compare`` regression-gates against a
+  baseline, ``--profile`` captures flamegraphs, and every finished
+  benchmark is journaled to a run directory (``--resume RUN_ID`` adopts
+  completed results byte-identically after a crash) —
+  see docs/observability.md
 * ``fsck``      — audit durable artifacts (run directories, the prep
   cache, goldens, checkpoints, snapshots) for truncation, torn writes and
   bit rot; ``--repair`` truncates torn journal tails and quarantines what
@@ -551,12 +555,46 @@ def cmd_bench(args) -> int:
     byte-identically) and times only the benchmarks still owed.  The run
     directory also records an artifact-integrity manifest for ``repro
     fsck``.
+
+    Observatory extras: every freshly timed payload is appended to the
+    CRC-enveloped ``BENCH_history.jsonl`` (``--no-history`` opts out);
+    ``--compare BASELINE`` regression-gates the run (exit 1, per-phase
+    delta table naming the phase that got slower); ``--profile`` captures
+    a cProfile flamegraph (collapsed stacks) per bench into the run
+    directory; ``repro bench history`` renders the recorded trajectory.
     """
     import json as json_mod
 
-    from repro.eval.bench import BENCHES, write_bench
+    from repro.eval.bench import BENCHES, capture_flamegraph, write_bench
+    from repro.eval.bench_history import (
+        DEFAULT_HISTORY_NAME,
+        append_history,
+        compare,
+        format_history,
+        load_history,
+        resolve_baseline,
+    )
     from repro.runs.atomic import atomic_write_text
     from repro.runs.supervisor import create_run, load_run
+
+    history_path = Path(
+        args.history or (Path(args.output_dir) / DEFAULT_HISTORY_NAME)
+    )
+    if args.which == "history":
+        payloads, damage = load_history(history_path)
+        print(format_history(payloads, damage))
+        return 0
+
+    # Snapshot the baseline BEFORE any bench appends to the history —
+    # comparing against a history this very run wrote to would gate the
+    # run against itself and always pass.
+    baseline, baseline_notes = None, []
+    if args.compare:
+        try:
+            baseline, baseline_notes = resolve_baseline(args.compare)
+        except (OSError, ValueError) as error:
+            print(f"bench --compare: {error}", file=sys.stderr)
+            return 2
 
     run_root = args.run_dir or DEFAULT_RUN_ROOT
     if args.resume:
@@ -582,10 +620,12 @@ def cmd_bench(args) -> int:
     }
     names = list(BENCHES) if args.which == "all" else [args.which]
     report_rows = []
+    current = {}
     for name in names:
         if name in done:
             # Adopted from the journal: rewrite the snapshot byte-
-            # identically instead of re-timing.
+            # identically instead of re-timing.  Not re-appended to the
+            # history — the run that timed it already recorded it.
             payload = done[name]
             path = Path(args.output_dir) / BENCHES[name][1]
             atomic_write_text(
@@ -599,20 +639,58 @@ def cmd_bench(args) -> int:
             )
             journal.append({"type": "bench", "name": name,
                             "payload": payload})
+            if not args.no_history:
+                append_history(history_path, payload)
+            if args.profile:
+                folded = capture_flamegraph(name)
+                flame_path = run.path / f"flame_{name}.folded"
+                atomic_write_text(flame_path, folded)
+                print(f"flamegraph (collapsed stacks) -> {flame_path}",
+                      file=sys.stderr)
+        current[name] = payload
         for policy, rate in sorted(payload["rates"].items()):
             report_rows.append(f"{name},{policy},{rate}")
-        rows = [
-            {"policy": policy, payload["unit"]: rate}
-            for policy, rate in payload["rates"].items()
-        ]
-        print(format_table(rows, headers=["policy", payload["unit"]],
-                           title=f"bench {name} (best of {args.repeats})"))
+        for check, verdict in sorted(payload.get("checks", {}).items()):
+            report_rows.append(f"{name},{check},{verdict.get('value')}")
+        if payload["rates"]:
+            rows = [
+                {"policy": policy, payload["unit"]: rate}
+                for policy, rate in payload["rates"].items()
+            ]
+            print(format_table(rows, headers=["policy", payload["unit"]],
+                               title=f"bench {name} "
+                                     f"(best of {args.repeats})"))
+        if payload.get("checks"):
+            rows = [
+                {"check": check,
+                 "value": verdict.get("value"),
+                 "budget": ("-" if verdict.get("budget") is None
+                            else verdict.get("budget")),
+                 "ok": "yes" if verdict.get("ok") else "NO"}
+                for check, verdict in sorted(payload["checks"].items())
+            ]
+            print(format_table(rows,
+                               headers=["check", "value", "budget", "ok"],
+                               title=f"bench {name} (budget checks)"))
         print(f"wrote {path}")
     run.write_report(
         "bench,policy,rate\n" + "\n".join(report_rows) + "\n"
     )
     run.mark("complete")
-    return 0
+    exit_code = 0
+    for name, payload in current.items():
+        for check, verdict in sorted(payload.get("checks", {}).items()):
+            if not verdict.get("ok"):
+                print(f"bench {name}: budget check {check} FAILED",
+                      file=sys.stderr)
+                exit_code = 1
+    if baseline is not None:
+        report = compare(current, baseline, tolerance=args.tolerance)
+        report.notes.extend(baseline_notes)
+        print(report.format())
+        if not report.ok:
+            exit_code = 1
+    return exit_code
 
 
 def cmd_fsck(args) -> int:
@@ -802,6 +880,7 @@ def cmd_validate(args) -> int:
     from repro.objcache.trace_io import SUFFIXES as OBJTRACE_SUFFIXES
     from repro.sanitize.preflight import (
         validate_agent_file,
+        validate_bench_file,
         validate_object_trace_file,
         validate_scenario_file,
         validate_trace_file,
@@ -812,10 +891,15 @@ def cmd_validate(args) -> int:
         kind = args.kind
         if kind == "auto":
             name = str(path)
+            basename = Path(path).name
             if name.endswith(".npz"):
                 kind = "agent"
             elif name.endswith(OBJTRACE_SUFFIXES):
                 kind = "objtrace"
+            elif basename.startswith("BENCH_") and name.endswith(
+                (".json", ".jsonl")
+            ):
+                kind = "bench"
             elif name.endswith((".yaml", ".yml", ".json")):
                 kind = "scenario"
             else:
@@ -824,6 +908,8 @@ def cmd_validate(args) -> int:
             report = validate_agent_file(path)
         elif kind == "objtrace":
             report = validate_object_trace_file(path)
+        elif kind == "bench":
+            report = validate_bench_file(path)
         elif kind == "scenario":
             report = validate_scenario_file(path)
         else:
@@ -1219,11 +1305,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worst decisions to show per cell (default 10)")
 
     bench = commands.add_parser(
-        "bench", help="accesses/sec micro-benchmarks (BENCH_*.json history)"
+        "bench", help="perf observatory: bench matrix, history, regression "
+                      "gate (BENCH_*.json + BENCH_history.jsonl)"
     )
     bench.add_argument("which", nargs="?", default="all",
-                       choices=("all", "objcache", "replay"),
-                       help="which benchmark to run (default all)")
+                       choices=("all", "replay", "objcache", "serve",
+                                "train", "overhead", "history"),
+                       help="which benchmark to run, or 'history' to render "
+                            "the recorded trajectory (default all)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="timing repeats; best-of-N is reported "
                             "(default 3)")
@@ -1234,6 +1323,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--resume", metavar="RUN_ID", default=None,
                        help="resume an interrupted bench run: journaled "
                             "benchmarks are adopted, the rest are timed")
+    bench.add_argument("--profile", action="store_true",
+                       help="also capture a cProfile flamegraph "
+                            "(collapsed-stack .folded file per bench, "
+                            "written into the run directory)")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="regression-gate against a baseline (a "
+                            "BENCH_history.jsonl, a directory of "
+                            "BENCH_*.json, or one snapshot); exits 1 on "
+                            "regression")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="override every family's relative noise "
+                            "threshold (fraction, e.g. 0.5 = 50%%; default: "
+                            "per-family)")
+    bench.add_argument("--history", metavar="PATH", default=None,
+                       help="bench history log to append to / render "
+                            "(default: <output-dir>/BENCH_history.jsonl)")
+    bench.add_argument("--no-history", action="store_true",
+                       help="do not append this run to the history log")
 
     fsck = commands.add_parser(
         "fsck",
@@ -1314,16 +1421,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("paths", nargs="+", metavar="PATH",
                           help="trace (.csv/.csv.gz/.bin), object trace "
-                               "(.objtrace/.objcsv), agent (.npz), or "
-                               "scenario (.yaml/.json) files to check")
+                               "(.objtrace/.objcsv), agent (.npz), "
+                               "scenario (.yaml/.json), or bench "
+                               "(BENCH_*.json / BENCH_history.jsonl) files "
+                               "to check")
     validate.add_argument("--kind",
                           choices=("auto", "trace", "objtrace", "agent",
-                                   "scenario"),
+                                   "scenario", "bench"),
                           default="auto",
                           help="what the paths are (auto: .npz = agent, "
                                ".objtrace/.objcsv = object trace, "
-                               ".yaml/.yml/.json = scenario, anything else "
-                               "= trace)")
+                               "BENCH_* = bench, .yaml/.yml/.json = "
+                               "scenario, anything else = trace)")
     validate.add_argument("--quarantine", action="store_true",
                           help="report bad trace records as warnings, the "
                                "way a quarantining load would skip them")

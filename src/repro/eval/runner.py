@@ -141,6 +141,7 @@ def replay(
     observers: Optional[list] = None,
     sanitize: str = None,
     decisions=None,
+    profile=None,
 ) -> SystemResult:
     """Replay the recorded LLC stream under ``policy``; compute IPC/stats.
 
@@ -158,6 +159,12 @@ def replay(
     snapshots are live (metadata maintenance does not change simulation
     results — only what observers can read).  When ``None`` (the default)
     the replay is structurally identical to a pre-tracing one.
+
+    ``profile`` is an optional :class:`repro.telemetry.perf.PhaseProfile`:
+    when given, the cache and its policy are wrapped with phase timers and
+    the loop wall time is folded in via ``profile.finish()``.  When
+    ``None`` (the default) the plain :class:`Cache` is constructed and the
+    hot loop runs the exact pre-profiler code path.
     """
     policy = _instantiate(policy, prepared.num_cores)
     policy = wrap_policy(policy, mode=sanitize, allow_bypass=allow_bypass)
@@ -174,13 +181,25 @@ def replay(
         policy.bind(prepared.llc_config)
         if detailed is None:
             detailed = getattr(policy, "needs_line_metadata", True)
-        cache = Cache(
-            prepared.llc_config,
-            policy,
-            allow_bypass=allow_bypass,
-            detailed=detailed,
-            sanitize=sanitize,
-        )
+        if profile is None:
+            cache = Cache(
+                prepared.llc_config,
+                policy,
+                allow_bypass=allow_bypass,
+                detailed=detailed,
+                sanitize=sanitize,
+            )
+        else:
+            from repro.telemetry.perf import make_profiled_cache
+
+            cache = make_profiled_cache(
+                prepared.llc_config,
+                policy,
+                profile,
+                allow_bypass=allow_bypass,
+                detailed=detailed,
+                sanitize=sanitize,
+            )
         for observer in observers or []:
             cache.add_eviction_observer(observer)
         if decisions is not None:
@@ -189,6 +208,7 @@ def replay(
         cycles = list(prepared.base_cycles)
         warmup_index = prepared.warmup_index
         stall_llc, stall_mem = prepared.stall_llc, prepared.stall_mem
+        loop_started = time.perf_counter()
         with span(
             "replay",
             workload=prepared.trace_name,
@@ -202,6 +222,8 @@ def replay(
                 result = cache.access(record)
                 if position >= warmup_index and record.access_type.is_demand:
                     cycles[record.core] += stall_llc if result.hit else stall_mem
+        if profile is not None:
+            profile.finish(time.perf_counter() - loop_started)
     finally:
         if decisions is not None:
             from repro.telemetry.decisions import deactivate

@@ -221,3 +221,121 @@ def validate_scenario_file(path) -> ValidationReport:
         + (", golden" if scenario.golden else "")
     )
     return report
+
+
+def validate_bench_file(path) -> ValidationReport:
+    """Preflight a ``BENCH_*.json`` snapshot or ``BENCH_history.jsonl`` log.
+
+    Snapshots are schema-checked (bench name, schema version, numeric
+    rates, environment with a git stamp, phase-sum reconciliation within
+    1%); history logs are CRC-scanned with the journal framing, reporting
+    damaged lines as errors (``repro fsck`` repairs them by tail
+    truncation).
+    """
+    import json
+
+    path = Path(path)
+    report = ValidationReport(target=str(path), kind="bench")
+    if path.suffix == ".jsonl":
+        from repro.eval.bench_history import load_history
+
+        try:
+            payloads, damage = load_history(path)
+        except OSError as error:
+            report.fail(f"cannot read history: {error}")
+            return report
+        for number, problem in damage:
+            report.fail(f"history line {number}: {problem}")
+        problems = 0
+        for index, payload in enumerate(payloads, start=1):
+            for problem in _bench_payload_problems(payload):
+                report.warn(f"entry {index}: {problem}")
+                problems += 1
+        report.summary = (
+            f"bench history: {len(payloads)} valid entr(ies), "
+            f"{len(damage)} damaged line(s), {problems} schema warning(s)"
+        )
+        return report
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        report.fail(f"cannot read: {error}")
+        return report
+    except ValueError as error:
+        report.fail(f"does not parse as JSON: {error}")
+        return report
+    if not isinstance(payload, dict):
+        report.fail("top level is not a JSON object")
+        return report
+    for problem in _bench_payload_problems(payload):
+        report.fail(problem)
+    if report.ok:
+        git = payload.get("environment", {}).get("git", {}) or {}
+        sha = (git.get("sha") or "untracked")[:10]
+        quantities = len(payload.get("rates", {})) + len(
+            payload.get("checks", {})
+        )
+        report.summary = (
+            f"bench {payload.get('bench')!r} schema "
+            f"{payload.get('schema')}: {quantities} gated quantit(ies), "
+            f"git {sha}"
+        )
+    return report
+
+
+def _bench_payload_problems(payload: dict) -> list:
+    """Schema problems with one bench payload (shared snapshot/history)."""
+    from repro.eval.bench import BENCH_SCHEMA_VERSION, BENCHES
+
+    problems = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    name = payload.get("bench")
+    if name not in BENCHES:
+        problems.append(
+            f"unknown bench name {name!r} (expected one of "
+            f"{tuple(BENCHES)})"
+        )
+    schema = payload.get("schema")
+    if not isinstance(schema, int) or schema < 1:
+        problems.append(
+            f"missing/invalid schema version {schema!r} "
+            f"(current is {BENCH_SCHEMA_VERSION})"
+        )
+    elif schema > BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema {schema} is newer than this tree understands "
+            f"({BENCH_SCHEMA_VERSION})"
+        )
+    environment = payload.get("environment")
+    if not isinstance(environment, dict) or "python" not in environment:
+        problems.append("environment block missing (python/machine/git)")
+    elif not isinstance(environment.get("git"), dict):
+        problems.append(
+            "environment.git stamp missing (sha + dirty; schema >= 2)"
+        )
+    rates = payload.get("rates")
+    if not isinstance(rates, dict):
+        problems.append("rates must be an object")
+    else:
+        for key, rate in sorted(rates.items()):
+            if not isinstance(rate, (int, float)) or rate < 0:
+                problems.append(f"rate {key!r} is not a number >= 0: {rate!r}")
+    for key, check in sorted((payload.get("checks") or {}).items()):
+        if not isinstance(check, dict) or "ok" not in check:
+            problems.append(f"check {key!r} has no ok verdict")
+    for key, profile in sorted((payload.get("phases") or {}).items()):
+        reconciliation = (
+            profile.get("reconciliation") if isinstance(profile, dict)
+            else None
+        )
+        if not isinstance(reconciliation, dict):
+            problems.append(f"phases[{key!r}] has no reconciliation block")
+            continue
+        error = reconciliation.get("relative_error")
+        if not isinstance(error, (int, float)) or error > 0.01:
+            problems.append(
+                f"phases[{key!r}] phase sum does not reconcile with loop "
+                f"wall time (relative error {error!r} > 1%)"
+            )
+    return problems

@@ -31,6 +31,13 @@ See docs/observability.md for the file formats and CLI surfacing
 
 from __future__ import annotations
 
+from repro.telemetry.perf import (
+    PHASES,
+    PhaseProfile,
+    capture_collapsed,
+    collapse_profile,
+    profile_structures,
+)
 from repro.telemetry.profiling import loop_totals, profiled, reset_loop_totals
 from repro.telemetry.registry import (
     MAGNITUDE_BUCKETS,
@@ -59,10 +66,14 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "NULL_SPAN",
+    "PHASES",
+    "PhaseProfile",
     "RATIO_BUCKETS",
     "Span",
     "SpanRecorder",
     "canonical_json",
+    "capture_collapsed",
+    "collapse_profile",
     "configure",
     "deterministic_digest",
     "emit_span",
@@ -73,6 +84,7 @@ __all__ = [
     "loop_totals",
     "merge_snapshots",
     "metric_key",
+    "profile_structures",
     "profiled",
     "read_spans",
     "reset_loop_totals",

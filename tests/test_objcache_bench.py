@@ -62,7 +62,9 @@ class TestReplayBench:
 
 class TestRegistry:
     def test_benches_map_names_to_committed_files(self):
-        assert set(bench_mod.BENCHES) == {"objcache", "replay"}
+        assert set(bench_mod.BENCHES) == {
+            "objcache", "replay", "serve", "train", "overhead"
+        }
         for run, filename in bench_mod.BENCHES.values():
             assert callable(run)
             assert filename.startswith("BENCH_")
